@@ -1,0 +1,45 @@
+// Ablation A3: sensitivity of the Fig. 7 curve to the device mix.  The
+// paper's population ("realistic NB-IoT traffic patterns") is not public;
+// this bench shows how the transmissions-per-device ratio moves across
+// plausible mixes, including the IMSI-batching knob (fleet provisioning).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+#include "traffic/population.hpp"
+
+int main(int argc, char** argv) {
+    using namespace nbmg;
+
+    const std::size_t runs = bench::flag_value(argc, argv, "--runs", 30);
+    const std::uint64_t seed = bench::flag_value(argc, argv, "--seed", 42);
+
+    bench::print_header("Ablation A3", "DRX mix sensitivity of DR-SC transmissions");
+    const core::CampaignConfig config;
+
+    std::vector<traffic::PopulationProfile> profiles = {
+        traffic::massive_iot_city(), traffic::alarm_heavy(), traffic::meter_heavy(),
+        traffic::uniform_edrx()};
+    traffic::PopulationProfile no_batching = traffic::massive_iot_city();
+    no_batching.name = "massive_iot_city (no IMSI batching)";
+    no_batching.batch_mean = 1.0;
+    profiles.push_back(no_batching);
+
+    stats::Table table({"profile", "tx/device n=100", "tx/device n=500",
+                        "tx/device n=1000"});
+    for (const auto& profile : profiles) {
+        std::vector<std::string> row{profile.name};
+        for (const std::size_t n : {std::size_t{100}, std::size_t{500},
+                                    std::size_t{1000}}) {
+            const auto point =
+                core::drsc_transmission_point(profile, n, config, runs, seed);
+            row.push_back(stats::Table::cell(point.transmissions_per_device.mean(), 3));
+        }
+        table.add_row(std::move(row));
+    }
+    bench::print_table(table);
+    std::printf(
+        "Short-cycle-heavy mixes cluster trivially (tiny ratios); the paper's\n"
+        "0.5 -> 0.4 band needs long-eDRX-dominated mixes with fleet batching.\n");
+    return 0;
+}

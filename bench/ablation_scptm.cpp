@@ -1,0 +1,56 @@
+// Ablation A5: why the on-demand scheme of [3] exists at all.  SC-PTM-style
+// delivery needs a single transmission and no connections, but every device
+// pays a standing SC-MCCH monitoring cost forever — on-demand paging pays
+// only when there is data.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/experiment.hpp"
+#include "core/planners.hpp"
+#include "core/report.hpp"
+#include "traffic/firmware.hpp"
+#include "traffic/population.hpp"
+
+int main(int argc, char** argv) {
+    using namespace nbmg;
+
+    const std::size_t runs = bench::flag_value(argc, argv, "--runs", 15);
+    const std::size_t devices = bench::flag_value(argc, argv, "--devices", 200);
+    const std::uint64_t seed = bench::flag_value(argc, argv, "--seed", 42);
+
+    bench::print_header("Ablation A5", "SC-PTM baseline vs on-demand mechanisms");
+    std::printf("n=%zu runs=%zu payload=100KB (uptime per device over one campaign "
+                "horizon)\n",
+                devices, runs);
+
+    core::ComparisonSetup setup;
+    setup.profile = traffic::massive_iot_city();
+    setup.device_count = devices;
+    setup.payload_bytes = traffic::firmware_100kb().bytes;
+    setup.runs = runs;
+    setup.base_seed = seed;
+    setup.mechanisms = {core::MechanismKind::dr_sc, core::MechanismKind::da_sc,
+                        core::MechanismKind::dr_si, core::MechanismKind::sc_ptm};
+
+    const core::ComparisonOutcome outcome = core::run_comparison(setup);
+
+    stats::Table table({"mechanism", "light-sleep (s/device)", "connected (s/device)",
+                        "vs unicast light-sleep", "transmissions"});
+    table.add_row({"Unicast",
+                   stats::Table::cell(outcome.unicast.mean_light_sleep_seconds.mean(), 2),
+                   stats::Table::cell(outcome.unicast.mean_connected_seconds.mean(), 2),
+                   "-", stats::Table::cell(outcome.unicast.transmissions.mean(), 0)});
+    for (const auto& s : outcome.mechanisms) {
+        table.add_row({std::string{core::to_string(s.kind)},
+                       stats::Table::cell(s.mean_light_sleep_seconds.mean(), 2),
+                       stats::Table::cell(s.mean_connected_seconds.mean(), 2),
+                       stats::Table::cell_percent(s.light_sleep_increase.mean(), 1),
+                       stats::Table::cell(s.transmissions.mean(), 0)});
+    }
+    bench::print_table(table);
+    std::printf(
+        "SC-PTM receives in idle mode (low connected time, single transmission)\n"
+        "but its SC-MCCH monitoring dominates light-sleep uptime — and unlike\n"
+        "the on-demand mechanisms it keeps paying between campaigns.\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation A1: set-cover solver comparison on the DR-SC window instances.
+//
+// The paper justifies the greedy heuristic by NP-hardness (Sec. III-A,
+// Fig. 3).  This bench quantifies what the heuristic costs: on small
+// instances we compare greedy (the paper's choice), first-fit and random
+// baselines against the exact branch-and-bound optimum.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/mechanism.hpp"
+#include "setcover/solvers.hpp"
+#include "setcover/window_cover.hpp"
+#include "stats/summary.hpp"
+#include "traffic/population.hpp"
+
+int main(int argc, char** argv) {
+    using namespace nbmg;
+
+    const std::size_t runs = bench::flag_value(argc, argv, "--runs", 40);
+    const std::size_t devices = bench::flag_value(argc, argv, "--devices", 24);
+    const std::uint64_t seed = bench::flag_value(argc, argv, "--seed", 42);
+
+    bench::print_header("Ablation A1",
+                        "set-cover solvers on DR-SC window instances");
+    std::printf("n=%zu devices per instance, %zu instances\n", devices, runs);
+
+    const core::CampaignConfig config;
+    const nbiot::PagingSchedule paging(config.paging);
+    const traffic::PopulationProfile profile = traffic::massive_iot_city();
+
+    stats::Summary greedy_size;
+    stats::Summary first_fit_size;
+    stats::Summary random_size;
+    stats::Summary exact_size;
+    stats::Summary greedy_ratio;
+    std::size_t exact_solved = 0;
+
+    for (std::size_t run = 0; run < runs; ++run) {
+        sim::RandomStream pop_rng{sim::derive_seed(seed, "pop", run)};
+        const auto population = traffic::generate_population(profile, devices, pop_rng);
+        const auto specs = traffic::to_specs(population);
+        const nbiot::SimTime horizon{
+            2 * core::population_max_cycle(specs).period_ms()};
+
+        std::vector<setcover::PoEvent> events;
+        for (const auto& dev : specs) {
+            for (const auto po :
+                 paging.pos_in_range(nbiot::SimTime{0}, horizon, dev.imsi, dev.cycle)) {
+                events.push_back({po, dev.device.value});
+            }
+        }
+
+        sim::RandomStream tie_rng{sim::derive_seed(seed, "tie", run)};
+        const auto fast = setcover::greedy_window_cover(
+            events, config.inactivity_timer, static_cast<std::uint32_t>(devices),
+            tie_rng);
+        greedy_size.add(static_cast<double>(fast.windows.size()));
+
+        const setcover::SetCoverInstance instance = setcover::to_set_cover_instance(
+            events, config.inactivity_timer, static_cast<std::uint32_t>(devices));
+        first_fit_size.add(
+            static_cast<double>(setcover::first_fit_cover(instance).chosen.size()));
+        sim::RandomStream rnd_rng{sim::derive_seed(seed, "rnd", run)};
+        random_size.add(
+            static_cast<double>(setcover::random_cover(instance, rnd_rng).chosen.size()));
+
+        if (const auto exact = setcover::exact_cover(instance, 2'000'000)) {
+            ++exact_solved;
+            exact_size.add(static_cast<double>(exact->chosen.size()));
+            greedy_ratio.add(static_cast<double>(fast.windows.size()) /
+                             static_cast<double>(exact->chosen.size()));
+        }
+    }
+
+    stats::Table table({"solver", "mean cover size", "vs exact"});
+    table.add_row({"exact (branch&bound)", stats::Table::cell(exact_size.mean(), 2),
+                   "1.000"});
+    table.add_row({"greedy (paper)", stats::Table::cell(greedy_size.mean(), 2),
+                   stats::Table::cell(greedy_ratio.mean(), 3)});
+    table.add_row({"first-fit", stats::Table::cell(first_fit_size.mean(), 2),
+                   stats::Table::cell(first_fit_size.mean() / exact_size.mean(), 3)});
+    table.add_row({"random", stats::Table::cell(random_size.mean(), 2),
+                   stats::Table::cell(random_size.mean() / exact_size.mean(), 3)});
+    bench::print_table(table);
+    std::printf("exact solved %zu/%zu instances within node budget\n", exact_solved,
+                runs);
+    return 0;
+}

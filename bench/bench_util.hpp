@@ -1,0 +1,34 @@
+// Shared helpers for the benchmark harness binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "stats/table.hpp"
+
+namespace nbmg::bench {
+
+/// Parses "--runs N" / "--devices N" style overrides; returns fallback when
+/// the flag is absent.
+inline std::size_t flag_value(int argc, char** argv, const char* flag,
+                              std::size_t fallback) {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0) {
+            const long v = std::strtol(argv[i + 1], nullptr, 10);
+            if (v > 0) return static_cast<std::size_t>(v);
+        }
+    }
+    return fallback;
+}
+
+inline void print_header(const char* experiment_id, const char* title) {
+    std::printf("\n=== %s — %s ===\n", experiment_id, title);
+}
+
+inline void print_table(const stats::Table& table) {
+    std::fputs(table.to_markdown().c_str(), stdout);
+}
+
+}  // namespace nbmg::bench

@@ -1,0 +1,98 @@
+// M1: google-benchmark microbenchmarks of the computational kernels —
+// paging-occasion arithmetic, the DR-SC window-cover greedy, the event
+// queue, and a full small campaign.
+#include <benchmark/benchmark.h>
+
+#include "core/campaign.hpp"
+#include "core/planners.hpp"
+#include "nbiot/paging.hpp"
+#include "setcover/window_cover.hpp"
+#include "sim/event_queue.hpp"
+#include "traffic/population.hpp"
+
+namespace {
+
+using namespace nbmg;
+
+void BM_PagingFirstPoAtOrAfter(benchmark::State& state) {
+    const nbiot::PagingSchedule paging;
+    const nbiot::DrxCycle cycle =
+        nbiot::DrxCycle::from_index(static_cast<int>(state.range(0)));
+    std::uint64_t imsi = 100'000'000'000'000ULL;
+    nbiot::SimTime t{0};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            paging.first_po_at_or_after(t, nbiot::Imsi{imsi}, cycle));
+        ++imsi;
+        t += nbiot::SimTime{997};
+    }
+}
+BENCHMARK(BM_PagingFirstPoAtOrAfter)->Arg(3)->Arg(9)->Arg(15);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::EventQueue queue;
+        const auto n = state.range(0);
+        for (std::int64_t i = 0; i < n; ++i) {
+            queue.schedule_at(sim::SimTime{(i * 7919) % 100'000}, [] {});
+        }
+        queue.run_all();
+        benchmark::DoNotOptimize(queue.executed());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1'000)->Arg(10'000);
+
+void BM_WindowCoverGreedy(benchmark::State& state) {
+    const auto devices = static_cast<std::uint32_t>(state.range(0));
+    sim::RandomStream gen{42};
+    std::vector<setcover::PoEvent> events;
+    for (std::uint32_t d = 0; d < devices; ++d) {
+        const int pos = static_cast<int>(gen.uniform_int(2, 64));
+        for (int k = 0; k < pos; ++k) {
+            events.push_back({sim::SimTime{gen.uniform_int(0, 20'000'000)}, d});
+        }
+    }
+    for (auto _ : state) {
+        sim::RandomStream rng{7};
+        auto copy = events;
+        benchmark::DoNotOptimize(
+            setcover::greedy_window_cover(std::move(copy), sim::SimTime{10'000},
+                                          devices, rng));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_WindowCoverGreedy)->Arg(100)->Arg(500);
+
+void BM_DrScPlan(benchmark::State& state) {
+    sim::RandomStream pop_rng{1};
+    const auto specs = traffic::to_specs(traffic::generate_population(
+        traffic::massive_iot_city(), static_cast<std::size_t>(state.range(0)),
+        pop_rng));
+    const core::CampaignConfig config;
+    const core::DrScMechanism mechanism;
+    for (auto _ : state) {
+        sim::RandomStream rng{7};
+        benchmark::DoNotOptimize(mechanism.plan(specs, config, rng));
+    }
+}
+BENCHMARK(BM_DrScPlan)->Arg(200)->Arg(1'000)->Unit(benchmark::kMillisecond);
+
+void BM_FullCampaign(benchmark::State& state) {
+    sim::RandomStream pop_rng{1};
+    const auto specs = traffic::to_specs(traffic::generate_population(
+        traffic::massive_iot_city(), static_cast<std::size_t>(state.range(0)),
+        pop_rng));
+    const core::CampaignConfig config;
+    const core::DrSiMechanism mechanism;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::plan_and_run(mechanism, specs, config, 100 * 1024, 7));
+    }
+}
+BENCHMARK(BM_FullCampaign)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Quickstart: plan and run one firmware campaign with each grouping
+// mechanism on a small city population and compare the paper's metrics.
+//
+//   $ ./quickstart [devices] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/campaign.hpp"
+#include "core/planners.hpp"
+#include "core/report.hpp"
+#include "stats/table.hpp"
+#include "traffic/firmware.hpp"
+#include "traffic/population.hpp"
+
+int main(int argc, char** argv) {
+    using namespace nbmg;
+
+    const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 200;
+    const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+    // 1. A device population: the calibrated "Massive IoT in the City" mix.
+    const traffic::PopulationProfile profile = traffic::massive_iot_city();
+    sim::RandomStream pop_rng{sim::derive_seed(seed, "population")};
+    const auto population = traffic::generate_population(profile, n, pop_rng);
+    const auto specs = traffic::to_specs(population);
+
+    // 2. Campaign configuration (defaults follow the paper's setting) and
+    //    the payload: a 100 KB firmware image.
+    const core::CampaignConfig config;
+    const traffic::PayloadSpec payload = traffic::firmware_100kb();
+
+    std::printf("nbmg quickstart: %zu devices, payload %s, TI=%.1fs, seed %llu\n",
+                n, payload.name.c_str(),
+                static_cast<double>(config.inactivity_timer.count()) / 1000.0,
+                static_cast<unsigned long long>(seed));
+
+    // 3. Run the unicast reference, then each grouping mechanism.
+    const core::UnicastBaseline unicast;
+    const core::CampaignResult reference =
+        core::plan_and_run(unicast, specs, config, payload.bytes, seed);
+
+    stats::Table table({"mechanism", "standards", "DRX", "transmissions",
+                        "light-sleep uptime vs unicast", "connected uptime vs unicast",
+                        "all received"});
+    table.add_row({"Unicast", "yes", "respected",
+                   stats::Table::cell(static_cast<std::int64_t>(
+                       reference.total_transmissions())),
+                   "-", "-", reference.all_received() ? "yes" : "NO"});
+
+    for (const core::MechanismKind kind :
+         {core::MechanismKind::dr_sc, core::MechanismKind::da_sc,
+          core::MechanismKind::dr_si}) {
+        const auto mechanism = core::make_mechanism(kind);
+        const core::CampaignResult result =
+            core::plan_and_run(*mechanism, specs, config, payload.bytes, seed);
+        const core::RelativeUptime rel = core::relative_uptime(result, reference);
+        table.add_row(
+            {std::string{core::to_string(kind)},
+             core::standards_compliant(kind) ? "yes" : "no",
+             core::respects_drx(kind) ? "respected" : "adjusted",
+             stats::Table::cell(static_cast<std::int64_t>(result.total_transmissions())),
+             stats::Table::cell_percent(rel.light_sleep_increase, 2),
+             stats::Table::cell_percent(rel.connected_increase, 2),
+             result.all_received() ? "yes" : "NO"});
+    }
+    std::fputs(table.to_markdown().c_str(), stdout);
+
+    std::printf(
+        "\nReading the table: DA-SC and DR-SI need a single transmission; DR-SC\n"
+        "needs many.  DR-SC costs no extra light-sleep energy, DR-SI almost none,\n"
+        "DA-SC a little (shortened DRX cycles).  All three pay roughly TI/2 of\n"
+        "connected waiting compared to unicast (Sec. IV-B of the paper).\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+// Closed-form expectations for the paper's metrics.
+//
+// These formulas make the simulator auditable: the integration tests check
+// that the measured uptime agrees with the arithmetic, and the benches can
+// report "theory vs simulation".  All formulas use the same configuration
+// objects as the simulator, so a config change moves both together.
+#pragma once
+
+#include <span>
+
+#include "core/mechanism.hpp"
+#include "traffic/population.hpp"
+
+namespace nbmg::core::analysis {
+
+/// Expected page-to-connected latency with an uncontended RACH: paging
+/// decode, processing, half an NPRACH period of window alignment, one
+/// msg1-msg4 exchange, and RRC setup.
+[[nodiscard]] double expected_connect_latency_ms(const CampaignConfig& config);
+
+/// Expected connected-mode uptime (ms) of one unicast delivery: RA active
+/// time + setup + payload airtime + release.  Waiting time is zero by the
+/// paper's definition of the baseline.
+[[nodiscard]] double expected_unicast_connected_ms(const CampaignConfig& config,
+                                                   std::int64_t payload_bytes,
+                                                   nbiot::CeLevel level);
+
+/// Expected connected-wait bucket (ms) of a device served by a single
+/// fixed-time transmission when its wake/page instant is uniform over the
+/// TI window (DR-SI's T322, DA-SC's adapted PO): TI/2 + guard minus the
+/// connect latency spent getting there.
+[[nodiscard]] double expected_window_wait_ms(const CampaignConfig& config);
+
+/// Exact light-sleep uptime (ms) of one device over `horizon` under its
+/// own cycle: monitored POs (strictly after t = 0) plus `paging_decodes`
+/// message receptions and `mltc_decodes` extended receptions.
+[[nodiscard]] double exact_light_sleep_ms(const CampaignConfig& config,
+                                          const nbiot::UeSpec& device,
+                                          nbiot::SimTime horizon, int paging_decodes,
+                                          int mltc_decodes);
+
+/// Slot-occupancy estimate of DR-SC's transmissions-per-device ratio: each
+/// class contributes m(1 - (1 - 1/m)^b) occupied TI-slots, where m =
+/// cycle/TI slots and b = expected deployment batches in the class.  This
+/// ignores cross-class window sharing and greedy anchor optimization, so
+/// it *upper-bounds* the simulated ratio (useful as a sanity envelope, not
+/// as a predictor; see EXPERIMENTS.md R2).
+[[nodiscard]] double slot_model_transmission_ratio(
+    const traffic::PopulationProfile& profile, std::size_t device_count,
+    const CampaignConfig& config);
+
+}  // namespace nbmg::core::analysis

@@ -1,0 +1,432 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "nbiot/frames.hpp"
+#include "nbiot/radio.hpp"
+
+namespace nbmg::core {
+
+bool CampaignResult::all_received() const noexcept {
+    return received_count() == devices.size();
+}
+
+std::size_t CampaignResult::received_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& d : devices) n += d.received ? 1 : 0;
+    return n;
+}
+
+namespace {
+
+using nbiot::DeviceId;
+using nbiot::SimTime;
+
+/// One campaign execution: plays the eNB role against the cell.
+class Execution {
+public:
+    Execution(const CampaignConfig& config, const MulticastPlan& plan,
+              std::span<const nbiot::UeSpec> devices, std::int64_t payload_bytes,
+              SimTime horizon, std::uint64_t seed)
+        : config_(config),
+          plan_(plan),
+          specs_(devices),
+          payload_bytes_(payload_bytes),
+          horizon_(horizon),
+          radio_(config.radio),
+          cell_(seed, config.paging, config.rach, config.timing),
+          miss_rng_(cell_.simulation().stream("page-miss")) {
+        if (plan.schedules.size() != devices.size()) {
+            throw std::invalid_argument("CampaignRunner: plan/device mismatch");
+        }
+        runtime_.resize(devices.size());
+    }
+
+    CampaignResult run();
+
+private:
+    enum class PageKind { normal, reconfig, mltc };
+
+    struct DeviceRuntime {
+        std::size_t tx_index = DeviceSchedule::kUnserved;
+        bool expects_private_rx = false;  // unicast-planned or recovery
+        bool is_recovery = false;
+        bool tx_started_without_me = false;
+        int page_attempts_left = 0;
+    };
+
+    void setup_devices();
+    void schedule_plan_events();
+    void deliver_page(std::size_t idx, PageKind kind);
+    void retry_page(std::size_t idx, PageKind kind);
+    void handle_connected(std::size_t idx);
+    void handle_rach_failure(std::size_t idx);
+    void handle_released(std::size_t idx);
+    void start_transmission(std::size_t tx_idx);
+    void start_private_delivery(std::size_t idx);
+    void count_initial_paging();
+
+    [[nodiscard]] SimTime tail() const {
+        return config_.include_inactivity_tail ? config_.inactivity_timer : SimTime{0};
+    }
+    [[nodiscard]] nbiot::CeLevel bearer_level(const PlannedTransmission& tx) const {
+        nbiot::CeLevel level = nbiot::CeLevel::ce0;
+        for (const DeviceId dev : tx.devices) {
+            level = nbiot::RadioModel::multicast_bearer_level(level,
+                                                              specs_[dev.value].ce_level);
+        }
+        return level;
+    }
+
+    const CampaignConfig& config_;
+    const MulticastPlan& plan_;
+    std::span<const nbiot::UeSpec> specs_;
+    std::int64_t payload_bytes_;
+    SimTime horizon_;
+    nbiot::RadioModel radio_;
+    nbiot::Cell cell_;
+    sim::RandomStream miss_rng_;
+
+    std::vector<DeviceRuntime> runtime_;
+    std::size_t aired_multicasts_ = 0;
+    std::size_t aired_unicasts_ = 0;
+    std::size_t recovery_transmissions_ = 0;
+    std::size_t paging_messages_ = 0;
+    std::size_t paging_entries_ = 0;
+    std::size_t retry_pages_ = 0;
+    std::size_t connections_ = 0;
+    std::size_t reconfigurations_ = 0;
+};
+
+void Execution::setup_devices() {
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        nbiot::Ue& ue = cell_.add_ue(specs_[i]);
+        nbiot::Ue::Hooks hooks;
+        hooks.on_connected = [this, i](DeviceId, SimTime) { handle_connected(i); };
+        hooks.on_rach_failure = [this, i](DeviceId, SimTime) { handle_rach_failure(i); };
+        hooks.on_released = [this, i](DeviceId, SimTime) { handle_released(i); };
+        ue.set_hooks(std::move(hooks));
+        ue.start_monitoring(horizon_);
+
+        const DeviceSchedule& schedule = plan_.schedules[i];
+        runtime_[i].tx_index = schedule.transmission;
+        runtime_[i].page_attempts_left = config_.max_page_attempts;
+        if (schedule.served() &&
+            plan_.transmissions[schedule.transmission].starts_on_ready) {
+            runtime_[i].expects_private_rx = true;
+        }
+    }
+}
+
+void Execution::schedule_plan_events() {
+    auto& queue = cell_.simulation().queue();
+    for (std::size_t i = 0; i < plan_.schedules.size(); ++i) {
+        const DeviceSchedule& schedule = plan_.schedules[i];
+        if (schedule.adjustment) {
+            queue.schedule_at(schedule.adjustment->adjust_page_at,
+                              [this, i] { deliver_page(i, PageKind::reconfig); });
+        }
+        if (schedule.mltc) {
+            queue.schedule_at(schedule.mltc->notify_po_at,
+                              [this, i] { deliver_page(i, PageKind::mltc); });
+        }
+        if (schedule.page_at) {
+            queue.schedule_at(*schedule.page_at,
+                              [this, i] { deliver_page(i, PageKind::normal); });
+        }
+    }
+    for (std::size_t t = 0; t < plan_.transmissions.size(); ++t) {
+        if (plan_.transmissions[t].starts_on_ready) continue;  // starts on connect
+        queue.schedule_at(plan_.transmissions[t].start,
+                          [this, t] { start_transmission(t); });
+    }
+    if (config_.background_ra_per_second > 0.0) {
+        cell_.rach().inject_background_load(config_.background_ra_per_second, horizon_);
+    }
+
+    // SC-PTM: every device monitors the SC-MCCH once per modification
+    // period, forever, whether or not multicast data exists — the standing
+    // cost the on-demand scheme of [3] removes.
+    if (plan_.kind == MechanismKind::sc_ptm) {
+        const SimTime period = config_.sc_ptm_mcch_period;
+        for (SimTime at = period; at < horizon_; at += period) {
+            queue.schedule_at(at, [this] {
+                for (std::size_t i = 0; i < specs_.size(); ++i) {
+                    cell_.ue(DeviceId{static_cast<std::uint32_t>(i)})
+                        .charge(nbiot::PowerState::po_monitor,
+                                config_.timing.po_monitor);
+                }
+            });
+        }
+    }
+}
+
+void Execution::deliver_page(std::size_t idx, PageKind kind) {
+    nbiot::Ue& ue = cell_.ue(DeviceId{static_cast<std::uint32_t>(idx)});
+    const DeviceSchedule& schedule = plan_.schedules[idx];
+    const SimTime now = cell_.simulation().now();
+
+    // The page only lands if the device is idle, is actually listening at
+    // this instant (this is one of its POs under its *current* cycle), and
+    // the injected loss did not eat the message.
+    const bool listening = ue.listening_at(now);
+    const bool lost = config_.page_miss_prob > 0.0 &&
+                      miss_rng_.bernoulli(config_.page_miss_prob);
+    if (!listening || lost) {
+        retry_page(idx, kind);
+        return;
+    }
+
+    switch (kind) {
+        case PageKind::normal:
+            ue.page_normal();
+            break;
+        case PageKind::reconfig:
+            ue.page_for_reconfig(schedule.adjustment->adapted_cycle);
+            ++reconfigurations_;
+            break;
+        case PageKind::mltc: {
+            // T322 may already be due if this is a late retry.
+            const SimTime wake = std::max(schedule.mltc->wake_at, now + SimTime{1});
+            ue.page_mltc(wake);
+            break;
+        }
+    }
+}
+
+void Execution::retry_page(std::size_t idx, PageKind kind) {
+    DeviceRuntime& rt = runtime_[idx];
+    // Recovery mode (the device already missed its transmission) keeps
+    // paging until the device is reached: a real eNB does not abandon a
+    // device it owes a delivery.  Termination is guaranteed because the
+    // loss probability is < 1.
+    if (!rt.tx_started_without_me) {
+        if (rt.page_attempts_left <= 0) return;
+        --rt.page_attempts_left;
+    }
+
+    nbiot::Ue& ue = cell_.ue(DeviceId{static_cast<std::uint32_t>(idx)});
+    const SimTime now = cell_.simulation().now();
+    const SimTime next = ue.next_po_at_or_after(now + SimTime{1});
+
+    // Before the transmission, a normal page retried past its start is
+    // pointless (the recovery path takes over at the transmission).  Once
+    // the transmission has passed us by, retries ARE the recovery path.
+    if (kind == PageKind::normal && !rt.tx_started_without_me &&
+        rt.tx_index != DeviceSchedule::kUnserved &&
+        !plan_.transmissions[rt.tx_index].starts_on_ready &&
+        next >= plan_.transmissions[rt.tx_index].start) {
+        return;
+    }
+    // A reconfiguration retried so late that the device could not be back
+    // in idle before its window page is worse than useless (the device
+    // would sit in a stray connection at transmission time): abandon the
+    // adjustment and let the recovery path serve the device.
+    if (kind == PageKind::reconfig) {
+        const DeviceSchedule& schedule = plan_.schedules[idx];
+        if (schedule.page_at && next >= *schedule.page_at) return;
+    }
+    ++retry_pages_;
+    cell_.simulation().queue().schedule_at(next,
+                                           [this, idx, kind] { deliver_page(idx, kind); });
+}
+
+void Execution::handle_connected(std::size_t idx) {
+    ++connections_;
+    DeviceRuntime& rt = runtime_[idx];
+    if (rt.expects_private_rx || rt.tx_started_without_me) {
+        if (rt.tx_started_without_me && !rt.expects_private_rx) {
+            rt.expects_private_rx = true;
+            rt.is_recovery = true;
+        }
+        start_private_delivery(idx);
+    }
+    // Otherwise: stay connected and wait; the transmission event collects us.
+}
+
+void Execution::handle_released(std::size_t idx) {
+    // Safety net: a device that went back to idle after its transmission
+    // passed (e.g. a straggling reconfiguration connection) still needs its
+    // payload; keep paging it.
+    DeviceRuntime& rt = runtime_[idx];
+    const nbiot::Ue& ue = cell_.ue(DeviceId{static_cast<std::uint32_t>(idx)});
+    if (rt.tx_started_without_me && !ue.payload_received()) {
+        retry_page(idx, PageKind::normal);
+    }
+}
+
+void Execution::handle_rach_failure(std::size_t idx) {
+    // The UE exhausted preambleTransMax; the eNB re-pages it (bounded).
+    const DeviceSchedule& schedule = plan_.schedules[idx];
+    PageKind kind = PageKind::normal;
+    if (schedule.mltc) kind = PageKind::mltc;
+    retry_page(idx, kind);
+}
+
+void Execution::start_private_delivery(std::size_t idx) {
+    nbiot::Ue& ue = cell_.ue(DeviceId{static_cast<std::uint32_t>(idx)});
+    DeviceRuntime& rt = runtime_[idx];
+    const SimTime now = cell_.simulation().now();
+    const SimTime data_end = now + radio_.downlink_airtime(payload_bytes_, ue.ce_level());
+    ue.begin_reception(data_end, tail());
+    if (rt.is_recovery) {
+        ++recovery_transmissions_;
+    } else {
+        ++aired_unicasts_;
+    }
+}
+
+void Execution::start_transmission(std::size_t tx_idx) {
+    const PlannedTransmission& tx = plan_.transmissions[tx_idx];
+    const SimTime now = cell_.simulation().now();
+    const nbiot::CeLevel level = bearer_level(tx);
+    const SimTime data_end = now + radio_.downlink_airtime(payload_bytes_, level);
+
+    if (plan_.kind == MechanismKind::sc_ptm) {
+        ++aired_multicasts_;
+        for (const DeviceId dev : tx.devices) {
+            nbiot::Ue& ue = cell_.ue(dev);
+            if (ue.state() == nbiot::UeState::idle) {
+                ue.receive_idle_broadcast(data_end);
+            }
+        }
+        return;
+    }
+
+    ++aired_multicasts_;
+    for (const DeviceId dev : tx.devices) {
+        nbiot::Ue& ue = cell_.ue(dev);
+        if (ue.state() == nbiot::UeState::connected_waiting) {
+            ue.begin_reception(data_end, tail());
+        } else {
+            // Missed its transmission: recover with a dedicated delivery
+            // once it finally connects (re-page it if it is idle).
+            DeviceRuntime& rt = runtime_[dev.value];
+            rt.tx_started_without_me = true;
+            if (ue.state() == nbiot::UeState::idle) {
+                rt.page_attempts_left = config_.max_page_attempts;
+                retry_page(dev.value, PageKind::normal);
+            }
+        }
+    }
+}
+
+void Execution::count_initial_paging() {
+    // Group the planned page instants into paging messages for the byte
+    // accounting (several records can ride one occasion).
+    std::map<SimTime, std::pair<std::size_t, std::size_t>> messages;  // records, ext
+    for (const DeviceSchedule& s : plan_.schedules) {
+        if (s.page_at) ++messages[*s.page_at].first;
+        if (s.adjustment) ++messages[s.adjustment->adjust_page_at].first;
+        if (s.mltc) ++messages[s.mltc->notify_po_at].second;
+    }
+    paging_messages_ = messages.size();
+    paging_entries_ = 0;
+    for (const auto& [at, counts] : messages) {
+        paging_entries_ += counts.first + counts.second;
+    }
+}
+
+CampaignResult Execution::run() {
+    setup_devices();
+    schedule_plan_events();
+    count_initial_paging();
+    cell_.simulation().queue().run_all();
+
+    CampaignResult result;
+    result.kind = plan_.kind;
+    result.planned_transmissions = aired_multicasts_ + aired_unicasts_;
+    result.recovery_transmissions = recovery_transmissions_;
+    result.paging_messages = paging_messages_ + retry_pages_;
+    result.paging_entries = paging_entries_ + retry_pages_;
+    result.unserved = plan_.unserved.size();
+    result.payload_bytes = payload_bytes_;
+    result.observation_horizon = horizon_;
+    result.rach_attempts = cell_.rach().total_attempts();
+    result.rach_collisions = cell_.rach().total_collisions();
+    result.rach_failures = cell_.rach().total_failures();
+
+    result.devices.reserve(specs_.size());
+    std::size_t restores = 0;
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        const nbiot::Ue& ue = cell_.ue(DeviceId{static_cast<std::uint32_t>(i)});
+        DeviceOutcome outcome;
+        outcome.spec = specs_[i];
+        outcome.energy = ue.energy();
+        outcome.received = ue.payload_received();
+        outcome.recovered = runtime_[i].is_recovery;
+        outcome.po_count = ue.po_count();
+        outcome.rach_attempts = ue.rach_attempts();
+        outcome.connected_at = ue.connected_at();
+        outcome.released_at = ue.released_at();
+        result.devices.push_back(std::move(outcome));
+        if (plan_.schedules[i].adjustment && ue.payload_received()) ++restores;
+    }
+
+    // Bytes on air: payload copies + paging + per-connection signaling.
+    const nbiot::SignalingSizes& sz = config_.sizes;
+    const auto total_payload_copies = static_cast<std::int64_t>(
+        aired_multicasts_ + aired_unicasts_ + recovery_transmissions_);
+    std::int64_t bytes = payload_bytes_ * total_payload_copies;
+    bytes += static_cast<std::int64_t>(result.paging_messages) * sz.paging_message_base;
+    std::size_t mltc_entries = 0;
+    for (const DeviceSchedule& s : plan_.schedules) {
+        if (s.mltc) ++mltc_entries;
+    }
+    bytes += static_cast<std::int64_t>(result.paging_entries - mltc_entries) *
+             sz.paging_record;
+    bytes += static_cast<std::int64_t>(mltc_entries) * sz.mltc_extension_entry;
+    bytes += static_cast<std::int64_t>(connections_) *
+             (sz.rach_exchange + sz.rrc_setup_exchange + sz.rrc_release);
+    bytes += static_cast<std::int64_t>(reconfigurations_ + restores) *
+             sz.rrc_reconfiguration;
+    result.bytes_on_air = bytes;
+    return result;
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(CampaignConfig config) : config_(config) {
+    if (!config_.valid()) throw std::invalid_argument("CampaignRunner: invalid config");
+}
+
+CampaignResult CampaignRunner::run(const MulticastPlan& plan,
+                                   std::span<const nbiot::UeSpec> devices,
+                                   std::int64_t payload_bytes,
+                                   nbiot::SimTime observation_horizon,
+                                   std::uint64_t seed) const {
+    Execution execution(config_, plan, devices, payload_bytes, observation_horizon,
+                        seed);
+    return execution.run();
+}
+
+nbiot::SimTime recommended_horizon(std::span<const nbiot::UeSpec> devices,
+                                   const CampaignConfig& config,
+                                   std::int64_t payload_bytes) {
+    const auto max_drx = population_max_cycle(devices);
+    nbiot::CeLevel worst = nbiot::CeLevel::ce0;
+    for (const auto& d : devices) {
+        worst = nbiot::RadioModel::multicast_bearer_level(worst, d.ce_level);
+    }
+    const nbiot::RadioModel radio(config.radio);
+    const nbiot::SimTime airtime = radio.downlink_airtime(payload_bytes, worst);
+    const nbiot::SimTime tail =
+        config.include_inactivity_tail ? config.inactivity_timer : nbiot::SimTime{0};
+    return nbiot::SimTime{2 * max_drx.period_ms()} + config.inactivity_timer +
+           config.ra_guard + airtime + tail + nbiot::SimTime{30'000};
+}
+
+CampaignResult plan_and_run(const GroupingMechanism& mechanism,
+                            std::span<const nbiot::UeSpec> devices,
+                            const CampaignConfig& config, std::int64_t payload_bytes,
+                            std::uint64_t seed) {
+    sim::RandomStream planner_rng{sim::derive_seed(seed, "planner")};
+    const MulticastPlan plan = mechanism.plan(devices, config, planner_rng);
+    const CampaignRunner runner(config);
+    return runner.run(plan, devices, payload_bytes,
+                      recommended_horizon(devices, config, payload_bytes), seed);
+}
+
+}  // namespace nbmg::core

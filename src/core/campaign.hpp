@@ -1,0 +1,86 @@
+// Campaign execution: runs a MulticastPlan on the event-driven cell and
+// measures what the paper measures — per-device uptime by mode, number of
+// multicast transmissions, and bytes on the air interface.
+//
+// The runner plays the eNB role: it delivers the planned pages (with
+// optional loss injection and bounded re-paging), starts transmissions,
+// recovers devices that miss their transmission (dedicated follow-up
+// delivery, counted separately), and verifies reception.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/mechanism.hpp"
+
+namespace nbmg::core {
+
+struct DeviceOutcome {
+    nbiot::UeSpec spec;
+    nbiot::EnergyAccount energy;
+    bool received = false;
+    bool recovered = false;  // served by a recovery transmission
+    std::uint64_t po_count = 0;
+    int rach_attempts = 0;
+    std::optional<nbiot::SimTime> connected_at;
+    std::optional<nbiot::SimTime> released_at;
+};
+
+struct CampaignResult {
+    MechanismKind kind = MechanismKind::unicast;
+    std::size_t planned_transmissions = 0;
+    std::size_t recovery_transmissions = 0;
+    std::size_t paging_messages = 0;
+    std::size_t paging_entries = 0;
+    std::size_t unserved = 0;
+    std::int64_t payload_bytes = 0;
+    std::int64_t bytes_on_air = 0;
+    nbiot::SimTime observation_horizon{0};
+    std::uint64_t rach_attempts = 0;
+    std::uint64_t rach_collisions = 0;
+    std::uint64_t rach_failures = 0;
+    std::vector<DeviceOutcome> devices;
+
+    [[nodiscard]] std::size_t total_transmissions() const noexcept {
+        return planned_transmissions + recovery_transmissions;
+    }
+    [[nodiscard]] bool all_received() const noexcept;
+    [[nodiscard]] std::size_t received_count() const noexcept;
+};
+
+class CampaignRunner {
+public:
+    explicit CampaignRunner(CampaignConfig config);
+
+    /// Executes `plan` over `devices` (payload of `payload_bytes`) with all
+    /// UEs monitoring paging occasions until `observation_horizon`.  Use the
+    /// same horizon across compared mechanisms so light-sleep uptime is
+    /// directly comparable (see recommended_horizon).
+    [[nodiscard]] CampaignResult run(const MulticastPlan& plan,
+                                     std::span<const nbiot::UeSpec> devices,
+                                     std::int64_t payload_bytes,
+                                     nbiot::SimTime observation_horizon,
+                                     std::uint64_t seed) const;
+
+    [[nodiscard]] const CampaignConfig& config() const noexcept { return config_; }
+
+private:
+    CampaignConfig config_;
+};
+
+/// Horizon long enough for every mechanism (incl. DR-SC's last window and
+/// the slowest CE level's reception) on this population and payload.
+[[nodiscard]] nbiot::SimTime recommended_horizon(std::span<const nbiot::UeSpec> devices,
+                                                 const CampaignConfig& config,
+                                                 std::int64_t payload_bytes);
+
+/// Convenience: plan with `mechanism` and run, deriving the horizon.
+[[nodiscard]] CampaignResult plan_and_run(const GroupingMechanism& mechanism,
+                                          std::span<const nbiot::UeSpec> devices,
+                                          const CampaignConfig& config,
+                                          std::int64_t payload_bytes,
+                                          std::uint64_t seed);
+
+}  // namespace nbmg::core

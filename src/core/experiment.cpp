@@ -1,0 +1,110 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+#include "core/planners.hpp"
+
+namespace nbmg::core {
+
+ComparisonOutcome run_comparison(const ComparisonSetup& setup) {
+    if (setup.runs == 0 || setup.device_count == 0) {
+        throw std::invalid_argument("run_comparison: empty setup");
+    }
+
+    ComparisonOutcome outcome;
+    outcome.mechanisms.resize(setup.mechanisms.size());
+    std::vector<MechanismStats>& stats = outcome.mechanisms;
+    for (std::size_t m = 0; m < setup.mechanisms.size(); ++m) {
+        stats[m].kind = setup.mechanisms[m];
+    }
+    outcome.unicast.kind = MechanismKind::unicast;
+
+    const sim::RngFactory rng_factory(setup.base_seed);
+    const UnicastBaseline unicast;
+    const CampaignRunner runner(setup.config);
+
+    for (std::size_t run = 0; run < setup.runs; ++run) {
+        sim::RandomStream pop_rng = rng_factory.stream("population", run);
+        const auto population =
+            traffic::generate_population(setup.profile, setup.device_count, pop_rng);
+        const auto specs = traffic::to_specs(population);
+        const nbiot::SimTime horizon =
+            recommended_horizon(specs, setup.config, setup.payload_bytes);
+        const std::uint64_t run_seed = sim::derive_seed(setup.base_seed, "run", run);
+
+        sim::RandomStream unicast_rng = rng_factory.stream("plan-unicast", run);
+        const MulticastPlan unicast_plan =
+            unicast.plan(specs, setup.config, unicast_rng);
+        const CampaignResult reference =
+            runner.run(unicast_plan, specs, setup.payload_bytes, horizon, run_seed);
+
+        outcome.unicast.transmissions.add(
+            static_cast<double>(reference.total_transmissions()));
+        outcome.unicast.transmissions_per_device.add(
+            static_cast<double>(reference.total_transmissions()) /
+            static_cast<double>(reference.devices.size()));
+        outcome.unicast.bytes_ratio.add(1.0);
+        outcome.unicast.recovery_transmissions.add(
+            static_cast<double>(reference.recovery_transmissions));
+        outcome.unicast.unreceived_devices.add(static_cast<double>(
+            reference.devices.size() - reference.received_count()));
+        outcome.unicast.mean_connected_seconds.add(mean_connected_ms(reference) / 1000.0);
+        outcome.unicast.mean_light_sleep_seconds.add(mean_light_sleep_ms(reference) /
+                                                     1000.0);
+
+        for (std::size_t m = 0; m < setup.mechanisms.size(); ++m) {
+            const auto mechanism = make_mechanism(setup.mechanisms[m]);
+            sim::RandomStream plan_rng =
+                rng_factory.stream(mechanism->name(), run);
+            const MulticastPlan plan = mechanism->plan(specs, setup.config, plan_rng);
+            const CampaignResult result =
+                runner.run(plan, specs, setup.payload_bytes, horizon, run_seed);
+
+            const RelativeUptime rel = relative_uptime(result, reference);
+            const BandwidthComparison bw = bandwidth_comparison(result, reference);
+
+            MechanismStats& out = stats[m];
+            out.light_sleep_increase.add(rel.light_sleep_increase);
+            out.connected_increase.add(rel.connected_increase);
+            out.transmissions.add(static_cast<double>(result.total_transmissions()));
+            out.transmissions_per_device.add(bw.transmissions_per_device);
+            out.bytes_ratio.add(bw.bytes_on_air_ratio);
+            out.recovery_transmissions.add(
+                static_cast<double>(result.recovery_transmissions));
+            out.unreceived_devices.add(static_cast<double>(
+                result.devices.size() - result.received_count()));
+            out.mean_connected_seconds.add(mean_connected_ms(result) / 1000.0);
+            out.mean_light_sleep_seconds.add(mean_light_sleep_ms(result) / 1000.0);
+        }
+    }
+    return outcome;
+}
+
+TransmissionSweepPoint drsc_transmission_point(const traffic::PopulationProfile& profile,
+                                               std::size_t device_count,
+                                               const CampaignConfig& config,
+                                               std::size_t runs,
+                                               std::uint64_t base_seed) {
+    if (runs == 0 || device_count == 0) {
+        throw std::invalid_argument("drsc_transmission_point: empty setup");
+    }
+    TransmissionSweepPoint point;
+    point.device_count = device_count;
+
+    const sim::RngFactory rng_factory(base_seed);
+    const DrScMechanism dr_sc;
+    for (std::size_t run = 0; run < runs; ++run) {
+        sim::RandomStream pop_rng = rng_factory.stream("population", run);
+        const auto population =
+            traffic::generate_population(profile, device_count, pop_rng);
+        const auto specs = traffic::to_specs(population);
+        sim::RandomStream plan_rng = rng_factory.stream("plan-drsc", run);
+        const MulticastPlan plan = dr_sc.plan(specs, config, plan_rng);
+        const auto tx = static_cast<double>(plan.transmissions.size());
+        point.transmissions.add(tx);
+        point.transmissions_per_device.add(tx / static_cast<double>(device_count));
+    }
+    return point;
+}
+
+}  // namespace nbmg::core

@@ -1,0 +1,62 @@
+// Multi-run experiment driver: repeats campaigns across seeds and
+// aggregates the paper's metrics.  Every benchmark binary is a thin shell
+// around these helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+#include "stats/summary.hpp"
+#include "traffic/population.hpp"
+
+namespace nbmg::core {
+
+struct ComparisonSetup {
+    traffic::PopulationProfile profile;
+    std::size_t device_count = 500;
+    std::int64_t payload_bytes = 100 * 1024;
+    CampaignConfig config{};
+    std::size_t runs = 100;
+    std::uint64_t base_seed = 42;
+    std::vector<MechanismKind> mechanisms{MechanismKind::dr_sc, MechanismKind::da_sc,
+                                          MechanismKind::dr_si};
+};
+
+/// Aggregated results of one mechanism across runs.
+struct MechanismStats {
+    MechanismKind kind = MechanismKind::unicast;
+    stats::Summary light_sleep_increase;       // aggregate ratio - 1 per run
+    stats::Summary connected_increase;         // aggregate ratio - 1 per run
+    stats::Summary transmissions;              // total transmissions per run
+    stats::Summary transmissions_per_device;   // ratio per run
+    stats::Summary bytes_ratio;                // bytes on air vs unicast
+    stats::Summary recovery_transmissions;     // robustness metric
+    stats::Summary unreceived_devices;         // devices left without payload
+    stats::Summary mean_connected_seconds;     // absolute per-device mean
+    stats::Summary mean_light_sleep_seconds;   // absolute per-device mean
+};
+
+struct ComparisonOutcome {
+    std::vector<MechanismStats> mechanisms;  // same order as setup.mechanisms
+    MechanismStats unicast;                  // the reference's absolute stats
+};
+
+/// Runs `setup.mechanisms` (plus the unicast reference) `setup.runs` times
+/// on fresh populations and aggregates the relative metrics run by run.
+[[nodiscard]] ComparisonOutcome run_comparison(const ComparisonSetup& setup);
+
+/// Fig. 7 fast path: DR-SC is planned (not executed) because the figure
+/// only needs the transmission count.  Returns per-run transmission totals.
+struct TransmissionSweepPoint {
+    std::size_t device_count = 0;
+    stats::Summary transmissions;
+    stats::Summary transmissions_per_device;
+};
+
+[[nodiscard]] TransmissionSweepPoint drsc_transmission_point(
+    const traffic::PopulationProfile& profile, std::size_t device_count,
+    const CampaignConfig& config, std::size_t runs, std::uint64_t base_seed);
+
+}  // namespace nbmg::core

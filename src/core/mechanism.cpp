@@ -1,0 +1,91 @@
+#include "core/mechanism.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/planners.hpp"
+
+namespace nbmg::core {
+
+std::unique_ptr<GroupingMechanism> make_mechanism(MechanismKind kind) {
+    switch (kind) {
+        case MechanismKind::dr_sc: return std::make_unique<DrScMechanism>();
+        case MechanismKind::da_sc: return std::make_unique<DaScMechanism>();
+        case MechanismKind::dr_si: return std::make_unique<DrSiMechanism>();
+        case MechanismKind::unicast: return std::make_unique<UnicastBaseline>();
+        case MechanismKind::sc_ptm: return std::make_unique<ScPtmBaseline>();
+    }
+    throw std::invalid_argument("make_mechanism: unknown kind");
+}
+
+nbiot::DrxCycle population_max_cycle(std::span<const nbiot::UeSpec> devices) {
+    if (devices.empty()) {
+        throw std::invalid_argument("population_max_cycle: empty population");
+    }
+    nbiot::DrxCycle best = devices.front().cycle;
+    for (const auto& d : devices) best = std::max(best, d.cycle);
+    return best;
+}
+
+void validate_plan(const MulticastPlan& plan, std::span<const nbiot::UeSpec> devices) {
+    if (plan.schedules.size() != devices.size()) {
+        throw std::logic_error("plan: schedule count != device count");
+    }
+    std::vector<bool> in_transmission(devices.size(), false);
+    for (const auto& tx : plan.transmissions) {
+        if (tx.starts_on_ready && tx.devices.size() != 1) {
+            throw std::logic_error("plan: on-ready transmission must carry one device");
+        }
+        for (const auto dev : tx.devices) {
+            if (dev.value >= devices.size()) throw std::logic_error("plan: bad device id");
+            if (in_transmission[dev.value]) {
+                throw std::logic_error("plan: device in two transmissions");
+            }
+            in_transmission[dev.value] = true;
+        }
+    }
+    for (std::size_t i = 0; i < plan.schedules.size(); ++i) {
+        const DeviceSchedule& s = plan.schedules[i];
+        if (s.device.value != i) throw std::logic_error("plan: schedules not dense");
+        if (s.served()) {
+            if (s.transmission >= plan.transmissions.size()) {
+                throw std::logic_error("plan: bad transmission index");
+            }
+            if (!in_transmission[i]) {
+                throw std::logic_error("plan: served device missing from transmission");
+            }
+            const auto& tx = plan.transmissions[s.transmission];
+            if (std::find(tx.devices.begin(), tx.devices.end(), s.device) ==
+                tx.devices.end()) {
+                throw std::logic_error("plan: schedule points to foreign transmission");
+            }
+        } else if (in_transmission[i]) {
+            throw std::logic_error("plan: unserved device inside a transmission");
+        }
+        if (s.adjustment && s.mltc) {
+            throw std::logic_error("plan: device both adjusted and mltc-notified");
+        }
+        if (s.mltc && s.page_at) {
+            throw std::logic_error("plan: mltc device must not also be paged normally");
+        }
+    }
+    for (const auto dev : plan.unserved) {
+        if (dev.value >= devices.size() || plan.schedules[dev.value].served()) {
+            throw std::logic_error("plan: bad unserved entry");
+        }
+    }
+    const bool single_tx_kind =
+        plan.kind == MechanismKind::da_sc || plan.kind == MechanismKind::dr_si ||
+        plan.kind == MechanismKind::sc_ptm;
+    if (single_tx_kind && plan.transmissions.size() != 1) {
+        throw std::logic_error(std::string{to_string(plan.kind)} +
+                               ": must plan exactly one transmission");
+    }
+    if (plan.kind == MechanismKind::unicast &&
+        plan.transmissions.size() != devices.size() - plan.unserved.size()) {
+        throw std::logic_error("unicast: one transmission per served device");
+    }
+}
+
+}  // namespace nbmg::core

@@ -1,0 +1,34 @@
+// Shared helpers for the planners (internal header).
+#pragma once
+
+#include "core/mechanism.hpp"
+#include "nbiot/frames.hpp"
+
+namespace nbmg::core::detail {
+
+/// The paper's reference transmission time: t >= 2 * maxDRX so every device
+/// has at least one PO before t (Sec. III-B); aligned to a frame boundary.
+[[nodiscard]] inline nbiot::SimTime reference_time(
+    std::span<const nbiot::UeSpec> devices) {
+    const auto max_drx = population_max_cycle(devices);
+    return nbiot::align_up_to_frame(nbiot::SimTime{2 * max_drx.period_ms()});
+}
+
+/// Conservative planning estimate of page-to-connected latency: paging
+/// decode, processing, one full RACH window wait plus the exchange, and RRC
+/// setup.  Used only for feasibility spacing, never for accounting.
+[[nodiscard]] inline nbiot::SimTime nominal_connect_duration(
+    const CampaignConfig& config) {
+    return config.timing.paging_decode + config.timing.page_to_rach +
+           config.rach.window_period + config.rach.attempt_active_time() +
+           config.timing.rrc_setup;
+}
+
+/// Far-future deadline for paging placements that may slip (unicast,
+/// DR-SC fallback).
+[[nodiscard]] inline nbiot::SimTime open_deadline(
+    std::span<const nbiot::UeSpec> devices) {
+    return nbiot::SimTime{8 * population_max_cycle(devices).period_ms()};
+}
+
+}  // namespace nbmg::core::detail

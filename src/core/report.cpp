@@ -1,0 +1,99 @@
+#include "core/report.hpp"
+
+#include <stdexcept>
+
+namespace nbmg::core {
+namespace {
+
+double ms(nbiot::SimTime t) { return static_cast<double>(t.count()); }
+
+}  // namespace
+
+double total_light_sleep_ms(const CampaignResult& result) noexcept {
+    double total = 0.0;
+    for (const auto& d : result.devices) total += ms(d.energy.light_sleep_uptime());
+    return total;
+}
+
+double total_connected_ms(const CampaignResult& result) noexcept {
+    double total = 0.0;
+    for (const auto& d : result.devices) total += ms(d.energy.connected_uptime());
+    return total;
+}
+
+double mean_light_sleep_ms(const CampaignResult& result) noexcept {
+    if (result.devices.empty()) return 0.0;
+    return total_light_sleep_ms(result) / static_cast<double>(result.devices.size());
+}
+
+double mean_connected_ms(const CampaignResult& result) noexcept {
+    if (result.devices.empty()) return 0.0;
+    return total_connected_ms(result) / static_cast<double>(result.devices.size());
+}
+
+RelativeUptime relative_uptime(const CampaignResult& mechanism,
+                               const CampaignResult& unicast_reference) {
+    if (mechanism.devices.size() != unicast_reference.devices.size()) {
+        throw std::invalid_argument("relative_uptime: population mismatch");
+    }
+    if (mechanism.observation_horizon != unicast_reference.observation_horizon) {
+        throw std::invalid_argument(
+            "relative_uptime: observation horizons differ; light-sleep uptime "
+            "would not be comparable");
+    }
+
+    RelativeUptime out;
+    const double base_light = total_light_sleep_ms(unicast_reference);
+    const double base_conn = total_connected_ms(unicast_reference);
+    if (base_light > 0.0) {
+        out.light_sleep_increase = total_light_sleep_ms(mechanism) / base_light - 1.0;
+    }
+    if (base_conn > 0.0) {
+        out.connected_increase = total_connected_ms(mechanism) / base_conn - 1.0;
+    }
+
+    double light_sum = 0.0;
+    double conn_sum = 0.0;
+    std::size_t light_n = 0;
+    std::size_t conn_n = 0;
+    for (std::size_t i = 0; i < mechanism.devices.size(); ++i) {
+        const auto& m = mechanism.devices[i].energy;
+        const auto& u = unicast_reference.devices[i].energy;
+        if (mechanism.devices[i].spec.imsi != unicast_reference.devices[i].spec.imsi) {
+            throw std::invalid_argument("relative_uptime: device pairing mismatch");
+        }
+        if (u.light_sleep_uptime().count() > 0) {
+            light_sum += ms(m.light_sleep_uptime()) / ms(u.light_sleep_uptime()) - 1.0;
+            ++light_n;
+        }
+        if (u.connected_uptime().count() > 0) {
+            conn_sum += ms(m.connected_uptime()) / ms(u.connected_uptime()) - 1.0;
+            ++conn_n;
+        }
+    }
+    if (light_n > 0) {
+        out.per_device_light_sleep_increase = light_sum / static_cast<double>(light_n);
+    }
+    if (conn_n > 0) {
+        out.per_device_connected_increase = conn_sum / static_cast<double>(conn_n);
+    }
+    return out;
+}
+
+BandwidthComparison bandwidth_comparison(const CampaignResult& mechanism,
+                                         const CampaignResult& unicast_reference) {
+    BandwidthComparison out;
+    out.transmissions = mechanism.total_transmissions();
+    const auto n = static_cast<double>(mechanism.devices.size());
+    if (n > 0.0) {
+        out.transmissions_per_device = static_cast<double>(out.transmissions) / n;
+        out.savings_vs_unicast = 1.0 - out.transmissions_per_device;
+    }
+    if (unicast_reference.bytes_on_air > 0) {
+        out.bytes_on_air_ratio = static_cast<double>(mechanism.bytes_on_air) /
+                                 static_cast<double>(unicast_reference.bytes_on_air);
+    }
+    return out;
+}
+
+}  // namespace nbmg::core

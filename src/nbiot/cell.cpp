@@ -1,0 +1,35 @@
+#include "nbiot/cell.hpp"
+
+#include <stdexcept>
+
+namespace nbmg::nbiot {
+
+Cell::Cell(std::uint64_t seed, PagingConfig paging_config, RachConfig rach_config,
+           TimingModel timing)
+    : sim_(seed),
+      paging_(paging_config),
+      timing_(timing),
+      rach_(sim_, rach_config, sim_.stream("rach")) {
+    if (!timing_.valid()) throw std::invalid_argument("Cell: invalid timing model");
+}
+
+Ue& Cell::add_ue(const UeSpec& spec) {
+    if (spec.device.value != ues_.size()) {
+        throw std::invalid_argument("Cell::add_ue: device ids must be dense and in order");
+    }
+    ues_.push_back(std::make_unique<Ue>(sim_, spec.device, spec.imsi, spec.cycle,
+                                        spec.ce_level, paging_, timing_, rach_));
+    return *ues_.back();
+}
+
+Ue& Cell::ue(DeviceId device) {
+    if (device.value >= ues_.size()) throw std::out_of_range("Cell::ue: unknown device");
+    return *ues_[device.value];
+}
+
+const Ue& Cell::ue(DeviceId device) const {
+    if (device.value >= ues_.size()) throw std::out_of_range("Cell::ue: unknown device");
+    return *ues_[device.value];
+}
+
+}  // namespace nbmg::nbiot

@@ -1,0 +1,59 @@
+// A single NB-IoT cell: one eNB's paging/RACH resources plus the attached
+// UE population, wired to one discrete-event simulation.
+//
+// The cell owns the protocol substrates; grouping logic (who to page when,
+// when to transmit) lives in nbmg::core, which drives the cell through the
+// Ue interface.  This mirrors the paper's setting: "a single eNB scenario
+// serving a large number of NB-IoT devices".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nbiot/paging.hpp"
+#include "nbiot/rach.hpp"
+#include "nbiot/rrc.hpp"
+#include "nbiot/ue.hpp"
+#include "sim/simulation.hpp"
+
+namespace nbmg::nbiot {
+
+/// Static description of one device, as known to the network.
+struct UeSpec {
+    DeviceId device;
+    Imsi imsi;
+    DrxCycle cycle = DrxCycle::from_index(0);
+    CeLevel ce_level = CeLevel::ce0;
+};
+
+class Cell {
+public:
+    Cell(std::uint64_t seed, PagingConfig paging_config, RachConfig rach_config,
+         TimingModel timing);
+
+    Cell(const Cell&) = delete;
+    Cell& operator=(const Cell&) = delete;
+
+    /// Adds a UE.  Device ids must be dense: 0, 1, 2, ... in order.
+    Ue& add_ue(const UeSpec& spec);
+
+    [[nodiscard]] Ue& ue(DeviceId device);
+    [[nodiscard]] const Ue& ue(DeviceId device) const;
+    [[nodiscard]] std::size_t ue_count() const noexcept { return ues_.size(); }
+
+    [[nodiscard]] sim::Simulation& simulation() noexcept { return sim_; }
+    [[nodiscard]] const sim::Simulation& simulation() const noexcept { return sim_; }
+    [[nodiscard]] const PagingSchedule& paging() const noexcept { return paging_; }
+    [[nodiscard]] RachChannel& rach() noexcept { return rach_; }
+    [[nodiscard]] const TimingModel& timing() const noexcept { return timing_; }
+
+private:
+    sim::Simulation sim_;
+    PagingSchedule paging_;
+    TimingModel timing_;
+    RachChannel rach_;
+    std::vector<std::unique_ptr<Ue>> ues_;
+};
+
+}  // namespace nbmg::nbiot

@@ -1,0 +1,64 @@
+#include "nbiot/drx.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace nbmg::nbiot {
+
+std::optional<DrxCycle> DrxCycle::from_period(SimTime period) noexcept {
+    const std::int64_t ms = period.count();
+    if (ms < kShortestMs) return std::nullopt;
+    for (int k = 0; k < kLadderSize; ++k) {
+        if ((kShortestMs << k) == ms) return DrxCycle{k};
+    }
+    return std::nullopt;
+}
+
+std::optional<DrxCycle> DrxCycle::longest_at_most(SimTime period) noexcept {
+    const std::int64_t ms = period.count();
+    if (ms < kShortestMs) return std::nullopt;
+    int best = 0;
+    for (int k = 0; k < kLadderSize; ++k) {
+        if ((kShortestMs << k) <= ms) best = k;
+    }
+    return DrxCycle{best};
+}
+
+std::string DrxCycle::to_string() const {
+    const double secs = period_seconds();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fs", secs);
+    return std::string{buf} + (is_edrx() ? " (eDRX)" : " (DRX)");
+}
+
+std::array<DrxCycle, DrxCycle::kLadderSize> drx_ladder() {
+    return {
+        DrxCycle::from_index(0),  DrxCycle::from_index(1),  DrxCycle::from_index(2),
+        DrxCycle::from_index(3),  DrxCycle::from_index(4),  DrxCycle::from_index(5),
+        DrxCycle::from_index(6),  DrxCycle::from_index(7),  DrxCycle::from_index(8),
+        DrxCycle::from_index(9),  DrxCycle::from_index(10), DrxCycle::from_index(11),
+        DrxCycle::from_index(12), DrxCycle::from_index(13), DrxCycle::from_index(14),
+        DrxCycle::from_index(15),
+    };
+}
+
+namespace drx {
+DrxCycle seconds_0_32() { return DrxCycle::from_index(0); }
+DrxCycle seconds_0_64() { return DrxCycle::from_index(1); }
+DrxCycle seconds_1_28() { return DrxCycle::from_index(2); }
+DrxCycle seconds_2_56() { return DrxCycle::from_index(3); }
+DrxCycle seconds_5_12() { return DrxCycle::from_index(4); }
+DrxCycle seconds_10_24() { return DrxCycle::from_index(5); }
+DrxCycle seconds_20_48() { return DrxCycle::from_index(6); }
+DrxCycle seconds_40_96() { return DrxCycle::from_index(7); }
+DrxCycle seconds_81_92() { return DrxCycle::from_index(8); }
+DrxCycle seconds_163_84() { return DrxCycle::from_index(9); }
+DrxCycle seconds_327_68() { return DrxCycle::from_index(10); }
+DrxCycle seconds_655_36() { return DrxCycle::from_index(11); }
+DrxCycle seconds_1310_72() { return DrxCycle::from_index(12); }
+DrxCycle seconds_2621_44() { return DrxCycle::from_index(13); }
+DrxCycle seconds_5242_88() { return DrxCycle::from_index(14); }
+DrxCycle seconds_10485_76() { return DrxCycle::from_index(15); }
+}  // namespace drx
+
+}  // namespace nbmg::nbiot

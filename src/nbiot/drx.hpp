@@ -1,0 +1,113 @@
+// The DRX / eDRX cycle ladder.
+//
+// 3GPP defines paging DRX cycles of 0.32/0.64/1.28/2.56 s (TS 36.331) and,
+// for NB-IoT, extended DRX (eDRX) cycles from 20.48 s up to 10485.76 s
+// (TS 36.304, GSMA low-power WAN white paper).  Every value is exactly twice
+// the previous one, a property both the paper and the DA-SC mechanism rely
+// on.  We model the full doubling ladder 320 ms * 2^k for k = 0..15.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "nbiot/types.hpp"
+
+namespace nbmg::nbiot {
+
+/// A validated DRX cycle drawn from the doubling ladder.
+class DrxCycle {
+public:
+    static constexpr int kLadderSize = 16;  // 320 ms .. 10485.76 s
+
+    /// Index 0 is the shortest cycle (320 ms); each step doubles.
+    [[nodiscard]] static constexpr DrxCycle from_index(int index) {
+        return DrxCycle{index};
+    }
+
+    /// Returns the ladder value equal to `period`, if any.
+    [[nodiscard]] static std::optional<DrxCycle> from_period(SimTime period) noexcept;
+
+    /// Longest ladder value less than or equal to `period`; nullopt when
+    /// `period` is below the shortest cycle.
+    [[nodiscard]] static std::optional<DrxCycle> longest_at_most(SimTime period) noexcept;
+
+    [[nodiscard]] constexpr SimTime period() const noexcept {
+        return SimTime{kShortestMs << index_};
+    }
+    [[nodiscard]] constexpr std::int64_t period_ms() const noexcept {
+        return kShortestMs << index_;
+    }
+    [[nodiscard]] constexpr std::int64_t period_frames() const noexcept {
+        return period_ms() / kMillisPerFrame;
+    }
+    [[nodiscard]] constexpr int index() const noexcept { return index_; }
+
+    /// Standard (connected/idle-mode) DRX tops out at 2.56 s; anything
+    /// longer is an eDRX cycle.
+    [[nodiscard]] constexpr bool is_edrx() const noexcept { return period_ms() > 2560; }
+
+    /// NB-IoT eDRX values start at 20.48 s (TS 36.304 for Cat-NB).
+    [[nodiscard]] constexpr bool is_nbiot_edrx() const noexcept {
+        return period_ms() >= 20480;
+    }
+
+    [[nodiscard]] constexpr bool has_shorter() const noexcept { return index_ > 0; }
+    [[nodiscard]] constexpr bool has_longer() const noexcept {
+        return index_ < kLadderSize - 1;
+    }
+    [[nodiscard]] constexpr DrxCycle shorter() const { return DrxCycle{index_ - 1}; }
+    [[nodiscard]] constexpr DrxCycle longer() const { return DrxCycle{index_ + 1}; }
+
+    [[nodiscard]] double period_seconds() const noexcept {
+        return static_cast<double>(period_ms()) / 1000.0;
+    }
+
+    [[nodiscard]] std::string to_string() const;
+
+    friend constexpr auto operator<=>(DrxCycle a, DrxCycle b) noexcept {
+        return a.index_ <=> b.index_;
+    }
+    friend constexpr bool operator==(DrxCycle a, DrxCycle b) noexcept {
+        return a.index_ == b.index_;
+    }
+
+private:
+    explicit constexpr DrxCycle(int index) : index_(index) {
+        if (index < 0 || index >= kLadderSize) {
+            throw std::out_of_range("DrxCycle index outside ladder");
+        }
+    }
+
+    static constexpr std::int64_t kShortestMs = 320;
+    int index_;
+};
+
+/// All ladder values, shortest first.
+[[nodiscard]] std::array<DrxCycle, DrxCycle::kLadderSize> drx_ladder();
+
+/// Common named cycles.
+namespace drx {
+[[nodiscard]] DrxCycle seconds_0_32();
+[[nodiscard]] DrxCycle seconds_0_64();
+[[nodiscard]] DrxCycle seconds_1_28();
+[[nodiscard]] DrxCycle seconds_2_56();
+[[nodiscard]] DrxCycle seconds_5_12();
+[[nodiscard]] DrxCycle seconds_10_24();
+[[nodiscard]] DrxCycle seconds_20_48();
+[[nodiscard]] DrxCycle seconds_40_96();
+[[nodiscard]] DrxCycle seconds_81_92();
+[[nodiscard]] DrxCycle seconds_163_84();
+[[nodiscard]] DrxCycle seconds_327_68();
+[[nodiscard]] DrxCycle seconds_655_36();
+[[nodiscard]] DrxCycle seconds_1310_72();
+[[nodiscard]] DrxCycle seconds_2621_44();
+[[nodiscard]] DrxCycle seconds_5242_88();
+[[nodiscard]] DrxCycle seconds_10485_76();
+}  // namespace drx
+
+}  // namespace nbmg::nbiot

@@ -1,0 +1,50 @@
+#include "nbiot/energy.hpp"
+
+#include <stdexcept>
+
+namespace nbmg::nbiot {
+
+void EnergyAccount::add(PowerState state, SimTime duration) {
+    if (duration < SimTime{0}) {
+        throw std::invalid_argument("EnergyAccount::add: negative duration");
+    }
+    buckets_[static_cast<std::size_t>(state)] += duration;
+}
+
+double EnergyAccount::active_energy_mj(const PowerProfile& profile) const noexcept {
+    double mj = 0.0;
+    for (std::size_t i = 1; i < kPowerStateCount; ++i) {  // skip deep_sleep
+        const double seconds = static_cast<double>(buckets_[i].count()) / 1000.0;
+        mj += profile.current_ma[i] * profile.voltage * seconds;  // mA*V*s = mJ
+    }
+    return mj;
+}
+
+double EnergyAccount::average_current_ma(const PowerProfile& profile,
+                                         SimTime horizon) const noexcept {
+    if (horizon.count() <= 0) return 0.0;
+    double ma_ms = 0.0;
+    SimTime tracked{0};
+    for (std::size_t i = 1; i < kPowerStateCount; ++i) {
+        ma_ms += profile.current_ma[i] * static_cast<double>(buckets_[i].count());
+        tracked += buckets_[i];
+    }
+    const SimTime sleeping = horizon > tracked ? horizon - tracked : SimTime{0};
+    ma_ms += profile.current_ma[0] * static_cast<double>(sleeping.count());
+    return ma_ms / static_cast<double>(horizon.count());
+}
+
+EnergyAccount& EnergyAccount::operator+=(const EnergyAccount& other) noexcept {
+    for (std::size_t i = 0; i < kPowerStateCount; ++i) {
+        buckets_[i] += other.buckets_[i];
+    }
+    return *this;
+}
+
+double battery_life_years(const PowerProfile& profile, double average_current_ma) noexcept {
+    if (average_current_ma <= 0.0) return 0.0;
+    const double hours = profile.battery_mah / average_current_ma;
+    return hours / (24.0 * 365.25);
+}
+
+}  // namespace nbmg::nbiot

@@ -1,0 +1,58 @@
+// Radio-frame arithmetic: conversions between simulated time and the
+// SFN / H-SFN / subframe coordinates used by 3GPP procedures.
+#pragma once
+
+#include <cstdint>
+
+#include "nbiot/types.hpp"
+
+namespace nbmg::nbiot {
+
+/// Absolute frame index since simulation start (never wraps).
+using FrameIndex = std::int64_t;
+
+/// A position on the radio frame grid.
+struct RadioTime {
+    FrameIndex frame = 0;  // absolute frame counter
+    std::int64_t subframe = 0;  // 0..9 within the frame
+
+    /// System Frame Number as broadcast on the air interface (wraps at 1024).
+    [[nodiscard]] constexpr std::int64_t sfn() const noexcept {
+        return frame % kFramesPerHyperframe;
+    }
+
+    /// Hyper-SFN (wraps at 1024; one hyperframe is 10.24 s).
+    [[nodiscard]] constexpr std::int64_t hyper_sfn() const noexcept {
+        return (frame / kFramesPerHyperframe) % kHyperframeCount;
+    }
+
+    [[nodiscard]] constexpr SimTime to_time() const noexcept {
+        return SimTime{frame * kMillisPerFrame + subframe * kMillisPerSubframe};
+    }
+
+    friend constexpr auto operator<=>(const RadioTime&, const RadioTime&) = default;
+};
+
+/// Decomposes a simulated instant into frame/subframe coordinates.
+[[nodiscard]] constexpr RadioTime to_radio_time(SimTime t) noexcept {
+    const std::int64_t ms = t.count();
+    return RadioTime{ms / kMillisPerFrame, (ms % kMillisPerFrame) / kMillisPerSubframe};
+}
+
+/// Start of the frame containing `t`.
+[[nodiscard]] constexpr SimTime frame_start(SimTime t) noexcept {
+    return SimTime{(t.count() / kMillisPerFrame) * kMillisPerFrame};
+}
+
+/// First frame boundary at or after `t`.
+[[nodiscard]] constexpr SimTime align_up_to_frame(SimTime t) noexcept {
+    const std::int64_t ms = t.count();
+    const std::int64_t rem = ms % kMillisPerFrame;
+    return rem == 0 ? t : SimTime{ms + (kMillisPerFrame - rem)};
+}
+
+[[nodiscard]] constexpr FrameIndex frame_index_of(SimTime t) noexcept {
+    return t.count() / kMillisPerFrame;
+}
+
+}  // namespace nbmg::nbiot

@@ -1,0 +1,119 @@
+// Paging-occasion arithmetic (TS 36.304 §7) and paging message contents.
+//
+// A UE in idle mode wakes once per DRX cycle at its paging occasion (PO) and
+// monitors the paging channel.  The PO position is a pure function of the
+// UE identity and the cycle length:
+//
+//   UE_ID = IMSI mod ue_id_modulus
+//   N     = min(T, nB),  Ns = max(1, nB/T)        (T = cycle in frames)
+//   PF    : frame index F with  F mod T == (T/N) * (UE_ID mod N)
+//   i_s   = floor(UE_ID / N) mod Ns  ->  PO subframe via lookup table
+//
+// TS 36.304 applies this to SFN (mod 1024); eDRX cycles longer than 1024
+// frames use a hyperframe-level formula.  We apply the congruence to the
+// absolute frame counter with ue_id_modulus = 2^20 (the longest eDRX cycle
+// is 2^20 frames), which reduces bit-exactly to the standard formula for
+// T <= 1024 and spreads eDRX offsets across the whole cycle, exactly the
+// behaviour the H-SFN formula provides.
+//
+// Key ladder property (used by the paper's DA-SC mechanism): for nB <= T,
+// the PO set of cycle 2T is a subset of the PO set of cycle T for the same
+// UE, so lengthening a cycle only removes occasions and shortening it only
+// adds them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "nbiot/drx.hpp"
+#include "nbiot/frames.hpp"
+#include "nbiot/types.hpp"
+
+namespace nbmg::nbiot {
+
+/// Cell-level paging parameters.
+struct PagingConfig {
+    /// nB = T * nb_num / nb_den.  3GPP allows 4T, 2T, T, T/2 .. T/256.
+    /// The default (nB = T) gives one paging subframe per frame and exact
+    /// ladder nesting.
+    std::int64_t nb_num = 1;
+    std::int64_t nb_den = 1;
+
+    /// Modulus for UE_ID = IMSI mod ue_id_modulus.  The default spans the
+    /// longest eDRX cycle (2^20 frames = 10485.76 s).
+    std::uint64_t ue_id_modulus = std::uint64_t{1} << 20;
+
+    /// Maximum paging records carried by one paging message (maxPageRec).
+    int max_page_records = 16;
+
+    [[nodiscard]] bool valid() const noexcept {
+        return nb_num > 0 && nb_den > 0 && ue_id_modulus > 0 && max_page_records > 0;
+    }
+};
+
+/// Computes paging occasions for (IMSI, DRX cycle) pairs.
+class PagingSchedule {
+public:
+    explicit PagingSchedule(PagingConfig config = {});
+
+    [[nodiscard]] const PagingConfig& config() const noexcept { return config_; }
+
+    /// Offset of the (single) PO within one cycle, in milliseconds from the
+    /// cycle boundary.  0 <= offset < cycle period.
+    [[nodiscard]] SimTime po_offset(Imsi imsi, DrxCycle cycle) const;
+
+    /// First PO at or after `t`.
+    [[nodiscard]] SimTime first_po_at_or_after(SimTime t, Imsi imsi, DrxCycle cycle) const;
+
+    /// Last PO strictly before `t`; nullopt when no PO exists in [0, t).
+    [[nodiscard]] std::optional<SimTime> last_po_before(SimTime t, Imsi imsi,
+                                                        DrxCycle cycle) const;
+
+    /// All POs in the half-open interval [from, to).
+    [[nodiscard]] std::vector<SimTime> pos_in_range(SimTime from, SimTime to, Imsi imsi,
+                                                    DrxCycle cycle) const;
+
+    /// True when the device has at least one PO in [from, to).
+    [[nodiscard]] bool has_po_in_range(SimTime from, SimTime to, Imsi imsi,
+                                       DrxCycle cycle) const;
+
+    /// True when `t` is exactly a PO of the device.
+    [[nodiscard]] bool is_po(SimTime t, Imsi imsi, DrxCycle cycle) const;
+
+    /// Number of POs in [from, to) (analytic; no enumeration).
+    [[nodiscard]] std::int64_t po_count_in_range(SimTime from, SimTime to, Imsi imsi,
+                                                 DrxCycle cycle) const;
+
+private:
+    PagingConfig config_;
+};
+
+/// One entry of the PagingRecordList: "connect, you have downlink data".
+struct PagingRecord {
+    DeviceId device;
+    Imsi imsi;
+};
+
+/// The paper's non-critical `mltc-Transmission` extension (Sec. III-C):
+/// tells the device when the multicast transmission will happen without
+/// requiring it to connect now.  Present only in the DR-SI mechanism.
+struct MltcExtension {
+    DeviceId device;
+    Imsi imsi;
+    SimTime multicast_at;  // absolute transmission start time
+};
+
+/// A paging message broadcast at one paging occasion.
+struct PagingMessage {
+    SimTime at;
+    std::vector<PagingRecord> records;
+    std::vector<MltcExtension> mltc_extensions;
+
+    [[nodiscard]] std::size_t occupancy() const noexcept {
+        return records.size() + mltc_extensions.size();
+    }
+};
+
+}  // namespace nbmg::nbiot

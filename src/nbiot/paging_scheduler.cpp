@@ -1,0 +1,82 @@
+#include "nbiot/paging_scheduler.hpp"
+
+#include <stdexcept>
+
+namespace nbmg::nbiot {
+
+PagingScheduler::PagingScheduler(const PagingSchedule& schedule, int max_page_records)
+    : schedule_(&schedule), max_records_(max_page_records) {
+    if (max_page_records <= 0) {
+        throw std::invalid_argument("PagingScheduler: max_page_records must be positive");
+    }
+}
+
+std::optional<SimTime> PagingScheduler::find_slot(Imsi imsi, DrxCycle cycle,
+                                                  SimTime not_before,
+                                                  SimTime deadline) const {
+    SimTime po = schedule_->first_po_at_or_after(not_before, imsi, cycle);
+    while (po < deadline) {
+        const auto it = by_time_.find(po);
+        if (it == by_time_.end() ||
+            it->second.occupancy() < static_cast<std::size_t>(max_records_)) {
+            return po;
+        }
+        po += cycle.period();
+    }
+    return std::nullopt;
+}
+
+std::optional<SimTime> PagingScheduler::enqueue_record(DeviceId device, Imsi imsi,
+                                                       DrxCycle cycle, SimTime not_before,
+                                                       SimTime deadline) {
+    const auto slot = find_slot(imsi, cycle, not_before, deadline);
+    if (!slot) return std::nullopt;
+    auto& msg = by_time_[*slot];
+    msg.at = *slot;
+    msg.records.push_back(PagingRecord{device, imsi});
+    ++total_entries_;
+    return slot;
+}
+
+std::optional<SimTime> PagingScheduler::enqueue_mltc(DeviceId device, Imsi imsi,
+                                                     DrxCycle cycle, SimTime not_before,
+                                                     SimTime deadline,
+                                                     SimTime multicast_at) {
+    const auto slot = find_slot(imsi, cycle, not_before, deadline);
+    if (!slot) return std::nullopt;
+    auto& msg = by_time_[*slot];
+    msg.at = *slot;
+    msg.mltc_extensions.push_back(MltcExtension{device, imsi, multicast_at});
+    ++total_entries_;
+    return slot;
+}
+
+bool PagingScheduler::try_enqueue_record_at(DeviceId device, Imsi imsi, DrxCycle cycle,
+                                            SimTime po) {
+    if (!schedule_->is_po(po, imsi, cycle)) {
+        throw std::logic_error("PagingScheduler: not a paging occasion of the device");
+    }
+    return force_enqueue_record_at(device, imsi, po);
+}
+
+bool PagingScheduler::force_enqueue_record_at(DeviceId device, Imsi imsi, SimTime po) {
+    auto& msg = by_time_[po];
+    if (msg.occupancy() >= static_cast<std::size_t>(max_records_)) {
+        return false;
+    }
+    msg.at = po;
+    msg.records.push_back(PagingRecord{device, imsi});
+    ++total_entries_;
+    return true;
+}
+
+std::vector<PagingMessage> PagingScheduler::messages() const {
+    std::vector<PagingMessage> out;
+    out.reserve(by_time_.size());
+    for (const auto& [at, msg] : by_time_) {
+        if (msg.occupancy() > 0) out.push_back(msg);
+    }
+    return out;
+}
+
+}  // namespace nbmg::nbiot

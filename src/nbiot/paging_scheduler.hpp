@@ -1,0 +1,65 @@
+// eNB-side paging planner.
+//
+// Every paging occasion can carry at most `max_page_records` entries
+// (PagingRecordList limit, default 16).  Grouping planners enqueue page
+// requests here; when a PO is full the request is deferred to the device's
+// next PO.  The scheduler also collects the resulting per-occasion paging
+// messages so the campaign runner can replay them and account for paging
+// bytes on the air interface.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "nbiot/paging.hpp"
+
+namespace nbmg::nbiot {
+
+class PagingScheduler {
+public:
+    PagingScheduler(const PagingSchedule& schedule, int max_page_records);
+
+    /// Pages `device` at its first PO at or after `not_before` with room
+    /// left, deferring over full occasions.  Gives up once the PO would be
+    /// at or past `deadline` and returns nullopt (the caller decides how to
+    /// recover).  Returns the PO time actually used.
+    std::optional<SimTime> enqueue_record(DeviceId device, Imsi imsi, DrxCycle cycle,
+                                          SimTime not_before, SimTime deadline);
+
+    /// Same placement rules, but carries the DR-SI `mltc-Transmission`
+    /// extension announcing a multicast at `multicast_at`.
+    std::optional<SimTime> enqueue_mltc(DeviceId device, Imsi imsi, DrxCycle cycle,
+                                        SimTime not_before, SimTime deadline,
+                                        SimTime multicast_at);
+
+    /// Places a record at exactly `po` (which must be a PO of the device);
+    /// fails when the occasion is full.  Used for "last PO before X"
+    /// placements that must not slip forward.
+    bool try_enqueue_record_at(DeviceId device, Imsi imsi, DrxCycle cycle, SimTime po);
+
+    /// Places a record at `po` without checking the TS 36.304 congruence.
+    /// Needed for anchored adapted occasions (DA-SC, paper Fig. 5 model),
+    /// whose positions are not formula-derived.  Fails when full.
+    bool force_enqueue_record_at(DeviceId device, Imsi imsi, SimTime po);
+
+    /// All planned messages in time order.
+    [[nodiscard]] std::vector<PagingMessage> messages() const;
+
+    /// Total records + extensions planned so far.
+    [[nodiscard]] std::size_t total_entries() const noexcept { return total_entries_; }
+
+    [[nodiscard]] int max_page_records() const noexcept { return max_records_; }
+
+private:
+    std::optional<SimTime> find_slot(Imsi imsi, DrxCycle cycle, SimTime not_before,
+                                     SimTime deadline) const;
+
+    const PagingSchedule* schedule_;  // not owned; outlives the scheduler
+    int max_records_;
+    std::map<SimTime, PagingMessage> by_time_;
+    std::size_t total_entries_ = 0;
+};
+
+}  // namespace nbmg::nbiot

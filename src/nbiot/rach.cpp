@@ -1,0 +1,93 @@
+#include "nbiot/rach.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace nbmg::nbiot {
+
+RachChannel::RachChannel(sim::Simulation& simulation, RachConfig config,
+                         sim::RandomStream rng)
+    : sim_(&simulation), config_(config), rng_(std::move(rng)) {
+    if (!config_.valid()) throw std::invalid_argument("RachChannel: invalid config");
+}
+
+SimTime RachChannel::next_window_at_or_after(SimTime t) const noexcept {
+    const std::int64_t period = config_.window_period.count();
+    const std::int64_t tm = std::max<std::int64_t>(t.count(), 0);
+    const std::int64_t k = (tm + period - 1) / period;
+    return SimTime{k * period};
+}
+
+void RachChannel::request(SimTime earliest, Callback done) {
+    if (!done) throw std::invalid_argument("RachChannel::request: empty callback");
+    procedures_.push_back(Procedure{std::move(done), 0, SimTime{0}, false});
+    enroll(earliest, procedures_.size() - 1);
+}
+
+void RachChannel::inject_background_load(double arrivals_per_second, SimTime until) {
+    if (arrivals_per_second <= 0.0) return;
+    const double mean_gap_ms = 1000.0 / arrivals_per_second;
+    SimTime t = sim_->now();
+    while (true) {
+        t += SimTime{static_cast<std::int64_t>(rng_.exponential(mean_gap_ms)) + 1};
+        if (t >= until) break;
+        procedures_.push_back(Procedure{[](const RachOutcome&) {}, 0, SimTime{0}, true});
+        enroll(t, procedures_.size() - 1);
+    }
+}
+
+void RachChannel::enroll(SimTime earliest, std::size_t proc_index) {
+    const SimTime window = next_window_at_or_after(std::max(earliest, sim_->now()));
+    window_entrants_[window].push_back(proc_index);
+    if (!window_scheduled_[window]) {
+        window_scheduled_[window] = true;
+        sim_->queue().schedule_at(window, [this, window] { resolve_window(window); });
+    }
+}
+
+void RachChannel::resolve_window(SimTime window_start) {
+    auto it = window_entrants_.find(window_start);
+    if (it == window_entrants_.end()) return;
+    std::vector<std::size_t> entrants = std::move(it->second);
+    window_entrants_.erase(it);
+    window_scheduled_.erase(window_start);
+
+    // Draw preambles and find collisions.
+    std::unordered_map<int, int> preamble_count;
+    std::vector<int> choice(entrants.size());
+    for (std::size_t i = 0; i < entrants.size(); ++i) {
+        choice[i] = static_cast<int>(rng_.uniform_int(0, config_.num_preambles - 1));
+        ++preamble_count[choice[i]];
+    }
+
+    const SimTime resolution = window_start + config_.attempt_active_time();
+    for (std::size_t i = 0; i < entrants.size(); ++i) {
+        Procedure& proc = procedures_[entrants[i]];
+        ++proc.attempts;
+        ++total_attempts_;
+        proc.active_time += config_.attempt_active_time();
+
+        if (preamble_count[choice[i]] == 1) {
+            if (!proc.background) {
+                proc.done(RachOutcome{true, resolution, proc.attempts, proc.active_time});
+            }
+            continue;
+        }
+
+        ++total_collisions_;
+        if (proc.attempts >= config_.max_attempts) {
+            ++total_failures_;
+            if (!proc.background) {
+                proc.done(RachOutcome{false, resolution, proc.attempts, proc.active_time});
+            }
+            continue;
+        }
+        const SimTime backoff{rng_.uniform_int(0, config_.backoff_max.count())};
+        const std::size_t index = entrants[i];
+        sim_->queue().schedule_at(resolution + backoff,
+                                  [this, index] { enroll(sim_->now(), index); });
+    }
+}
+
+}  // namespace nbmg::nbiot

@@ -1,0 +1,36 @@
+#include "nbiot/radio.hpp"
+
+namespace nbmg::nbiot {
+
+RadioModel::RadioModel(RadioConfig config) : config_(config) {
+    if (!config_.valid()) throw std::invalid_argument("RadioModel: invalid config");
+}
+
+std::int64_t RadioModel::tbs_bits() const noexcept {
+    return kNpdschTbsTable[static_cast<std::size_t>(config_.i_tbs)]
+                          [static_cast<std::size_t>(config_.i_sf)];
+}
+
+SimTime RadioModel::block_duration(CeLevel level) const noexcept {
+    const std::int64_t subframes = kNpdschSubframes[static_cast<std::size_t>(config_.i_sf)];
+    const SimTime single{subframes * kMillisPerSubframe + config_.per_block_overhead.count()};
+    const int reps = config_.repetitions[static_cast<std::size_t>(level)];
+    return SimTime{single.count() * reps};
+}
+
+SimTime RadioModel::downlink_airtime(std::int64_t payload_bytes, CeLevel level) const {
+    if (payload_bytes < 0) throw std::invalid_argument("RadioModel: negative payload");
+    if (payload_bytes == 0) return SimTime{0};
+    const std::int64_t bits = payload_bytes * 8;
+    const std::int64_t tbs = tbs_bits();
+    const std::int64_t blocks = (bits + tbs - 1) / tbs;
+    return SimTime{blocks * block_duration(level).count()};
+}
+
+double RadioModel::effective_rate_bps(CeLevel level) const noexcept {
+    const double bits = static_cast<double>(tbs_bits());
+    const double ms = static_cast<double>(block_duration(level).count());
+    return bits / ms * 1000.0;
+}
+
+}  // namespace nbmg::nbiot

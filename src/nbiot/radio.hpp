@@ -1,0 +1,89 @@
+// NPDSCH downlink airtime model.
+//
+// NB-IoT delivers downlink data in transport blocks selected from the
+// TS 36.213 NPDSCH TBS table (I_TBS x I_SF).  Each block costs its
+// subframes plus control overhead (NPDCCH + scheduling gaps), and the
+// whole block is repeated 2^r times at deeper coverage-enhancement levels.
+// With the defaults (Rel-13: TBS 680 over 3 subframes, 24 ms overhead,
+// CE0 repetition 1) the sustained rate is ~25 kbit/s, matching published
+// Rel-13 NB-IoT downlink throughput.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+#include "nbiot/types.hpp"
+
+namespace nbmg::nbiot {
+
+/// TS 36.213 Table 16.4.1.5.1-1 (NPDSCH transport block size, bits).
+/// Rows: I_TBS 0..12; columns: I_SF index 0..7 mapping to
+/// {1,2,3,4,5,6,8,10} subframes.
+inline constexpr std::array<std::array<std::int64_t, 8>, 13> kNpdschTbsTable{{
+    {16, 32, 56, 88, 120, 152, 208, 256},
+    {24, 56, 88, 144, 176, 208, 256, 344},
+    {32, 72, 144, 176, 208, 256, 328, 424},
+    {40, 104, 176, 208, 256, 328, 440, 568},
+    {56, 120, 208, 256, 328, 408, 552, 680},
+    {72, 144, 224, 328, 424, 504, 680, 872},
+    {88, 176, 256, 392, 504, 600, 808, 1032},
+    {104, 224, 328, 472, 584, 680, 968, 1224},
+    {120, 256, 392, 536, 680, 808, 1096, 1352},
+    {136, 296, 456, 616, 776, 936, 1256, 1544},
+    {144, 328, 504, 680, 872, 1032, 1384, 1736},
+    {176, 376, 584, 776, 1000, 1192, 1608, 2024},
+    {208, 440, 680, 1000, 1128, 1352, 1800, 2280},
+}};
+
+/// Subframe counts for I_SF 0..7.
+inline constexpr std::array<std::int64_t, 8> kNpdschSubframes{1, 2, 3, 4, 5, 6, 8, 10};
+
+struct RadioConfig {
+    int i_tbs = 12;  // modulation/coding row
+    int i_sf = 2;    // subframe column (default: 3 subframes -> TBS 680, Rel-13 max)
+
+    /// Per-transport-block control overhead (NPDCCH, DCI-to-data gap, HARQ
+    /// spacing), repeated together with the block.
+    SimTime per_block_overhead{24};
+
+    /// NPDSCH repetition factor per CE level.
+    std::array<int, 3> repetitions{1, 8, 32};
+
+    [[nodiscard]] bool valid() const noexcept {
+        return i_tbs >= 0 && i_tbs < 13 && i_sf >= 0 && i_sf < 8 &&
+               per_block_overhead.count() >= 0 && repetitions[0] >= 1 &&
+               repetitions[1] >= 1 && repetitions[2] >= 1;
+    }
+};
+
+/// Computes downlink airtime for payloads.
+class RadioModel {
+public:
+    explicit RadioModel(RadioConfig config = {});
+
+    [[nodiscard]] const RadioConfig& config() const noexcept { return config_; }
+
+    /// Transport block size in bits for the configured MCS.
+    [[nodiscard]] std::int64_t tbs_bits() const noexcept;
+
+    /// Air-interface duration of one transport block at `level`.
+    [[nodiscard]] SimTime block_duration(CeLevel level) const noexcept;
+
+    /// Total downlink airtime to deliver `payload_bytes` at `level`.
+    [[nodiscard]] SimTime downlink_airtime(std::int64_t payload_bytes, CeLevel level) const;
+
+    /// Sustained downlink rate (bits per second) at `level`.
+    [[nodiscard]] double effective_rate_bps(CeLevel level) const noexcept;
+
+    /// A multicast bearer must be decodable by the weakest receiver: the
+    /// bearer CE level is the maximum (deepest) level among the receivers.
+    [[nodiscard]] static CeLevel multicast_bearer_level(CeLevel a, CeLevel b) noexcept {
+        return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+    }
+
+private:
+    RadioConfig config_;
+};
+
+}  // namespace nbmg::nbiot

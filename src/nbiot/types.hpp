@@ -1,0 +1,68 @@
+// Fundamental identifiers and constants of the NB-IoT model.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+
+namespace nbmg::nbiot {
+
+using sim::SimTime;
+
+/// Simulator-local device handle (dense, 0-based).  Distinct from the IMSI,
+/// which drives the paging-occasion arithmetic.
+struct DeviceId {
+    std::uint32_t value = 0;
+
+    friend auto operator<=>(DeviceId, DeviceId) = default;
+};
+
+/// International Mobile Subscriber Identity (15 decimal digits in reality;
+/// any 64-bit value in the model).  UE_ID for paging is derived from it.
+struct Imsi {
+    std::uint64_t value = 0;
+
+    friend auto operator<=>(Imsi, Imsi) = default;
+};
+
+/// NB-IoT coverage-enhancement level.  Deeper coverage means more
+/// repetitions on every channel and therefore lower effective data rates.
+enum class CeLevel : std::uint8_t {
+    ce0 = 0,  // normal coverage (~144 dB MCL)
+    ce1 = 1,  // robust coverage (~154 dB MCL)
+    ce2 = 2,  // extreme coverage (~164 dB MCL)
+};
+
+[[nodiscard]] constexpr const char* to_string(CeLevel level) noexcept {
+    switch (level) {
+        case CeLevel::ce0: return "CE0";
+        case CeLevel::ce1: return "CE1";
+        case CeLevel::ce2: return "CE2";
+    }
+    return "CE?";
+}
+
+/// Air-interface timing constants.
+inline constexpr std::int64_t kMillisPerSubframe = 1;
+inline constexpr std::int64_t kSubframesPerFrame = 10;
+inline constexpr std::int64_t kMillisPerFrame = kMillisPerSubframe * kSubframesPerFrame;
+inline constexpr std::int64_t kFramesPerHyperframe = 1024;  // SFN wraps at 1024
+inline constexpr std::int64_t kHyperframeCount = 1024;      // H-SFN wraps at 1024
+
+}  // namespace nbmg::nbiot
+
+template <>
+struct std::hash<nbmg::nbiot::DeviceId> {
+    std::size_t operator()(nbmg::nbiot::DeviceId id) const noexcept {
+        return std::hash<std::uint32_t>{}(id.value);
+    }
+};
+
+template <>
+struct std::hash<nbmg::nbiot::Imsi> {
+    std::size_t operator()(nbmg::nbiot::Imsi imsi) const noexcept {
+        return std::hash<std::uint64_t>{}(imsi.value);
+    }
+};

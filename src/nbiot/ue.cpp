@@ -1,0 +1,191 @@
+#include "nbiot/ue.hpp"
+
+#include <string>
+#include <utility>
+
+namespace nbmg::nbiot {
+
+Ue::Ue(sim::Simulation& simulation, DeviceId device, Imsi imsi, DrxCycle cycle,
+       CeLevel ce_level, const PagingSchedule& paging, const TimingModel& timing,
+       RachChannel& rach)
+    : sim_(&simulation),
+      device_(device),
+      imsi_(imsi),
+      cycle_(cycle),
+      original_cycle_(cycle),
+      ce_level_(ce_level),
+      paging_(&paging),
+      timing_(&timing),
+      rach_(&rach) {}
+
+void Ue::require_state(UeState expected, const char* operation) const {
+    if (state_ != expected) {
+        throw std::logic_error(std::string{"Ue::"} + operation + ": device " +
+                               std::to_string(device_.value) + " is " +
+                               to_string(state_) + ", expected " + to_string(expected));
+    }
+}
+
+void Ue::start_monitoring(SimTime until) {
+    monitor_until_ = until;
+    schedule_next_po();
+}
+
+SimTime Ue::next_po_at_or_after(SimTime t) const {
+    return paging_->first_po_at_or_after(t, imsi_, cycle_);
+}
+
+bool Ue::listening_at(SimTime t) const {
+    if (state_ != UeState::idle) return false;
+    return paging_->is_po(t, imsi_, cycle_);
+}
+
+void Ue::schedule_next_po() {
+    if (po_event_) {
+        sim_->queue().cancel(*po_event_);
+        po_event_.reset();
+    }
+    // Strictly after `now` so a PO that triggered the current event is not
+    // scheduled twice after a cycle change.
+    const SimTime next = next_po_at_or_after(sim_->now() + SimTime{1});
+    if (next >= monitor_until_) return;
+    po_event_ = sim_->queue().schedule_at(next, [this] { on_po(); });
+}
+
+void Ue::on_po() {
+    po_event_.reset();
+    ++po_count_;
+    energy_.add(PowerState::po_monitor, timing_->po_monitor);
+    schedule_next_po();
+}
+
+void Ue::apply_cycle(DrxCycle cycle) {
+    if (cycle == cycle_) return;
+    cycle_ = cycle;
+    schedule_next_po();
+}
+
+void Ue::start_connection(SimTime earliest, EstablishmentCause cause,
+                          std::function<void()> once_connected) {
+    state_ = UeState::accessing;
+    last_cause_ = cause;
+    rach_->request(earliest, [this, done = std::move(once_connected)](
+                                 const RachOutcome& outcome) {
+        energy_.add(PowerState::rach, outcome.active_time);
+        rach_attempts_ += outcome.attempts;
+        if (!outcome.success) {
+            state_ = UeState::idle;
+            if (hooks_.on_rach_failure) hooks_.on_rach_failure(device_, sim_->now());
+            return;
+        }
+        energy_.add(PowerState::connected_signaling, timing_->rrc_setup);
+        sim_->queue().schedule_after(timing_->rrc_setup, [this, done = std::move(done)] {
+            connected_at_ = sim_->now();
+            done();
+        });
+    });
+}
+
+void Ue::page_normal() {
+    require_state(UeState::idle, "page_normal");
+    energy_.add(PowerState::paging_rx, timing_->paging_decode);
+    const SimTime ra_start = sim_->now() + timing_->paging_decode + timing_->page_to_rach;
+    start_connection(ra_start, EstablishmentCause::mt_access, [this] {
+        state_ = UeState::connected_waiting;
+        wait_started_ = sim_->now();
+        if (hooks_.on_connected) hooks_.on_connected(device_, sim_->now());
+    });
+}
+
+void Ue::page_mltc(SimTime wake_at) {
+    require_state(UeState::idle, "page_mltc");
+    if (wake_at < sim_->now()) {
+        throw std::logic_error("Ue::page_mltc: wake time in the past");
+    }
+    energy_.add(PowerState::paging_rx,
+                timing_->paging_decode + timing_->mltc_extension_extra);
+    // The device does not connect now: it sets T322 and goes back to sleep.
+    sim_->queue().schedule_at(wake_at, [this] {
+        if (state_ != UeState::idle) return;  // already serving another procedure
+        start_connection(sim_->now() + timing_->page_to_rach,
+                         EstablishmentCause::multicast_reception, [this] {
+                             state_ = UeState::connected_waiting;
+                             wait_started_ = sim_->now();
+                             if (hooks_.on_connected) hooks_.on_connected(device_, sim_->now());
+                         });
+    });
+}
+
+void Ue::page_for_reconfig(DrxCycle new_cycle) {
+    require_state(UeState::idle, "page_for_reconfig");
+    energy_.add(PowerState::paging_rx, timing_->paging_decode);
+    const SimTime ra_start = sim_->now() + timing_->paging_decode + timing_->page_to_rach;
+    start_connection(ra_start, EstablishmentCause::mt_access, [this, new_cycle] {
+        // RRC Connection Reconfiguration (new DRX) followed by an immediate
+        // RRC Connection Release: the eNB does not let the inactivity timer
+        // run (Sec. III-B).
+        energy_.add(PowerState::connected_signaling,
+                    timing_->rrc_reconfiguration + timing_->rrc_release);
+        sim_->queue().schedule_after(
+            timing_->rrc_reconfiguration + timing_->rrc_release, [this, new_cycle] {
+                state_ = UeState::idle;
+                released_at_ = sim_->now();
+                apply_cycle(new_cycle);
+                if (hooks_.on_released) hooks_.on_released(device_, sim_->now());
+            });
+    });
+}
+
+void Ue::begin_reception(SimTime data_end, SimTime tail) {
+    require_state(UeState::connected_waiting, "begin_reception");
+    if (data_end < sim_->now()) {
+        throw std::logic_error("Ue::begin_reception: end time in the past");
+    }
+    energy_.add(PowerState::connected_wait, sim_->now() - wait_started_);
+    state_ = UeState::receiving;
+    const SimTime rx_duration = data_end - sim_->now();
+    sim_->queue().schedule_at(data_end, [this, rx_duration, tail] {
+        energy_.add(PowerState::connected_rx, rx_duration);
+        payload_received_ = true;
+        if (tail > SimTime{0}) energy_.add(PowerState::connected_wait, tail);
+        SimTime signaling = timing_->rrc_release;
+        const bool restore = cycle_ != original_cycle_;
+        if (restore) signaling += timing_->rrc_reconfiguration;
+        energy_.add(PowerState::connected_signaling, signaling);
+        sim_->queue().schedule_after(tail + signaling, [this, restore] {
+            state_ = UeState::idle;
+            released_at_ = sim_->now();
+            if (restore) apply_cycle(original_cycle_);
+            if (hooks_.on_released) hooks_.on_released(device_, sim_->now());
+        });
+    });
+}
+
+void Ue::receive_idle_broadcast(SimTime data_end) {
+    require_state(UeState::idle, "receive_idle_broadcast");
+    if (data_end < sim_->now()) {
+        throw std::logic_error("Ue::receive_idle_broadcast: end time in the past");
+    }
+    state_ = UeState::receiving;
+    const SimTime rx_duration = data_end - sim_->now();
+    sim_->queue().schedule_at(data_end, [this, rx_duration] {
+        energy_.add(PowerState::connected_rx, rx_duration);
+        payload_received_ = true;
+        state_ = UeState::idle;
+        released_at_ = sim_->now();
+        if (hooks_.on_released) hooks_.on_released(device_, sim_->now());
+    });
+}
+
+void Ue::release_without_reception() {
+    require_state(UeState::connected_waiting, "release_without_reception");
+    energy_.add(PowerState::connected_wait, sim_->now() - wait_started_);
+    energy_.add(PowerState::connected_signaling, timing_->rrc_release);
+    sim_->queue().schedule_after(timing_->rrc_release, [this] {
+        state_ = UeState::idle;
+        released_at_ = sim_->now();
+        if (hooks_.on_released) hooks_.on_released(device_, sim_->now());
+    });
+}
+
+}  // namespace nbmg::nbiot

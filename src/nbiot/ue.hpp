@@ -1,0 +1,160 @@
+// Event-driven NB-IoT device (UE) model.
+//
+// The UE monitors its paging occasions per its current DRX cycle, reacts to
+// pages (normal, DRX-reconfiguration, or the DR-SI mltc extension), performs
+// random access on the shared RACH channel, accrues per-power-state uptime,
+// and receives multicast/unicast payloads when the eNB starts them.
+//
+// Accounting note: PO-monitor cost is charged at every scheduled occasion,
+// including occasions that overlap a connection.  This matches the paper's
+// analytic accounting (light-sleep uptime is a pure function of the DRX
+// cycle over the horizon) and keeps the unicast reference exactly
+// comparable; the overlap is at most one occasion per connection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+
+#include "nbiot/energy.hpp"
+#include "nbiot/paging.hpp"
+#include "nbiot/rach.hpp"
+#include "nbiot/rrc.hpp"
+#include "sim/simulation.hpp"
+
+namespace nbmg::nbiot {
+
+enum class UeState : std::uint8_t {
+    idle,               // sleeping between paging occasions
+    accessing,          // decoding a page / RACH / RRC setup in progress
+    connected_waiting,  // connected, waiting for the transmission to start
+    receiving,          // receiving downlink data
+};
+
+[[nodiscard]] constexpr const char* to_string(UeState s) noexcept {
+    switch (s) {
+        case UeState::idle: return "idle";
+        case UeState::accessing: return "accessing";
+        case UeState::connected_waiting: return "connected_waiting";
+        case UeState::receiving: return "receiving";
+    }
+    return "?";
+}
+
+class Ue {
+public:
+    struct Hooks {
+        /// RRC connection established (after RACH + setup signaling).
+        std::function<void(DeviceId, SimTime)> on_connected;
+        /// Random access gave up after max attempts.
+        std::function<void(DeviceId, SimTime)> on_rach_failure;
+        /// Payload reception finished and the connection was released.
+        std::function<void(DeviceId, SimTime)> on_released;
+    };
+
+    Ue(sim::Simulation& simulation, DeviceId device, Imsi imsi, DrxCycle cycle,
+       CeLevel ce_level, const PagingSchedule& paging, const TimingModel& timing,
+       RachChannel& rach);
+
+    Ue(const Ue&) = delete;
+    Ue& operator=(const Ue&) = delete;
+
+    void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+    /// Begins the PO-monitoring loop; the UE wakes at every PO of its
+    /// current DRX cycle until `until`.
+    void start_monitoring(SimTime until);
+
+    /// --- eNB-initiated procedures (call at the device's PO time) ---
+
+    /// Standard page: decode, connect, then wait for instructions.
+    void page_normal();
+
+    /// DR-SI extended page: decode the mltc extension, stay idle, set T322
+    /// to fire at `wake_at`, then connect with cause multicastReception.
+    void page_mltc(SimTime wake_at);
+
+    /// DA-SC adjustment page: decode, connect, receive the DRX
+    /// reconfiguration, and release immediately.  The original cycle is
+    /// remembered and restored after the multicast reception.  Because the
+    /// ladder nests (POs of the old cycle satisfy the congruence of every
+    /// shorter one), the adapted occasions repeat from this page's instant,
+    /// exactly as the paper's Fig. 5 depicts.
+    void page_for_reconfig(DrxCycle new_cycle);
+
+    /// --- eNB connected-mode commands ---
+
+    /// Starts downlink reception on an established connection; data ends at
+    /// `data_end`, then the device stays connected for `tail` (inactivity
+    /// timer, if modelled), restores its DRX cycle if it was adjusted, and
+    /// releases.
+    void begin_reception(SimTime data_end, SimTime tail);
+
+    /// Releases an established connection without receiving anything.
+    void release_without_reception();
+
+    /// SC-PTM-style idle-mode broadcast reception: the device receives on a
+    /// broadcast bearer without ever connecting (no RACH, no RRC).
+    void receive_idle_broadcast(SimTime data_end);
+
+    /// Charges uptime for protocol features outside the UE state machine
+    /// (e.g. SC-MCCH monitoring in the SC-PTM baseline).
+    void charge(PowerState state, SimTime duration) { energy_.add(state, duration); }
+
+    /// --- observers ---
+
+    /// True when the device is idle and `t` is one of its paging occasions
+    /// under its current cycle.
+    [[nodiscard]] bool listening_at(SimTime t) const;
+
+    /// Next paging occasion at or after `t` under the current cycle.
+    [[nodiscard]] SimTime next_po_at_or_after(SimTime t) const;
+
+    [[nodiscard]] DeviceId device() const noexcept { return device_; }
+    [[nodiscard]] Imsi imsi() const noexcept { return imsi_; }
+    [[nodiscard]] UeState state() const noexcept { return state_; }
+    [[nodiscard]] DrxCycle current_cycle() const noexcept { return cycle_; }
+    [[nodiscard]] DrxCycle original_cycle() const noexcept { return original_cycle_; }
+    [[nodiscard]] CeLevel ce_level() const noexcept { return ce_level_; }
+    [[nodiscard]] const EnergyAccount& energy() const noexcept { return energy_; }
+    [[nodiscard]] bool payload_received() const noexcept { return payload_received_; }
+    [[nodiscard]] std::uint64_t po_count() const noexcept { return po_count_; }
+    [[nodiscard]] std::optional<SimTime> connected_at() const noexcept { return connected_at_; }
+    [[nodiscard]] std::optional<SimTime> released_at() const noexcept { return released_at_; }
+    [[nodiscard]] int rach_attempts() const noexcept { return rach_attempts_; }
+    [[nodiscard]] EstablishmentCause last_cause() const noexcept { return last_cause_; }
+
+private:
+    void schedule_next_po();
+    void on_po();
+    void start_connection(SimTime earliest, EstablishmentCause cause,
+                          std::function<void()> once_connected);
+    void apply_cycle(DrxCycle cycle);
+    void require_state(UeState expected, const char* operation) const;
+
+    sim::Simulation* sim_;
+    DeviceId device_;
+    Imsi imsi_;
+    DrxCycle cycle_;
+    DrxCycle original_cycle_;
+    CeLevel ce_level_;
+    const PagingSchedule* paging_;
+    const TimingModel* timing_;
+    RachChannel* rach_;
+    Hooks hooks_;
+
+    UeState state_ = UeState::idle;
+    EnergyAccount energy_;
+    SimTime monitor_until_{0};
+    std::optional<sim::EventId> po_event_;
+    SimTime wait_started_{0};
+    bool payload_received_ = false;
+    std::uint64_t po_count_ = 0;
+    std::optional<SimTime> connected_at_;
+    std::optional<SimTime> released_at_;
+    int rach_attempts_ = 0;
+    EstablishmentCause last_cause_ = EstablishmentCause::mt_access;
+};
+
+}  // namespace nbmg::nbiot

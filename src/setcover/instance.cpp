@@ -1,0 +1,59 @@
+#include "setcover/instance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nbmg::setcover {
+
+SetCoverInstance::SetCoverInstance(std::size_t universe_size,
+                                   std::vector<std::vector<Element>> sets)
+    : universe_size_(universe_size), sets_(std::move(sets)) {
+    for (auto& s : sets_) {
+        for (const Element e : s) {
+            if (e >= universe_size_) {
+                throw std::invalid_argument("SetCoverInstance: element outside universe");
+            }
+        }
+        // Deduplicate so that |set| equals its true coverage (solvers rely
+        // on gain counting).
+        std::sort(s.begin(), s.end());
+        s.erase(std::unique(s.begin(), s.end()), s.end());
+    }
+}
+
+bool SetCoverInstance::is_cover(std::span<const std::size_t> chosen) const {
+    std::vector<bool> covered(universe_size_, false);
+    std::size_t remaining = universe_size_;
+    for (const std::size_t idx : chosen) {
+        if (idx >= sets_.size()) throw std::out_of_range("is_cover: bad set index");
+        for (const Element e : sets_[idx]) {
+            if (!covered[e]) {
+                covered[e] = true;
+                --remaining;
+            }
+        }
+    }
+    return remaining == 0;
+}
+
+bool SetCoverInstance::is_coverable() const {
+    std::vector<bool> covered(universe_size_, false);
+    std::size_t remaining = universe_size_;
+    for (const auto& s : sets_) {
+        for (const Element e : s) {
+            if (!covered[e]) {
+                covered[e] = true;
+                --remaining;
+            }
+        }
+    }
+    return remaining == 0;
+}
+
+double harmonic(std::size_t k) noexcept {
+    double h = 0.0;
+    for (std::size_t i = 1; i <= k; ++i) h += 1.0 / static_cast<double>(i);
+    return h;
+}
+
+}  // namespace nbmg::setcover

@@ -1,0 +1,55 @@
+// Generic (unweighted) set-cover instance.
+//
+// The DR-SC grouping problem reduces to set cover: the universe is the set
+// of non-updated devices and every candidate TI-window is the set of
+// devices with a paging occasion inside it (paper Fig. 3).  Set cover is
+// NP-hard; the paper uses Chvátal's greedy heuristic.  This module holds
+// the instance representation shared by the exact and heuristic solvers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nbmg::setcover {
+
+using Element = std::uint32_t;
+
+class SetCoverInstance {
+public:
+    /// `sets[i]` lists the elements covered by set i.  Element ids must be
+    /// smaller than `universe_size`; duplicates within a set are allowed
+    /// and ignored.
+    SetCoverInstance(std::size_t universe_size, std::vector<std::vector<Element>> sets);
+
+    [[nodiscard]] std::size_t universe_size() const noexcept { return universe_size_; }
+    [[nodiscard]] std::size_t set_count() const noexcept { return sets_.size(); }
+    [[nodiscard]] const std::vector<std::vector<Element>>& sets() const noexcept {
+        return sets_;
+    }
+    [[nodiscard]] std::span<const Element> set(std::size_t index) const {
+        return sets_.at(index);
+    }
+
+    /// True when the chosen sets cover every element of the universe.
+    [[nodiscard]] bool is_cover(std::span<const std::size_t> chosen) const;
+
+    /// True when the union of all sets covers the universe.
+    [[nodiscard]] bool is_coverable() const;
+
+private:
+    std::size_t universe_size_;
+    std::vector<std::vector<Element>> sets_;
+};
+
+/// A (possibly partial) solution: indices of chosen sets.
+struct SetCoverSolution {
+    std::vector<std::size_t> chosen;
+    bool covers_all = false;
+};
+
+/// H_k = 1 + 1/2 + ... + 1/k — the greedy approximation guarantee
+/// (Chvátal 1979): |greedy| <= H(max set size) * |optimal|.
+[[nodiscard]] double harmonic(std::size_t k) noexcept;
+
+}  // namespace nbmg::setcover

@@ -1,0 +1,184 @@
+#include "setcover/solvers.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace nbmg::setcover {
+namespace {
+
+/// Number of elements in `set` not yet covered.
+std::size_t gain(const std::vector<Element>& set, const std::vector<bool>& covered) {
+    std::size_t g = 0;
+    for (const Element e : set) {
+        if (!covered[e]) ++g;
+    }
+    return g;
+}
+
+void mark(const std::vector<Element>& set, std::vector<bool>& covered,
+          std::size_t& remaining) {
+    for (const Element e : set) {
+        if (!covered[e]) {
+            covered[e] = true;
+            --remaining;
+        }
+    }
+}
+
+}  // namespace
+
+SetCoverSolution greedy_cover(const SetCoverInstance& instance,
+                              sim::RandomStream* tie_break) {
+    SetCoverSolution solution;
+    std::vector<bool> covered(instance.universe_size(), false);
+    std::size_t remaining = instance.universe_size();
+    std::vector<std::size_t> ties;
+
+    while (remaining > 0) {
+        std::size_t best_gain = 0;
+        ties.clear();
+        for (std::size_t i = 0; i < instance.set_count(); ++i) {
+            const std::size_t g = gain(instance.sets()[i], covered);
+            if (g > best_gain) {
+                best_gain = g;
+                ties.assign(1, i);
+            } else if (g == best_gain && g > 0) {
+                ties.push_back(i);
+            }
+        }
+        if (best_gain == 0) break;  // uncoverable remainder
+        const std::size_t pick =
+            tie_break ? ties[static_cast<std::size_t>(tie_break->uniform_int(
+                            0, static_cast<std::int64_t>(ties.size()) - 1))]
+                      : ties.front();
+        solution.chosen.push_back(pick);
+        mark(instance.sets()[pick], covered, remaining);
+    }
+    solution.covers_all = remaining == 0;
+    return solution;
+}
+
+SetCoverSolution first_fit_cover(const SetCoverInstance& instance) {
+    SetCoverSolution solution;
+    std::vector<bool> covered(instance.universe_size(), false);
+    std::size_t remaining = instance.universe_size();
+    for (std::size_t i = 0; i < instance.set_count() && remaining > 0; ++i) {
+        if (gain(instance.sets()[i], covered) > 0) {
+            solution.chosen.push_back(i);
+            mark(instance.sets()[i], covered, remaining);
+        }
+    }
+    solution.covers_all = remaining == 0;
+    return solution;
+}
+
+SetCoverSolution random_cover(const SetCoverInstance& instance, sim::RandomStream& rng) {
+    SetCoverSolution solution;
+    std::vector<bool> covered(instance.universe_size(), false);
+    std::size_t remaining = instance.universe_size();
+    std::vector<std::size_t> useful;
+    while (remaining > 0) {
+        useful.clear();
+        for (std::size_t i = 0; i < instance.set_count(); ++i) {
+            if (gain(instance.sets()[i], covered) > 0) useful.push_back(i);
+        }
+        if (useful.empty()) break;
+        const std::size_t pick = useful[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(useful.size()) - 1))];
+        solution.chosen.push_back(pick);
+        mark(instance.sets()[pick], covered, remaining);
+    }
+    solution.covers_all = remaining == 0;
+    return solution;
+}
+
+namespace {
+
+struct ExactState {
+    const SetCoverInstance* instance;
+    std::vector<std::vector<std::size_t>> sets_of_element;  // element -> set indices
+    std::vector<std::size_t> best;
+    std::size_t best_size = std::numeric_limits<std::size_t>::max();
+    std::size_t nodes = 0;
+    std::size_t node_budget = 0;
+    bool budget_exhausted = false;
+
+    void search(std::vector<bool>& covered, std::size_t remaining,
+                std::vector<std::size_t>& chosen) {
+        if (++nodes > node_budget) {
+            budget_exhausted = true;
+            return;
+        }
+        if (remaining == 0) {
+            if (chosen.size() < best_size) {
+                best_size = chosen.size();
+                best = chosen;
+            }
+            return;
+        }
+        if (chosen.size() + 1 >= best_size) return;  // cannot improve
+
+        // Branch on the uncovered element with the fewest candidate sets.
+        std::size_t pivot = covered.size();
+        std::size_t pivot_options = std::numeric_limits<std::size_t>::max();
+        for (std::size_t e = 0; e < covered.size(); ++e) {
+            if (covered[e]) continue;
+            if (sets_of_element[e].size() < pivot_options) {
+                pivot_options = sets_of_element[e].size();
+                pivot = e;
+            }
+        }
+        if (pivot == covered.size() || pivot_options == 0) return;  // uncoverable
+
+        for (const std::size_t set_index : sets_of_element[pivot]) {
+            std::vector<Element> newly;
+            for (const Element e : instance->sets()[set_index]) {
+                if (!covered[e]) {
+                    covered[e] = true;
+                    newly.push_back(e);
+                }
+            }
+            chosen.push_back(set_index);
+            search(covered, remaining - newly.size(), chosen);
+            chosen.pop_back();
+            for (const Element e : newly) covered[e] = false;
+            if (budget_exhausted) return;
+        }
+    }
+};
+
+}  // namespace
+
+std::optional<SetCoverSolution> exact_cover(const SetCoverInstance& instance,
+                                            std::size_t node_budget) {
+    if (!instance.is_coverable()) return std::nullopt;
+
+    ExactState state;
+    state.instance = &instance;
+    state.node_budget = node_budget;
+    state.sets_of_element.resize(instance.universe_size());
+    for (std::size_t i = 0; i < instance.set_count(); ++i) {
+        for (const Element e : instance.sets()[i]) {
+            auto& v = state.sets_of_element[e];
+            if (v.empty() || v.back() != i) v.push_back(i);
+        }
+    }
+
+    // Seed the bound with the greedy solution so pruning bites early.
+    const SetCoverSolution greedy = greedy_cover(instance);
+    state.best = greedy.chosen;
+    state.best_size = greedy.chosen.size();
+
+    std::vector<bool> covered(instance.universe_size(), false);
+    std::vector<std::size_t> chosen;
+    state.search(covered, instance.universe_size(), chosen);
+    if (state.budget_exhausted) return std::nullopt;
+
+    SetCoverSolution solution;
+    solution.chosen = std::move(state.best);
+    solution.covers_all = true;
+    return solution;
+}
+
+}  // namespace nbmg::setcover

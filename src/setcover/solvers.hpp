@@ -1,0 +1,35 @@
+// Set-cover solvers: Chvátal greedy (the paper's choice), first-fit and
+// random baselines, and an exact branch-and-bound for small instances used
+// to measure the greedy approximation gap.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "setcover/instance.hpp"
+#include "sim/random.hpp"
+
+namespace nbmg::setcover {
+
+/// Chvátal greedy: repeatedly pick the set covering the most uncovered
+/// elements.  When `tie_break` is provided, ties are broken uniformly at
+/// random (as in the paper, Fig. 4b); otherwise the lowest index wins.
+/// Stops early (covers_all == false) when the instance is not coverable.
+[[nodiscard]] SetCoverSolution greedy_cover(const SetCoverInstance& instance,
+                                            sim::RandomStream* tie_break = nullptr);
+
+/// Scans sets in index order and takes any set covering at least one new
+/// element.  A deliberately weak baseline.
+[[nodiscard]] SetCoverSolution first_fit_cover(const SetCoverInstance& instance);
+
+/// Picks uniformly among sets that still cover something new.
+[[nodiscard]] SetCoverSolution random_cover(const SetCoverInstance& instance,
+                                            sim::RandomStream& rng);
+
+/// Exact minimum cover by depth-first branch and bound over the hardest
+/// uncovered element.  `node_budget` bounds the search; returns nullopt if
+/// the budget is exhausted or the instance is not coverable.
+[[nodiscard]] std::optional<SetCoverSolution> exact_cover(
+    const SetCoverInstance& instance, std::size_t node_budget = 1'000'000);
+
+}  // namespace nbmg::setcover

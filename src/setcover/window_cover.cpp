@@ -1,0 +1,123 @@
+#include "setcover/window_cover.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nbmg::setcover {
+namespace {
+
+/// Best anchor of one greedy round: the anchor index whose window covers
+/// the most distinct devices, with uniform tie-breaking.
+struct RoundBest {
+    std::size_t anchor = 0;
+    std::size_t coverage = 0;
+};
+
+RoundBest find_best_window(const std::vector<PoEvent>& events, sim::SimTime window,
+                           std::uint32_t device_count, sim::RandomStream& rng,
+                           std::vector<std::uint32_t>& scratch_counts) {
+    scratch_counts.assign(device_count, 0);
+    std::size_t distinct = 0;
+
+    RoundBest best;
+    std::vector<std::size_t> ties;
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        // Window anchored at events[i]: [at, at + window] inclusive.
+        const sim::SimTime limit = events[i].at + window;
+        while (j < events.size() && events[j].at <= limit) {
+            if (scratch_counts[events[j].device]++ == 0) ++distinct;
+            ++j;
+        }
+        if (distinct > best.coverage) {
+            best.coverage = distinct;
+            best.anchor = i;
+            ties.assign(1, i);
+        } else if (distinct == best.coverage && distinct > 0) {
+            ties.push_back(i);
+        }
+        // Slide: remove the anchor event before moving to the next one.
+        if (--scratch_counts[events[i].device] == 0) --distinct;
+    }
+    if (!ties.empty() && ties.size() > 1) {
+        best.anchor = ties[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(ties.size()) - 1))];
+    }
+    return best;
+}
+
+}  // namespace
+
+WindowCoverResult greedy_window_cover(std::vector<PoEvent> events, sim::SimTime window,
+                                      std::uint32_t device_count,
+                                      sim::RandomStream& rng) {
+    if (window < sim::SimTime{0}) {
+        throw std::invalid_argument("greedy_window_cover: negative window");
+    }
+    for (const PoEvent& e : events) {
+        if (e.device >= device_count) {
+            throw std::invalid_argument("greedy_window_cover: device id out of range");
+        }
+    }
+    std::sort(events.begin(), events.end(), [](const PoEvent& a, const PoEvent& b) {
+        if (a.at != b.at) return a.at < b.at;
+        return a.device < b.device;
+    });
+
+    WindowCoverResult result;
+    std::vector<bool> seen(device_count, false);
+    for (const PoEvent& e : events) seen[e.device] = true;
+    for (std::uint32_t d = 0; d < device_count; ++d) {
+        if (!seen[d]) result.uncoverable.push_back(d);
+    }
+
+    std::vector<bool> covered(device_count, false);
+    std::vector<std::uint32_t> scratch_counts;
+    while (!events.empty()) {
+        const RoundBest best = find_best_window(events, window, device_count, rng,
+                                                scratch_counts);
+        if (best.coverage == 0) break;  // defensive; events would be empty
+
+        const sim::SimTime start = events[best.anchor].at;
+        const sim::SimTime limit = start + window;
+        CoverWindow chosen{start, limit, {}};
+        for (std::size_t k = best.anchor; k < events.size() && events[k].at <= limit;
+             ++k) {
+            const std::uint32_t d = events[k].device;
+            if (!covered[d]) {
+                covered[d] = true;
+                chosen.devices.push_back(d);
+            }
+        }
+        result.windows.push_back(std::move(chosen));
+
+        // Drop every event of a covered device.
+        std::erase_if(events, [&covered](const PoEvent& e) { return covered[e.device]; });
+    }
+    return result;
+}
+
+SetCoverInstance to_set_cover_instance(const std::vector<PoEvent>& events,
+                                       sim::SimTime window, std::uint32_t device_count) {
+    std::vector<PoEvent> sorted = events;
+    std::sort(sorted.begin(), sorted.end(), [](const PoEvent& a, const PoEvent& b) {
+        if (a.at != b.at) return a.at < b.at;
+        return a.device < b.device;
+    });
+
+    std::vector<std::vector<Element>> sets;
+    sets.reserve(sorted.size());
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        if (j < i) j = i;
+        const sim::SimTime limit = sorted[i].at + window;
+        while (j < sorted.size() && sorted[j].at <= limit) ++j;
+        std::vector<Element> members;
+        members.reserve(j - i);
+        for (std::size_t k = i; k < j; ++k) members.push_back(sorted[k].device);
+        sets.push_back(std::move(members));
+    }
+    return SetCoverInstance{device_count, std::move(sets)};
+}
+
+}  // namespace nbmg::setcover

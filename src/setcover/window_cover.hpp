@@ -1,0 +1,59 @@
+// Sliding-window maximum-coverage greedy — the DR-SC planner's core.
+//
+// Input: every device's paging occasions over the planning horizon as
+// (time, device) events.  A multicast window of length TI anchored at time
+// s covers every device with at least one PO in [s, s+TI].  The paper's
+// algorithm (Sec. III-A) repeatedly finds the window covering the most
+// non-updated devices (random tie-break), transmits at the window end, and
+// removes the covered devices.
+//
+// Only windows anchored at PO events need to be considered: shifting a
+// window left until its start touches a PO never loses coverage.  Each
+// round runs one two-pointer sweep with incremental distinct-device counts,
+// so a round costs O(remaining events).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "setcover/instance.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+namespace nbmg::setcover {
+
+struct PoEvent {
+    sim::SimTime at;
+    std::uint32_t device;
+
+    friend bool operator==(const PoEvent&, const PoEvent&) = default;
+};
+
+struct CoverWindow {
+    sim::SimTime start;  // first covered PO
+    sim::SimTime end;    // start + window length (transmission reference point)
+    std::vector<std::uint32_t> devices;
+};
+
+struct WindowCoverResult {
+    std::vector<CoverWindow> windows;
+    /// Devices with no PO event at all (cannot be covered).
+    std::vector<std::uint32_t> uncoverable;
+};
+
+/// Runs the greedy window cover.  `device_count` bounds the device ids in
+/// `events`.  `window` is TI (inclusive window [s, s+window]).  Ties between
+/// equally good windows are broken uniformly at random via `rng`.
+[[nodiscard]] WindowCoverResult greedy_window_cover(std::vector<PoEvent> events,
+                                                    sim::SimTime window,
+                                                    std::uint32_t device_count,
+                                                    sim::RandomStream& rng);
+
+/// Converts PO events to a generic set-cover instance (one candidate set
+/// per distinct anchored window).  Used by tests and the solver-comparison
+/// ablation; the dedicated greedy above is the fast path.
+[[nodiscard]] SetCoverInstance to_set_cover_instance(const std::vector<PoEvent>& events,
+                                                     sim::SimTime window,
+                                                     std::uint32_t device_count);
+
+}  // namespace nbmg::setcover

@@ -1,0 +1,71 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nbmg::sim {
+
+EventId EventQueue::schedule_at(SimTime at, Handler handler) {
+    if (at < now_) {
+        throw std::logic_error("EventQueue::schedule_at: time in the past");
+    }
+    if (!handler) {
+        throw std::invalid_argument("EventQueue::schedule_at: empty handler");
+    }
+    const std::uint64_t seq = next_seq_++;
+    heap_.push(Entry{at, seq, std::move(handler)});
+    pending_ids_.insert(seq);
+    return EventId{seq};
+}
+
+EventId EventQueue::schedule_after(SimTime delay, Handler handler) {
+    if (delay < SimTime{0}) {
+        throw std::logic_error("EventQueue::schedule_after: negative delay");
+    }
+    return schedule_at(now_ + delay, std::move(handler));
+}
+
+bool EventQueue::cancel(EventId id) {
+    // Ids of events that already fired were removed from pending_ids_, so a
+    // stale cancel is a harmless no-op.
+    return pending_ids_.erase(id.value) > 0;
+}
+
+bool EventQueue::skip_cancelled() {
+    while (!heap_.empty()) {
+        if (pending_ids_.contains(heap_.top().seq)) return true;
+        heap_.pop();
+    }
+    return false;
+}
+
+bool EventQueue::step() {
+    if (!skip_cancelled()) return false;
+    // Copy the entry out before running it: the handler may schedule new
+    // events, which can reallocate the heap's storage.
+    Entry top = heap_.top();
+    heap_.pop();
+    pending_ids_.erase(top.seq);
+    now_ = top.at;
+    ++executed_;
+    top.handler();
+    return true;
+}
+
+std::size_t EventQueue::run_until(SimTime until) {
+    std::size_t n = 0;
+    while (skip_cancelled() && heap_.top().at <= until) {
+        step();
+        ++n;
+    }
+    if (now_ < until) now_ = until;
+    return n;
+}
+
+std::size_t EventQueue::run_all(std::size_t max_events) {
+    std::size_t n = 0;
+    while (n < max_events && step()) ++n;
+    return n;
+}
+
+}  // namespace nbmg::sim

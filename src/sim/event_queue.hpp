@@ -1,0 +1,106 @@
+// Deterministic discrete-event queue for the NB-IoT cell simulator.
+//
+// Events scheduled for the same instant run in insertion order (FIFO
+// tie-breaking), which makes every simulation bit-reproducible for a given
+// seed.  Events are cancellable; cancellation is lazy (the entry stays in the
+// heap but is skipped when popped).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace nbmg::sim {
+
+/// Simulated time.  One subframe of the NB-IoT air interface is 1 ms, so
+/// millisecond resolution captures everything the model needs.
+using SimTime = std::chrono::milliseconds;
+
+/// Identifies a scheduled event so it can be cancelled before it fires.
+struct EventId {
+    std::uint64_t value = 0;
+
+    friend bool operator==(EventId, EventId) = default;
+};
+
+/// Priority queue of timed events with a simulated clock.
+///
+/// Invariants:
+///  - `now()` never decreases;
+///  - events never fire earlier than their scheduled time;
+///  - equal-time events fire in the order they were scheduled.
+class EventQueue {
+public:
+    using Handler = std::function<void()>;
+
+    EventQueue() = default;
+    explicit EventQueue(SimTime start) : now_(start) {}
+
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /// Current simulated time.
+    [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+    /// Schedules `handler` to run at absolute time `at`.  Scheduling in the
+    /// past (before `now()`) is a programming error.
+    EventId schedule_at(SimTime at, Handler handler);
+
+    /// Schedules `handler` to run `delay` after the current time.
+    EventId schedule_after(SimTime delay, Handler handler);
+
+    /// Cancels a pending event.  Returns false if the event already fired,
+    /// was already cancelled, or never existed.
+    bool cancel(EventId id);
+
+    /// Runs the earliest pending event.  Returns false when the queue is
+    /// empty (time does not advance in that case).
+    bool step();
+
+    /// Runs every event scheduled strictly before or at `until`, then
+    /// advances the clock to `until`.  Returns the number of events run.
+    std::size_t run_until(SimTime until);
+
+    /// Runs events until the queue drains or `max_events` have run.
+    /// Returns the number of events run.
+    std::size_t run_all(std::size_t max_events = kDefaultEventBudget);
+
+    /// Number of pending (non-cancelled) events.
+    [[nodiscard]] std::size_t pending() const noexcept { return pending_ids_.size(); }
+
+    [[nodiscard]] bool empty() const noexcept { return pending_ids_.empty(); }
+
+    /// Total events executed since construction (diagnostics).
+    [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+    /// Default safety budget for run_all(); generous enough for every
+    /// experiment in this repository, small enough to catch runaway loops.
+    static constexpr std::size_t kDefaultEventBudget = 500'000'000;
+
+private:
+    struct Entry {
+        SimTime at;
+        std::uint64_t seq;  // FIFO tie-break + cancellation key
+        Handler handler;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const noexcept {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    // Pops cancelled entries off the top; returns false when drained.
+    bool skip_cancelled();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<std::uint64_t> pending_ids_;
+    SimTime now_{0};
+    std::uint64_t next_seq_ = 1;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace nbmg::sim

@@ -1,0 +1,86 @@
+#include "sim/random.hpp"
+
+#include <numeric>
+
+namespace nbmg::sim {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t root, std::string_view label,
+                          std::uint64_t index) noexcept {
+    std::uint64_t h = kFnvOffset ^ root;
+    for (const char c : label) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        h *= kFnvPrime;
+    }
+    h ^= index + 0x9E3779B97F4A7C15ULL;
+    return splitmix64(splitmix64(h));
+}
+
+std::int64_t RandomStream::uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("RandomStream::uniform_int: lo > hi");
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+double RandomStream::uniform_real(double lo, double hi) {
+    if (lo > hi) throw std::invalid_argument("RandomStream::uniform_real: lo > hi");
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+bool RandomStream::bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+double RandomStream::exponential(double mean) {
+    if (mean <= 0.0) throw std::invalid_argument("RandomStream::exponential: mean <= 0");
+    std::exponential_distribution<double> dist(1.0 / mean);
+    return dist(engine_);
+}
+
+std::int64_t RandomStream::geometric(double p) {
+    if (p <= 0.0 || p > 1.0) {
+        throw std::invalid_argument("RandomStream::geometric: p outside (0, 1]");
+    }
+    if (p == 1.0) return 0;
+    std::geometric_distribution<std::int64_t> dist(p);
+    return dist(engine_);
+}
+
+std::size_t RandomStream::weighted_index(std::span<const double> weights) {
+    if (weights.empty()) {
+        throw std::invalid_argument("RandomStream::weighted_index: no weights");
+    }
+    double total = 0.0;
+    for (const double w : weights) {
+        if (w < 0.0) throw std::invalid_argument("RandomStream::weighted_index: negative weight");
+        total += w;
+    }
+    if (total <= 0.0) {
+        throw std::invalid_argument("RandomStream::weighted_index: zero total weight");
+    }
+    const double r = uniform_real(0.0, total);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc) return i;
+    }
+    return weights.size() - 1;  // floating-point edge: r == total
+}
+
+}  // namespace nbmg::sim

@@ -1,0 +1,5 @@
+#include "sim/simulation.hpp"
+
+// Simulation is header-only today; this translation unit anchors the library
+// target and keeps a stable home for future out-of-line definitions.
+namespace nbmg::sim {}

@@ -1,0 +1,53 @@
+// Simulation context: event queue + per-entity random streams + trace hook.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+namespace nbmg::sim {
+
+/// Severity-free trace record emitted by simulation entities; benches and
+/// tests can subscribe to observe protocol behaviour without coupling the
+/// model to any logging framework.
+struct TraceEvent {
+    SimTime at;
+    std::string_view source;  // e.g. "ue", "enb", "rach"
+    std::string message;
+};
+
+/// Owns the event queue and RNG factory for one simulation run.
+class Simulation {
+public:
+    using TraceSink = std::function<void(const TraceEvent&)>;
+
+    explicit Simulation(std::uint64_t seed) : rng_(seed) {}
+
+    [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
+    [[nodiscard]] const EventQueue& queue() const noexcept { return queue_; }
+    [[nodiscard]] SimTime now() const noexcept { return queue_.now(); }
+
+    [[nodiscard]] RandomStream stream(std::string_view label, std::uint64_t index = 0) const {
+        return rng_.stream(label, index);
+    }
+    [[nodiscard]] std::uint64_t seed() const noexcept { return rng_.root_seed(); }
+
+    void set_trace_sink(TraceSink sink) { trace_ = std::move(sink); }
+
+    void trace(std::string_view source, std::string message) const {
+        if (trace_) trace_(TraceEvent{queue_.now(), source, std::move(message)});
+    }
+
+    [[nodiscard]] bool tracing() const noexcept { return static_cast<bool>(trace_); }
+
+private:
+    EventQueue queue_;
+    RngFactory rng_;
+    TraceSink trace_;
+};
+
+}  // namespace nbmg::sim

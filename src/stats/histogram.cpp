@@ -1,0 +1,76 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nbmg::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+    if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+    if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+    counts_.assign(bins, 0);
+}
+
+void Histogram::add(double sample) noexcept {
+    ++total_;
+    std::size_t bin = 0;
+    if (sample < lo_) {
+        ++underflow_;
+        bin = 0;
+    } else if (sample >= hi_) {
+        ++overflow_;
+        bin = counts_.size() - 1;
+    } else {
+        const double frac = (sample - lo_) / (hi_ - lo_);
+        bin = std::min(counts_.size() - 1,
+                       static_cast<std::size_t>(frac * static_cast<double>(counts_.size())));
+    }
+    ++counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const noexcept {
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + w * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const noexcept {
+    return bin_lo(bin + 1);
+}
+
+double Histogram::quantile(double q) const {
+    if (q < 0.0 || q > 1.0) throw std::invalid_argument("Histogram::quantile: q out of range");
+    if (total_ == 0) return lo_;
+    const double target = q * static_cast<double>(total_);
+    double acc = 0.0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        const double next = acc + static_cast<double>(counts_[b]);
+        if (next >= target) {
+            const double inside =
+                counts_[b] == 0 ? 0.0 : (target - acc) / static_cast<double>(counts_[b]);
+            return bin_lo(b) + inside * (bin_hi(b) - bin_lo(b));
+        }
+        acc = next;
+    }
+    return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+    std::uint64_t peak = 1;
+    for (const auto c : counts_) peak = std::max(peak, c);
+    std::string out;
+    char line[128];
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        const auto bar = static_cast<std::size_t>(
+            std::llround(static_cast<double>(counts_[b]) /
+                         static_cast<double>(peak) * static_cast<double>(width)));
+        std::snprintf(line, sizeof(line), "[%10.2f, %10.2f) %8llu ", bin_lo(b), bin_hi(b),
+                      static_cast<unsigned long long>(counts_[b]));
+        out += line;
+        out.append(bar, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace nbmg::stats

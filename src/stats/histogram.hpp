@@ -1,0 +1,41 @@
+// Fixed-bin histogram for distribution reporting in benches and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nbmg::stats {
+
+class Histogram {
+public:
+    /// `bins` equal-width bins over [lo, hi); samples outside are clamped
+    /// into the first/last bin and counted as outliers.
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double sample) noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+    [[nodiscard]] std::uint64_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+    [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+    [[nodiscard]] double bin_lo(std::size_t bin) const noexcept;
+    [[nodiscard]] double bin_hi(std::size_t bin) const noexcept;
+    [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+    [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+
+    /// Approximate quantile (linear within bins), q in [0, 1].
+    [[nodiscard]] double quantile(double q) const;
+
+    /// Text rendering ("bar chart") for quick terminal inspection.
+    [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+};
+
+}  // namespace nbmg::stats

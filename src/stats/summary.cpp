@@ -1,0 +1,57 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nbmg::stats {
+
+void Summary::add(double sample) noexcept {
+    if (count_ == 0) {
+        min_ = sample;
+        max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    ++count_;
+    const double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+}
+
+void Summary::merge(const Summary& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double Summary::variance() const noexcept {
+    if (count_ < 2) return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Summary::ci95_half_width() const noexcept {
+    if (count_ < 2) return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+Summary summarize(std::span<const double> samples) noexcept {
+    Summary s;
+    for (const double x : samples) s.add(x);
+    return s;
+}
+
+}  // namespace nbmg::stats

@@ -1,0 +1,92 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace nbmg::stats {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+    if (columns_.empty()) throw std::invalid_argument("Table: need at least one column");
+}
+
+Table::Table(std::initializer_list<std::string> columns)
+    : Table(std::vector<std::string>{columns}) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+    if (cells.size() != columns_.size()) {
+        throw std::invalid_argument("Table::add_row: cell count mismatch");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::cell(double value, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string Table::cell(std::int64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return buf;
+}
+
+std::string Table::cell_percent(double fraction, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string Table::to_markdown() const {
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            line += " " + cells[c];
+            line.append(widths[c] - cells[c].size(), ' ');
+            line += " |";
+        }
+        return line + "\n";
+    };
+    std::string out = emit_row(columns_);
+    out += "|";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        out += std::string(widths[c] + 2, '-') + "|";
+    }
+    out += "\n";
+    for (const auto& row : rows_) out += emit_row(row);
+    return out;
+}
+
+std::string Table::to_csv() const {
+    auto escape = [](const std::string& s) {
+        if (s.find_first_of(",\"\n") == std::string::npos) return s;
+        std::string quoted = "\"";
+        for (const char ch : s) {
+            if (ch == '"') quoted += "\"\"";
+            else quoted += ch;
+        }
+        return quoted + "\"";
+    };
+    std::string out;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        out += escape(columns_[c]);
+        out += (c + 1 < columns_.size()) ? "," : "\n";
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += escape(row[c]);
+            out += (c + 1 < row.size()) ? "," : "\n";
+        }
+    }
+    return out;
+}
+
+}  // namespace nbmg::stats

@@ -1,0 +1,37 @@
+// Minimal table builder with markdown and CSV rendering.  Every benchmark
+// binary prints its figure/table through this, so the harness output is
+// uniform and machine-readable.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace nbmg::stats {
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> columns);
+    Table(std::initializer_list<std::string> columns);
+
+    /// Adds one row; the cell count must match the column count.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience cell formatters.
+    [[nodiscard]] static std::string cell(double value, int precision = 3);
+    [[nodiscard]] static std::string cell(std::int64_t value);
+    [[nodiscard]] static std::string cell_percent(double fraction, int precision = 1);
+
+    [[nodiscard]] std::string to_markdown() const;
+    [[nodiscard]] std::string to_csv() const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+    [[nodiscard]] std::size_t columns() const noexcept { return columns_.size(); }
+
+private:
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nbmg::stats

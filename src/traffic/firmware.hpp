@@ -1,0 +1,36 @@
+// Multicast payload presets.  The paper evaluates firmware images of
+// 100 KB, 1 MB and 10 MB, "covering the spectrum of typical firmware
+// updates".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nbmg::traffic {
+
+struct PayloadSpec {
+    std::string name;
+    std::int64_t bytes = 0;
+
+    [[nodiscard]] double megabytes() const noexcept {
+        return static_cast<double>(bytes) / (1024.0 * 1024.0);
+    }
+};
+
+[[nodiscard]] inline PayloadSpec firmware_100kb() {
+    return PayloadSpec{"100KB", 100 * 1024};
+}
+[[nodiscard]] inline PayloadSpec firmware_1mb() {
+    return PayloadSpec{"1MB", 1024 * 1024};
+}
+[[nodiscard]] inline PayloadSpec firmware_10mb() {
+    return PayloadSpec{"10MB", 10 * 1024 * 1024};
+}
+
+/// The three sizes from the paper's evaluation (Sec. IV-A).
+[[nodiscard]] inline std::vector<PayloadSpec> paper_payloads() {
+    return {firmware_100kb(), firmware_1mb(), firmware_10mb()};
+}
+
+}  // namespace nbmg::traffic

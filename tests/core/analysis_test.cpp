@@ -1,0 +1,144 @@
+// Theory vs simulation: the closed-form expectations of core/analysis.hpp
+// must agree with the measured campaign results.  These tests audit the
+// whole pipeline — if either the formulas or the simulator drift, they
+// disagree.
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "core/experiment.hpp"
+#include "core/planners.hpp"
+#include "core/report.hpp"
+#include "traffic/firmware.hpp"
+#include "traffic/population.hpp"
+
+namespace nbmg::core {
+namespace {
+
+constexpr std::int64_t kPayload = 100 * 1024;
+
+std::vector<nbiot::UeSpec> make_population(std::size_t n, std::uint64_t seed) {
+    sim::RandomStream rng{seed};
+    return traffic::to_specs(
+        traffic::generate_population(traffic::massive_iot_city(), n, rng));
+}
+
+TEST(AnalysisTest, UnicastConnectedMatchesExpectation) {
+    const auto devices = make_population(150, 3);
+    const CampaignConfig config;
+    const CampaignResult result =
+        plan_and_run(UnicastBaseline{}, devices, config, kPayload, 3);
+    const double expected =
+        analysis::expected_unicast_connected_ms(config, kPayload, nbiot::CeLevel::ce0);
+    // RACH retries add a little on top of the uncontended expectation.
+    EXPECT_NEAR(mean_connected_ms(result), expected, expected * 0.05);
+    EXPECT_GE(mean_connected_ms(result), expected - 1.0);
+}
+
+TEST(AnalysisTest, UnicastLightSleepMatchesExactlyPerDevice) {
+    const auto devices = make_population(60, 4);
+    const CampaignConfig config;
+    const CampaignResult result =
+        plan_and_run(UnicastBaseline{}, devices, config, kPayload, 4);
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        const double expected = analysis::exact_light_sleep_ms(
+            config, devices[i], result.observation_horizon, /*paging_decodes=*/1,
+            /*mltc_decodes=*/0);
+        EXPECT_DOUBLE_EQ(
+            static_cast<double>(result.devices[i].energy.light_sleep_uptime().count()),
+            expected)
+            << "device " << i;
+    }
+}
+
+TEST(AnalysisTest, DrSiLightSleepMatchesExactlyPerDevice) {
+    const auto devices = make_population(60, 5);
+    const CampaignConfig config;
+    sim::RandomStream plan_rng{sim::derive_seed(5, "planner")};
+    const MulticastPlan plan = DrSiMechanism{}.plan(devices, config, plan_rng);
+    const CampaignRunner runner(config);
+    const auto horizon = recommended_horizon(devices, config, kPayload);
+    const CampaignResult result = runner.run(plan, devices, kPayload, horizon, 5);
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        const bool mltc = plan.schedules[i].mltc.has_value();
+        const double expected = analysis::exact_light_sleep_ms(
+            config, devices[i], horizon, mltc ? 0 : 1, mltc ? 1 : 0);
+        EXPECT_DOUBLE_EQ(
+            static_cast<double>(result.devices[i].energy.light_sleep_uptime().count()),
+            expected)
+            << "device " << i;
+    }
+}
+
+TEST(AnalysisTest, DrSiConnectedMatchesUnicastPlusWait) {
+    const auto devices = make_population(300, 6);
+    const CampaignConfig config;
+    const CampaignResult unicast =
+        plan_and_run(UnicastBaseline{}, devices, config, kPayload, 6);
+    const CampaignResult dr_si =
+        plan_and_run(DrSiMechanism{}, devices, config, kPayload, 6);
+    const double measured_wait = mean_connected_ms(dr_si) - mean_connected_ms(unicast);
+    const double expected_wait = analysis::expected_window_wait_ms(config);
+    EXPECT_NEAR(measured_wait, expected_wait, expected_wait * 0.15);
+}
+
+TEST(AnalysisTest, DaScExceedsDrSiByRoughlyOneConnection) {
+    const auto devices = make_population(600, 7);
+    const CampaignConfig config;
+    const CampaignResult da_sc =
+        plan_and_run(DaScMechanism{}, devices, config, kPayload, 7);
+    const CampaignResult dr_si =
+        plan_and_run(DrSiMechanism{}, devices, config, kPayload, 7);
+    const double delta = mean_connected_ms(da_sc) - mean_connected_ms(dr_si);
+    // One extra connection: RA exchange + setup + reconfig + release, for
+    // the (large) adjusted fraction of devices.
+    const double per_connection =
+        static_cast<double>(config.rach.attempt_active_time().count()) +
+        static_cast<double>(config.timing.rrc_setup.count()) +
+        static_cast<double>(config.timing.rrc_reconfiguration.count()) +
+        static_cast<double>(config.timing.rrc_release.count());
+    EXPECT_GT(delta, 0.3 * per_connection);
+    EXPECT_LT(delta, 2.0 * per_connection);
+}
+
+TEST(AnalysisTest, SlotModelUpperBoundsSimulatedRatio) {
+    const CampaignConfig config;
+    const auto profile = traffic::massive_iot_city();
+    for (const std::size_t n : {std::size_t{100}, std::size_t{400}}) {
+        const auto point = drsc_transmission_point(profile, n, config, 8, 11);
+        const double slot =
+            analysis::slot_model_transmission_ratio(profile, n, config);
+        EXPECT_LE(point.transmissions_per_device.mean(), slot * 1.05)
+            << "greedy must not exceed the slot-occupancy envelope (n=" << n << ")";
+        EXPECT_GE(point.transmissions_per_device.mean(), slot * 0.3)
+            << "slot model should be the right order of magnitude (n=" << n << ")";
+    }
+}
+
+TEST(AnalysisTest, SlotModelDecreasesWithTiAndBatching) {
+    const auto profile = traffic::massive_iot_city();
+    CampaignConfig small_ti;
+    small_ti.inactivity_timer = nbiot::SimTime{5'000};
+    CampaignConfig large_ti;
+    large_ti.inactivity_timer = nbiot::SimTime{40'000};
+    EXPECT_GT(analysis::slot_model_transmission_ratio(profile, 500, small_ti),
+              analysis::slot_model_transmission_ratio(profile, 500, large_ti));
+
+    auto batched = profile;
+    batched.batch_mean = 4.0;
+    const CampaignConfig config;
+    EXPECT_GT(analysis::slot_model_transmission_ratio(profile, 500, config),
+              analysis::slot_model_transmission_ratio(batched, 500, config));
+}
+
+TEST(AnalysisTest, ConnectLatencyWithinGuard) {
+    // The default guard must cover the expected connect latency with margin
+    // for one collision + backoff (DESIGN.md §6.1).
+    const CampaignConfig config;
+    const double connect = analysis::expected_connect_latency_ms(config);
+    EXPECT_LT(connect, static_cast<double>(config.ra_guard.count()));
+}
+
+}  // namespace
+}  // namespace nbmg::core

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "nbiot/drx.hpp"
+#include "nbiot/frames.hpp"
+
+namespace nbmg::nbiot {
+namespace {
+
+TEST(FramesTest, ToRadioTimeDecomposes) {
+    const RadioTime rt = to_radio_time(SimTime{12'345});
+    EXPECT_EQ(rt.frame, 1234);
+    EXPECT_EQ(rt.subframe, 5);
+}
+
+TEST(FramesTest, SfnWrapsAt1024) {
+    const RadioTime rt = to_radio_time(SimTime{1024 * kMillisPerFrame});
+    EXPECT_EQ(rt.sfn(), 0);
+    EXPECT_EQ(rt.hyper_sfn(), 1);
+}
+
+TEST(FramesTest, HyperSfnWrapsAt1024) {
+    const std::int64_t hyper_ms = kFramesPerHyperframe * kMillisPerFrame;
+    const RadioTime rt = to_radio_time(SimTime{1024 * hyper_ms});
+    EXPECT_EQ(rt.hyper_sfn(), 0);
+}
+
+TEST(FramesTest, RoundTripThroughToTime) {
+    for (const std::int64_t ms : {0L, 9L, 10L, 12'345L, 10'485'760L}) {
+        const RadioTime rt = to_radio_time(SimTime{ms});
+        EXPECT_EQ(rt.to_time(), SimTime{ms});
+    }
+}
+
+TEST(FramesTest, FrameStartFloorsToFrame) {
+    EXPECT_EQ(frame_start(SimTime{129}), SimTime{120});
+    EXPECT_EQ(frame_start(SimTime{120}), SimTime{120});
+}
+
+TEST(FramesTest, AlignUpToFrame) {
+    EXPECT_EQ(align_up_to_frame(SimTime{120}), SimTime{120});
+    EXPECT_EQ(align_up_to_frame(SimTime{121}), SimTime{130});
+    EXPECT_EQ(align_up_to_frame(SimTime{0}), SimTime{0});
+}
+
+TEST(FramesTest, FrameIndexOf) {
+    EXPECT_EQ(frame_index_of(SimTime{0}), 0);
+    EXPECT_EQ(frame_index_of(SimTime{9}), 0);
+    EXPECT_EQ(frame_index_of(SimTime{10}), 1);
+}
+
+TEST(DrxTest, LadderHasSixteenDoublingValues) {
+    const auto ladder = drx_ladder();
+    ASSERT_EQ(ladder.size(), 16u);
+    EXPECT_EQ(ladder.front().period_ms(), 320);
+    EXPECT_EQ(ladder.back().period_ms(), 10'485'760);
+    for (std::size_t i = 1; i < ladder.size(); ++i) {
+        EXPECT_EQ(ladder[i].period_ms(), 2 * ladder[i - 1].period_ms())
+            << "ladder must double at step " << i;
+    }
+}
+
+TEST(DrxTest, PeriodFramesConsistent) {
+    for (const DrxCycle c : drx_ladder()) {
+        EXPECT_EQ(c.period_frames() * kMillisPerFrame, c.period_ms());
+    }
+}
+
+TEST(DrxTest, NamedValuesMatchPaper) {
+    EXPECT_EQ(drx::seconds_2_56().period_ms(), 2'560);
+    EXPECT_EQ(drx::seconds_20_48().period_ms(), 20'480);
+    EXPECT_EQ(drx::seconds_10485_76().period_ms(), 10'485'760);
+}
+
+TEST(DrxTest, EdrxClassification) {
+    EXPECT_FALSE(drx::seconds_2_56().is_edrx());
+    EXPECT_TRUE(drx::seconds_5_12().is_edrx());
+    EXPECT_FALSE(drx::seconds_5_12().is_nbiot_edrx());
+    EXPECT_TRUE(drx::seconds_20_48().is_nbiot_edrx());
+}
+
+TEST(DrxTest, FromPeriodAcceptsLadderValuesOnly) {
+    EXPECT_TRUE(DrxCycle::from_period(SimTime{2'560}).has_value());
+    EXPECT_FALSE(DrxCycle::from_period(SimTime{2'561}).has_value());
+    EXPECT_FALSE(DrxCycle::from_period(SimTime{100}).has_value());
+}
+
+TEST(DrxTest, FromPeriodRoundTripsLadder) {
+    for (const DrxCycle c : drx_ladder()) {
+        const auto back = DrxCycle::from_period(c.period());
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, c);
+    }
+}
+
+TEST(DrxTest, LongestAtMost) {
+    EXPECT_EQ(DrxCycle::longest_at_most(SimTime{10'000})->period_ms(), 5'120);
+    EXPECT_EQ(DrxCycle::longest_at_most(SimTime{320})->period_ms(), 320);
+    EXPECT_FALSE(DrxCycle::longest_at_most(SimTime{100}).has_value());
+    EXPECT_EQ(DrxCycle::longest_at_most(SimTime{99'999'999})->period_ms(), 10'485'760);
+}
+
+TEST(DrxTest, ShorterAndLongerNavigation) {
+    const DrxCycle c = drx::seconds_20_48();
+    EXPECT_EQ(c.shorter().period_ms(), 10'240);
+    EXPECT_EQ(c.longer().period_ms(), 40'960);
+    EXPECT_TRUE(drx_ladder().front().has_longer());
+    EXPECT_FALSE(drx_ladder().front().has_shorter());
+    EXPECT_FALSE(drx_ladder().back().has_longer());
+}
+
+TEST(DrxTest, FromIndexOutOfRangeThrows) {
+    EXPECT_THROW((void)DrxCycle::from_index(-1), std::out_of_range);
+    EXPECT_THROW((void)DrxCycle::from_index(16), std::out_of_range);
+}
+
+TEST(DrxTest, OrderingFollowsPeriod) {
+    EXPECT_LT(drx::seconds_2_56(), drx::seconds_20_48());
+    EXPECT_EQ(drx::seconds_2_56(), DrxCycle::from_index(3));
+}
+
+TEST(DrxTest, ToStringMentionsEdrx) {
+    EXPECT_NE(drx::seconds_20_48().to_string().find("eDRX"), std::string::npos);
+    EXPECT_NE(drx::seconds_2_56().to_string().find("(DRX)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nbmg::nbiot

@@ -1,0 +1,148 @@
+#include "nbiot/paging_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbmg::nbiot {
+namespace {
+
+class PagingSchedulerTest : public ::testing::Test {
+protected:
+    PagingSchedule paging_{};
+    static constexpr SimTime kFar{100'000'000};
+};
+
+TEST_F(PagingSchedulerTest, RejectsNonPositiveCapacity) {
+    EXPECT_THROW(PagingScheduler(paging_, 0), std::invalid_argument);
+}
+
+TEST_F(PagingSchedulerTest, EnqueueLandsOnDevicePo) {
+    PagingScheduler sched(paging_, 16);
+    const Imsi imsi{424'242};
+    const DrxCycle cycle = drx::seconds_20_48();
+    const auto slot = sched.enqueue_record(DeviceId{0}, imsi, cycle, SimTime{0}, kFar);
+    ASSERT_TRUE(slot.has_value());
+    EXPECT_TRUE(paging_.is_po(*slot, imsi, cycle));
+    EXPECT_EQ(sched.total_entries(), 1u);
+}
+
+TEST_F(PagingSchedulerTest, EnqueueRespectsNotBefore) {
+    PagingScheduler sched(paging_, 16);
+    const Imsi imsi{7};
+    const DrxCycle cycle = drx::seconds_2_56();
+    const SimTime not_before{100'000};
+    const auto slot =
+        sched.enqueue_record(DeviceId{0}, imsi, cycle, not_before, kFar);
+    ASSERT_TRUE(slot.has_value());
+    EXPECT_GE(*slot, not_before);
+}
+
+TEST_F(PagingSchedulerTest, FullOccasionDefersToNextPo) {
+    PagingScheduler sched(paging_, 1);
+    const Imsi imsi{99};
+    const DrxCycle cycle = drx::seconds_2_56();
+    const auto first = sched.enqueue_record(DeviceId{0}, imsi, cycle, SimTime{0}, kFar);
+    // Same UE identity -> same occasions; capacity 1 forces the next cycle.
+    const auto second = sched.enqueue_record(DeviceId{1}, imsi, cycle, SimTime{0}, kFar);
+    ASSERT_TRUE(first.has_value());
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(*second - *first, cycle.period());
+}
+
+TEST_F(PagingSchedulerTest, DeadlineBoundsDeferral) {
+    PagingScheduler sched(paging_, 1);
+    const Imsi imsi{99};
+    const DrxCycle cycle = drx::seconds_2_56();
+    const auto first = sched.enqueue_record(DeviceId{0}, imsi, cycle, SimTime{0}, kFar);
+    ASSERT_TRUE(first.has_value());
+    // Deadline right after the first PO: the deferred request cannot fit.
+    const auto second = sched.enqueue_record(DeviceId{1}, imsi, cycle, SimTime{0},
+                                             *first + SimTime{1});
+    EXPECT_FALSE(second.has_value());
+}
+
+TEST_F(PagingSchedulerTest, DifferentDevicesShareOccasionUpToCapacity) {
+    PagingScheduler sched(paging_, 3);
+    const Imsi imsi{5};
+    const DrxCycle cycle = drx::seconds_20_48();
+    const auto a = sched.enqueue_record(DeviceId{0}, imsi, cycle, SimTime{0}, kFar);
+    const auto b = sched.enqueue_record(DeviceId{1}, imsi, cycle, SimTime{0}, kFar);
+    const auto c = sched.enqueue_record(DeviceId{2}, imsi, cycle, SimTime{0}, kFar);
+    const auto d = sched.enqueue_record(DeviceId{3}, imsi, cycle, SimTime{0}, kFar);
+    EXPECT_EQ(*a, *b);
+    EXPECT_EQ(*a, *c);
+    EXPECT_NE(*a, *d);
+}
+
+TEST_F(PagingSchedulerTest, MltcSharesCapacityWithRecords) {
+    PagingScheduler sched(paging_, 2);
+    const Imsi imsi{5};
+    const DrxCycle cycle = drx::seconds_20_48();
+    const auto a = sched.enqueue_record(DeviceId{0}, imsi, cycle, SimTime{0}, kFar);
+    const auto b =
+        sched.enqueue_mltc(DeviceId{1}, imsi, cycle, SimTime{0}, kFar, SimTime{777});
+    const auto c = sched.enqueue_record(DeviceId{2}, imsi, cycle, SimTime{0}, kFar);
+    EXPECT_EQ(*a, *b);
+    EXPECT_NE(*a, *c);
+}
+
+TEST_F(PagingSchedulerTest, MessagesSortedAndCarryPayloads) {
+    PagingScheduler sched(paging_, 16);
+    const DrxCycle cycle = drx::seconds_20_48();
+    (void)sched.enqueue_record(DeviceId{0}, Imsi{100}, cycle, SimTime{0}, kFar);
+    (void)sched.enqueue_mltc(DeviceId{1}, Imsi{200}, cycle, SimTime{0}, kFar,
+                             SimTime{999});
+    const auto messages = sched.messages();
+    ASSERT_GE(messages.size(), 1u);
+    for (std::size_t i = 1; i < messages.size(); ++i) {
+        EXPECT_LT(messages[i - 1].at, messages[i].at);
+    }
+    std::size_t records = 0;
+    std::size_t extensions = 0;
+    for (const auto& m : messages) {
+        records += m.records.size();
+        extensions += m.mltc_extensions.size();
+        if (!m.mltc_extensions.empty()) {
+            EXPECT_EQ(m.mltc_extensions.front().multicast_at, SimTime{999});
+        }
+    }
+    EXPECT_EQ(records, 1u);
+    EXPECT_EQ(extensions, 1u);
+}
+
+TEST_F(PagingSchedulerTest, TryEnqueueAtExactPo) {
+    PagingScheduler sched(paging_, 1);
+    const Imsi imsi{123};
+    const DrxCycle cycle = drx::seconds_40_96();
+    const SimTime po = paging_.first_po_at_or_after(SimTime{0}, imsi, cycle);
+    EXPECT_TRUE(sched.try_enqueue_record_at(DeviceId{0}, imsi, cycle, po));
+    EXPECT_FALSE(sched.try_enqueue_record_at(DeviceId{1}, imsi, cycle, po));
+}
+
+TEST_F(PagingSchedulerTest, TryEnqueueAtNonPoThrows) {
+    PagingScheduler sched(paging_, 16);
+    const Imsi imsi{123};
+    const DrxCycle cycle = drx::seconds_40_96();
+    const SimTime po = paging_.first_po_at_or_after(SimTime{0}, imsi, cycle);
+    EXPECT_THROW(
+        (void)sched.try_enqueue_record_at(DeviceId{0}, imsi, cycle, po + SimTime{1}),
+        std::logic_error);
+}
+
+TEST_F(PagingSchedulerTest, ForceEnqueueSkipsCongruenceCheck) {
+    PagingScheduler sched(paging_, 1);
+    const SimTime anywhere{123'456};
+    EXPECT_TRUE(sched.force_enqueue_record_at(DeviceId{0}, Imsi{1}, anywhere));
+    EXPECT_FALSE(sched.force_enqueue_record_at(DeviceId{1}, Imsi{2}, anywhere));
+}
+
+TEST_F(PagingSchedulerTest, TotalEntriesAccumulates) {
+    PagingScheduler sched(paging_, 16);
+    const DrxCycle cycle = drx::seconds_20_48();
+    for (std::uint32_t i = 0; i < 5; ++i) {
+        (void)sched.enqueue_record(DeviceId{i}, Imsi{1000 + i}, cycle, SimTime{0}, kFar);
+    }
+    EXPECT_EQ(sched.total_entries(), 5u);
+}
+
+}  // namespace
+}  // namespace nbmg::nbiot

@@ -1,0 +1,242 @@
+// Paging-occasion arithmetic: unit tests plus parameterized property
+// sweeps over (cycle, UE identity) — periodicity, standards conformance
+// for short cycles, and the ladder-nesting property DA-SC relies on.
+#include "nbiot/paging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace nbmg::nbiot {
+namespace {
+
+TEST(PagingConfigTest, DefaultIsValid) {
+    EXPECT_TRUE(PagingConfig{}.valid());
+}
+
+TEST(PagingConfigTest, InvalidConfigsRejected) {
+    PagingConfig c;
+    c.max_page_records = 0;
+    EXPECT_FALSE(c.valid());
+    EXPECT_THROW(PagingSchedule{c}, std::invalid_argument);
+}
+
+TEST(PagingScheduleTest, UnsupportedNsRejected) {
+    PagingConfig c;
+    c.nb_num = 8;  // Ns = 8 not in {1,2,4}
+    EXPECT_THROW(PagingSchedule{c}, std::invalid_argument);
+}
+
+TEST(PagingScheduleTest, OffsetWithinCycle) {
+    const PagingSchedule paging;
+    for (std::uint64_t imsi : {1ULL, 12345ULL, 999'999'999ULL}) {
+        for (const DrxCycle cycle : drx_ladder()) {
+            const SimTime off = paging.po_offset(Imsi{imsi}, cycle);
+            EXPECT_GE(off.count(), 0);
+            EXPECT_LT(off.count(), cycle.period_ms());
+        }
+    }
+}
+
+TEST(PagingScheduleTest, DefaultPoFallsOnSubframeNine) {
+    const PagingSchedule paging;  // nB = T -> Ns = 1 -> subframe 9
+    const SimTime off = paging.po_offset(Imsi{777}, drx::seconds_2_56());
+    EXPECT_EQ(off.count() % kMillisPerFrame, 9);
+}
+
+TEST(PagingScheduleTest, StandardFormulaForShortCycle) {
+    // For T <= 1024 frames and nB = T: PF = UE_ID mod T, PO subframe 9.
+    const PagingSchedule paging;
+    const std::uint64_t imsi = 98'765;
+    const DrxCycle cycle = drx::seconds_2_56();  // 256 frames
+    const std::uint64_t ue_id = imsi % (std::uint64_t{1} << 20);
+    const std::int64_t expected_frame = static_cast<std::int64_t>(ue_id % 256);
+    EXPECT_EQ(paging.po_offset(Imsi{imsi}, cycle).count(),
+              expected_frame * kMillisPerFrame + 9);
+}
+
+TEST(PagingScheduleTest, FirstPoAtOrAfterReturnsExactPo) {
+    const PagingSchedule paging;
+    const Imsi imsi{4242};
+    const DrxCycle cycle = drx::seconds_20_48();
+    const SimTime po = paging.first_po_at_or_after(SimTime{0}, imsi, cycle);
+    EXPECT_TRUE(paging.is_po(po, imsi, cycle));
+    EXPECT_EQ(po, paging.po_offset(imsi, cycle));
+}
+
+TEST(PagingScheduleTest, FirstPoAtOrAfterIsIdempotentAtPo) {
+    const PagingSchedule paging;
+    const Imsi imsi{31337};
+    const DrxCycle cycle = drx::seconds_40_96();
+    const SimTime po = paging.first_po_at_or_after(SimTime{100'000}, imsi, cycle);
+    EXPECT_EQ(paging.first_po_at_or_after(po, imsi, cycle), po);
+}
+
+TEST(PagingScheduleTest, LastPoBeforeIsStrict) {
+    const PagingSchedule paging;
+    const Imsi imsi{5};
+    const DrxCycle cycle = drx::seconds_2_56();
+    const SimTime po = paging.first_po_at_or_after(SimTime{50'000}, imsi, cycle);
+    const auto back = paging.last_po_before(po + SimTime{1}, imsi, cycle);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, po);
+    const auto strictly = paging.last_po_before(po, imsi, cycle);
+    ASSERT_TRUE(strictly.has_value());
+    EXPECT_EQ(*strictly, po - cycle.period());
+}
+
+TEST(PagingScheduleTest, LastPoBeforeNoneBeforeFirst) {
+    const PagingSchedule paging;
+    const Imsi imsi{123};
+    const DrxCycle cycle = drx::seconds_10485_76();
+    const SimTime first = paging.po_offset(imsi, cycle);
+    EXPECT_FALSE(paging.last_po_before(first, imsi, cycle).has_value());
+    EXPECT_FALSE(paging.last_po_before(SimTime{0}, imsi, cycle).has_value());
+}
+
+TEST(PagingScheduleTest, PosInRangeMatchesCountAndBounds) {
+    const PagingSchedule paging;
+    const Imsi imsi{888};
+    const DrxCycle cycle = drx::seconds_20_48();
+    const SimTime from{12'345};
+    const SimTime to{250'000};
+    const auto pos = paging.pos_in_range(from, to, imsi, cycle);
+    EXPECT_EQ(static_cast<std::int64_t>(pos.size()),
+              paging.po_count_in_range(from, to, imsi, cycle));
+    for (const SimTime po : pos) {
+        EXPECT_GE(po, from);
+        EXPECT_LT(po, to);
+        EXPECT_TRUE(paging.is_po(po, imsi, cycle));
+    }
+}
+
+TEST(PagingScheduleTest, PosInRangeEmptyWhenDegenerate) {
+    const PagingSchedule paging;
+    const Imsi imsi{888};
+    const DrxCycle cycle = drx::seconds_20_48();
+    EXPECT_TRUE(paging.pos_in_range(SimTime{100}, SimTime{100}, imsi, cycle).empty());
+    EXPECT_TRUE(paging.pos_in_range(SimTime{200}, SimTime{100}, imsi, cycle).empty());
+    EXPECT_EQ(paging.po_count_in_range(SimTime{200}, SimTime{100}, imsi, cycle), 0);
+}
+
+TEST(PagingScheduleTest, HasPoInRangeConsistent) {
+    const PagingSchedule paging;
+    const Imsi imsi{54'321};
+    for (const DrxCycle cycle : drx_ladder()) {
+        const SimTime from{cycle.period_ms() / 3};
+        const SimTime to{cycle.period_ms() * 2};
+        EXPECT_EQ(paging.has_po_in_range(from, to, imsi, cycle),
+                  !paging.pos_in_range(from, to, imsi, cycle).empty());
+    }
+}
+
+TEST(PagingScheduleTest, AnyWindowOfCycleLengthContainsExactlyOnePo) {
+    const PagingSchedule paging;
+    const Imsi imsi{2'718'281};
+    for (const DrxCycle cycle : drx_ladder()) {
+        for (const std::int64_t start : {0L, 777L, cycle.period_ms() - 1}) {
+            EXPECT_EQ(paging.po_count_in_range(SimTime{start},
+                                               SimTime{start + cycle.period_ms()}, imsi,
+                                               cycle),
+                      1);
+        }
+    }
+}
+
+/// Property sweep: (cycle index, imsi) pairs.
+class PagingPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(PagingPropertyTest, PoPatternIsPeriodic) {
+    const PagingSchedule paging;
+    const auto [index, imsi_value] = GetParam();
+    const DrxCycle cycle = DrxCycle::from_index(index);
+    const Imsi imsi{imsi_value};
+    const SimTime first = paging.first_po_at_or_after(SimTime{0}, imsi, cycle);
+    for (int k = 1; k <= 3; ++k) {
+        const SimTime expect = first + SimTime{k * cycle.period_ms()};
+        EXPECT_TRUE(paging.is_po(expect, imsi, cycle));
+        EXPECT_EQ(paging.first_po_at_or_after(expect - SimTime{1}, imsi, cycle), expect);
+    }
+    // Nothing between consecutive POs.
+    EXPECT_EQ(paging.po_count_in_range(first + SimTime{1},
+                                       first + SimTime{cycle.period_ms()}, imsi, cycle),
+              0);
+}
+
+TEST_P(PagingPropertyTest, DoublingNestsPoSets) {
+    // POs of cycle 2T are a subset of POs of cycle T (same UE): the ladder
+    // property the paper states in Sec. II-B and DA-SC exploits.
+    const PagingSchedule paging;
+    const auto [index, imsi_value] = GetParam();
+    const DrxCycle cycle = DrxCycle::from_index(index);
+    if (!cycle.has_longer()) GTEST_SKIP() << "top of ladder";
+    const DrxCycle doubled = cycle.longer();
+    const Imsi imsi{imsi_value};
+    const auto pos = paging.pos_in_range(SimTime{0}, SimTime{4 * doubled.period_ms()},
+                                         imsi, doubled);
+    ASSERT_FALSE(pos.empty());
+    for (const SimTime po : pos) {
+        EXPECT_TRUE(paging.is_po(po, imsi, cycle))
+            << "PO of doubled cycle must also be PO of the shorter cycle";
+    }
+}
+
+TEST_P(PagingPropertyTest, ShorteningOnlyAddsOccasions) {
+    const PagingSchedule paging;
+    const auto [index, imsi_value] = GetParam();
+    const DrxCycle cycle = DrxCycle::from_index(index);
+    if (!cycle.has_shorter()) GTEST_SKIP() << "bottom of ladder";
+    const Imsi imsi{imsi_value};
+    const SimTime to{2 * cycle.period_ms()};
+    EXPECT_GE(paging.po_count_in_range(SimTime{0}, to, imsi, cycle.shorter()),
+              paging.po_count_in_range(SimTime{0}, to, imsi, cycle));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CycleImsiGrid, PagingPropertyTest,
+    ::testing::Combine(::testing::Values(0, 3, 6, 9, 12, 14),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{1023},
+                                         std::uint64_t{1'048'575},
+                                         std::uint64_t{314'159'265'358ULL},
+                                         std::uint64_t{100'000'000'000'007ULL})));
+
+TEST(PagingScheduleNbVariantTest, HalfTBunchesPagingFrames) {
+    PagingConfig config;
+    config.nb_num = 1;
+    config.nb_den = 2;  // nB = T/2: only half the frames carry paging
+    const PagingSchedule paging{config};
+    // PF = 2 * (UE_ID mod T/2): always an even frame offset.
+    for (std::uint64_t imsi = 1; imsi < 2000; imsi += 97) {
+        const SimTime off = paging.po_offset(Imsi{imsi}, drx::seconds_2_56());
+        EXPECT_EQ((off.count() / kMillisPerFrame) % 2, 0);
+    }
+}
+
+TEST(PagingScheduleNbVariantTest, TwoTUsesTwoSubframes) {
+    PagingConfig config;
+    config.nb_num = 2;  // nB = 2T -> Ns = 2 -> subframes {4, 9}
+    const PagingSchedule paging{config};
+    bool saw4 = false;
+    bool saw9 = false;
+    for (std::uint64_t imsi = 1; imsi < 5000; imsi += 13) {
+        const auto sf = paging.po_offset(Imsi{imsi}, drx::seconds_2_56()).count() %
+                        kMillisPerFrame;
+        EXPECT_TRUE(sf == 4 || sf == 9);
+        saw4 |= sf == 4;
+        saw9 |= sf == 9;
+    }
+    EXPECT_TRUE(saw4);
+    EXPECT_TRUE(saw9);
+}
+
+TEST(PagingMessageTest, OccupancyCountsRecordsAndExtensions) {
+    PagingMessage msg;
+    msg.records.push_back(PagingRecord{DeviceId{0}, Imsi{1}});
+    msg.mltc_extensions.push_back(MltcExtension{DeviceId{1}, Imsi{2}, SimTime{5}});
+    msg.mltc_extensions.push_back(MltcExtension{DeviceId{2}, Imsi{3}, SimTime{5}});
+    EXPECT_EQ(msg.occupancy(), 3u);
+}
+
+}  // namespace
+}  // namespace nbmg::nbiot

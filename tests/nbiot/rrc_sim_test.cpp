@@ -1,0 +1,130 @@
+// Coverage for the RRC model helpers, the simulation trace hook, and the
+// configuration validators.
+#include <gtest/gtest.h>
+
+#include "core/mechanism.hpp"
+#include "nbiot/cell.hpp"
+#include "nbiot/rrc.hpp"
+#include "sim/simulation.hpp"
+
+namespace nbmg {
+namespace {
+
+using nbiot::EstablishmentCause;
+
+TEST(RrcTest, MulticastReceptionIsTheOnlyNonStandardCause) {
+    EXPECT_TRUE(nbiot::is_standard_cause(EstablishmentCause::mo_signalling));
+    EXPECT_TRUE(nbiot::is_standard_cause(EstablishmentCause::mo_data));
+    EXPECT_TRUE(nbiot::is_standard_cause(EstablishmentCause::mt_access));
+    EXPECT_FALSE(nbiot::is_standard_cause(EstablishmentCause::multicast_reception));
+}
+
+TEST(RrcTest, CauseNamesMatchAsn1Style) {
+    EXPECT_STREQ(nbiot::to_string(EstablishmentCause::mt_access), "mt-Access");
+    EXPECT_STREQ(nbiot::to_string(EstablishmentCause::multicast_reception),
+                 "multicastReception");
+}
+
+TEST(RrcTest, MessageVariantHoldsEveryProcedure) {
+    nbiot::RrcMessage msg = nbiot::RrcConnectionRequest{
+        nbiot::Imsi{5}, EstablishmentCause::multicast_reception};
+    EXPECT_TRUE(std::holds_alternative<nbiot::RrcConnectionRequest>(msg));
+    msg = nbiot::RrcConnectionReconfiguration{nbiot::drx::seconds_10_24()};
+    const auto& reconfig = std::get<nbiot::RrcConnectionReconfiguration>(msg);
+    ASSERT_TRUE(reconfig.new_drx.has_value());
+    EXPECT_EQ(reconfig.new_drx->period_ms(), 10'240);
+    msg = nbiot::RrcConnectionRelease{};
+    EXPECT_TRUE(std::holds_alternative<nbiot::RrcConnectionRelease>(msg));
+}
+
+TEST(RrcTest, DefaultTimingModelValid) {
+    EXPECT_TRUE(nbiot::TimingModel{}.valid());
+    nbiot::TimingModel bad;
+    bad.po_monitor = nbiot::SimTime{0};
+    EXPECT_FALSE(bad.valid());
+}
+
+TEST(SimulationTest, TraceSinkReceivesEvents) {
+    sim::Simulation simulation{1};
+    std::vector<std::string> messages;
+    simulation.set_trace_sink([&](const sim::TraceEvent& e) {
+        messages.push_back(std::string{e.source} + ":" + e.message);
+    });
+    EXPECT_TRUE(simulation.tracing());
+    simulation.queue().schedule_at(sim::SimTime{5},
+                                   [&] { simulation.trace("ue", "woke"); });
+    simulation.queue().run_all();
+    ASSERT_EQ(messages.size(), 1u);
+    EXPECT_EQ(messages.front(), "ue:woke");
+}
+
+TEST(SimulationTest, TraceWithoutSinkIsNoop) {
+    sim::Simulation simulation{1};
+    EXPECT_FALSE(simulation.tracing());
+    simulation.trace("x", "dropped");  // must not crash
+}
+
+TEST(SimulationTest, StreamsDerivedFromRootSeed) {
+    sim::Simulation a{99};
+    sim::Simulation b{99};
+    EXPECT_EQ(a.seed(), 99u);
+    EXPECT_EQ(a.stream("x").next_u64(), b.stream("x").next_u64());
+    EXPECT_NE(a.stream("x").next_u64(), a.stream("y").next_u64());
+}
+
+TEST(CellTest, RejectsInvalidTiming) {
+    nbiot::TimingModel bad;
+    bad.po_monitor = nbiot::SimTime{0};
+    EXPECT_THROW(
+        nbiot::Cell(1, nbiot::PagingConfig{}, nbiot::RachConfig{}, bad),
+        std::invalid_argument);
+}
+
+TEST(CampaignConfigTest, DefaultValidAndKnobsChecked) {
+    core::CampaignConfig config;
+    EXPECT_TRUE(config.valid());
+
+    config.page_miss_prob = 1.0;  // certain loss can never terminate
+    EXPECT_FALSE(config.valid());
+    config.page_miss_prob = 0.0;
+
+    config.inactivity_timer = nbiot::SimTime{0};
+    EXPECT_FALSE(config.valid());
+    config.inactivity_timer = nbiot::SimTime{10'000};
+
+    config.max_page_attempts = 0;
+    EXPECT_FALSE(config.valid());
+    config.max_page_attempts = 3;
+
+    config.background_ra_per_second = -1.0;
+    EXPECT_FALSE(config.valid());
+    config.background_ra_per_second = 0.0;
+
+    config.rach.max_attempts = 0;
+    EXPECT_FALSE(config.valid());
+    config.rach.max_attempts = 10;
+
+    config.radio.i_sf = 8;
+    EXPECT_FALSE(config.valid());
+    config.radio.i_sf = 2;
+    EXPECT_TRUE(config.valid());
+}
+
+TEST(MechanismKindTest, NamesAreStable) {
+    EXPECT_STREQ(core::to_string(core::MechanismKind::dr_sc), "DR-SC");
+    EXPECT_STREQ(core::to_string(core::MechanismKind::da_sc), "DA-SC");
+    EXPECT_STREQ(core::to_string(core::MechanismKind::dr_si), "DR-SI");
+    EXPECT_STREQ(core::to_string(core::MechanismKind::unicast), "Unicast");
+    EXPECT_STREQ(core::to_string(core::MechanismKind::sc_ptm), "SC-PTM");
+}
+
+TEST(PowerStateTest, NamesAreStable) {
+    EXPECT_STREQ(nbiot::to_string(nbiot::PowerState::deep_sleep), "deep_sleep");
+    EXPECT_STREQ(nbiot::to_string(nbiot::PowerState::connected_rx), "connected_rx");
+    EXPECT_STREQ(nbiot::to_string(nbiot::UeState::connected_waiting),
+                 "connected_waiting");
+    EXPECT_STREQ(nbiot::to_string(nbiot::CeLevel::ce2), "CE2");
+}
+
+}  // namespace
+}  // namespace nbmg

@@ -1,0 +1,280 @@
+// UE state-machine behaviour: PO monitoring, paging reactions, the DR-SI
+// T322 path, DA-SC reconfiguration (anchored and formula models), and the
+// uptime buckets each procedure charges.
+#include "nbiot/ue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbiot/cell.hpp"
+
+namespace nbmg::nbiot {
+namespace {
+
+class UeTest : public ::testing::Test {
+protected:
+    UeTest() : cell_(1234, PagingConfig{}, RachConfig{}, TimingModel{}) {}
+
+    Ue& make_ue(DrxCycle cycle, std::uint64_t imsi = 777'000'111) {
+        return cell_.add_ue(UeSpec{DeviceId{static_cast<std::uint32_t>(cell_.ue_count())},
+                                   Imsi{imsi}, cycle, CeLevel::ce0});
+    }
+
+    SimTime po_of(const Ue& ue) {
+        return cell_.paging().first_po_at_or_after(SimTime{0}, ue.imsi(),
+                                                   ue.current_cycle());
+    }
+
+    void run() { cell_.simulation().queue().run_all(); }
+
+    Cell cell_;
+    TimingModel timing_{};
+};
+
+TEST_F(UeTest, MonitorsEveryPoUntilHorizon) {
+    Ue& ue = make_ue(drx::seconds_20_48());
+    const SimTime horizon{20'480 * 10 + 1'000};
+    ue.start_monitoring(horizon);
+    run();
+    EXPECT_EQ(ue.po_count(), 10u);
+    EXPECT_EQ(ue.energy().uptime(PowerState::po_monitor),
+              SimTime{10 * timing_.po_monitor.count()});
+    EXPECT_EQ(ue.energy().connected_uptime(), SimTime{0});
+}
+
+TEST_F(UeTest, PoCountMatchesScheduleCount) {
+    Ue& ue = make_ue(drx::seconds_2_56(), 98'765);
+    const SimTime horizon{60'000};
+    ue.start_monitoring(horizon);
+    run();
+    EXPECT_EQ(static_cast<std::int64_t>(ue.po_count()),
+              cell_.paging().po_count_in_range(SimTime{1}, horizon, ue.imsi(),
+                                               ue.current_cycle()));
+}
+
+TEST_F(UeTest, PageNormalConnectsAndWaits) {
+    Ue& ue = make_ue(drx::seconds_20_48());
+    ue.start_monitoring(SimTime{200'000});
+    bool connected = false;
+    Ue::Hooks hooks;
+    hooks.on_connected = [&](DeviceId, SimTime) { connected = true; };
+    ue.set_hooks(std::move(hooks));
+
+    const SimTime po = po_of(ue);
+    cell_.simulation().queue().schedule_at(po, [&] { ue.page_normal(); });
+    run();
+    EXPECT_TRUE(connected);
+    EXPECT_EQ(ue.state(), UeState::connected_waiting);
+    EXPECT_GT(ue.energy().uptime(PowerState::paging_rx).count(), 0);
+    EXPECT_GT(ue.energy().uptime(PowerState::rach).count(), 0);
+    EXPECT_GT(ue.energy().uptime(PowerState::connected_signaling).count(), 0);
+    ASSERT_TRUE(ue.connected_at().has_value());
+    EXPECT_GT(*ue.connected_at(), po);
+}
+
+TEST_F(UeTest, PageNormalWhileNotIdleThrows) {
+    Ue& ue = make_ue(drx::seconds_20_48());
+    ue.start_monitoring(SimTime{200'000});
+    const SimTime po = po_of(ue);
+    cell_.simulation().queue().schedule_at(po, [&] { ue.page_normal(); });
+    run();
+    ASSERT_EQ(ue.state(), UeState::connected_waiting);
+    EXPECT_THROW(ue.page_normal(), std::logic_error);
+}
+
+TEST_F(UeTest, ReceptionChargesWaitRxAndRelease) {
+    Ue& ue = make_ue(drx::seconds_20_48());
+    ue.start_monitoring(SimTime{400'000});
+    Ue::Hooks hooks;
+    hooks.on_connected = [&](DeviceId, SimTime at) {
+        ue.begin_reception(at + SimTime{30'000}, SimTime{0});
+    };
+    bool released = false;
+    hooks.on_released = [&](DeviceId, SimTime) { released = true; };
+    ue.set_hooks(std::move(hooks));
+    cell_.simulation().queue().schedule_at(po_of(ue), [&] { ue.page_normal(); });
+    run();
+    EXPECT_TRUE(released);
+    EXPECT_TRUE(ue.payload_received());
+    EXPECT_EQ(ue.state(), UeState::idle);
+    EXPECT_EQ(ue.energy().uptime(PowerState::connected_rx), SimTime{30'000});
+    EXPECT_EQ(ue.energy().uptime(PowerState::connected_wait), SimTime{0});
+}
+
+TEST_F(UeTest, WaitBucketCoversConnectedToReceptionGap) {
+    Ue& ue = make_ue(drx::seconds_20_48());
+    ue.start_monitoring(SimTime{400'000});
+    SimTime connected_at{0};
+    Ue::Hooks hooks;
+    hooks.on_connected = [&](DeviceId, SimTime at) { connected_at = at; };
+    ue.set_hooks(std::move(hooks));
+    const SimTime po = po_of(ue);
+    cell_.simulation().queue().schedule_at(po, [&] { ue.page_normal(); });
+    const SimTime tx_start = po + SimTime{8'000};
+    cell_.simulation().queue().schedule_at(
+        tx_start, [&] { ue.begin_reception(tx_start + SimTime{1'000}, SimTime{0}); });
+    run();
+    EXPECT_EQ(ue.energy().uptime(PowerState::connected_wait), tx_start - connected_at);
+}
+
+TEST_F(UeTest, InactivityTailChargedAsWait) {
+    Ue& ue = make_ue(drx::seconds_20_48());
+    ue.start_monitoring(SimTime{400'000});
+    Ue::Hooks hooks;
+    hooks.on_connected = [&](DeviceId, SimTime at) {
+        ue.begin_reception(at + SimTime{1'000}, SimTime{10'000});
+    };
+    ue.set_hooks(std::move(hooks));
+    cell_.simulation().queue().schedule_at(po_of(ue), [&] { ue.page_normal(); });
+    run();
+    EXPECT_EQ(ue.energy().uptime(PowerState::connected_wait), SimTime{10'000});
+}
+
+TEST_F(UeTest, MltcSetsT322AndConnectsWithMulticastCause) {
+    Ue& ue = make_ue(drx::seconds_20_48());
+    ue.start_monitoring(SimTime{400'000});
+    const SimTime po = po_of(ue);
+    const SimTime wake = po + SimTime{50'000};
+    SimTime connected_at{0};
+    Ue::Hooks hooks;
+    hooks.on_connected = [&](DeviceId, SimTime at) { connected_at = at; };
+    ue.set_hooks(std::move(hooks));
+    cell_.simulation().queue().schedule_at(po, [&] { ue.page_mltc(wake); });
+    run();
+    EXPECT_GT(connected_at, wake);
+    EXPECT_EQ(ue.last_cause(), EstablishmentCause::multicast_reception);
+    // Extension decode costs more than a plain paging message.
+    EXPECT_EQ(ue.energy().uptime(PowerState::paging_rx),
+              timing_.paging_decode + timing_.mltc_extension_extra);
+}
+
+TEST_F(UeTest, MltcWakeInPastThrows) {
+    Ue& ue = make_ue(drx::seconds_20_48());
+    ue.start_monitoring(SimTime{400'000});
+    cell_.simulation().queue().schedule_at(po_of(ue),
+                                           [&] { ue.page_mltc(SimTime{0}); });
+    EXPECT_THROW(run(), std::logic_error);
+}
+
+TEST_F(UeTest, ReconfigAdjustsCycleAndReturnsToIdle) {
+    Ue& ue = make_ue(drx::seconds_163_84());
+    ue.start_monitoring(SimTime{800'000});
+    const DrxCycle adapted = drx::seconds_10_24();
+    cell_.simulation().queue().schedule_at(po_of(ue),
+                                           [&] { ue.page_for_reconfig(adapted); });
+    run();
+    EXPECT_EQ(ue.state(), UeState::idle);
+    EXPECT_EQ(ue.current_cycle(), adapted);
+    EXPECT_EQ(ue.original_cycle(), drx::seconds_163_84());
+    // Reconfig connection: paging + RACH + setup + reconfiguration + release.
+    EXPECT_EQ(ue.energy().uptime(PowerState::connected_signaling),
+              timing_.rrc_setup + timing_.rrc_reconfiguration + timing_.rrc_release);
+}
+
+TEST_F(UeTest, AdaptedCycleIncreasesPoRate) {
+    Ue& slow = make_ue(drx::seconds_163_84(), 111'222'333);
+    Ue& adjusted = make_ue(drx::seconds_163_84(), 111'222'334);
+    const SimTime horizon{800'000};
+    slow.start_monitoring(horizon);
+    adjusted.start_monitoring(horizon);
+    cell_.simulation().queue().schedule_at(po_of(adjusted), [&] {
+        adjusted.page_for_reconfig(drx::seconds_10_24());
+    });
+    run();
+    EXPECT_GT(adjusted.po_count(), slow.po_count());
+}
+
+TEST_F(UeTest, ReconfigGridPassesThroughAdjustmentPo) {
+    // Ladder nesting: the PO where the reconfiguration happened satisfies
+    // the congruence of the (shorter) adapted cycle, so the adapted grid
+    // repeats from that PO — exactly the paper's Fig. 5 picture.
+    Ue& ue = make_ue(drx::seconds_163_84());
+    ue.start_monitoring(SimTime{800'000});
+    const SimTime po = po_of(ue);
+    const DrxCycle adapted = drx::seconds_20_48();
+    EXPECT_TRUE(cell_.paging().is_po(po, ue.imsi(), adapted));
+    cell_.simulation().queue().schedule_at(po, [&] { ue.page_for_reconfig(adapted); });
+    run();
+    EXPECT_EQ(ue.current_cycle(), adapted);
+    EXPECT_EQ(ue.next_po_at_or_after(po + SimTime{1}), po + adapted.period());
+}
+
+TEST_F(UeTest, RestoreAfterReceptionRestoresCycle) {
+    Ue& ue = make_ue(drx::seconds_163_84());
+    ue.start_monitoring(SimTime{1'600'000});
+    const SimTime po = po_of(ue);
+    const DrxCycle adapted = drx::seconds_20_48();
+    cell_.simulation().queue().schedule_at(po, [&] { ue.page_for_reconfig(adapted); });
+    // Page it again on the anchored grid, then receive.
+    const SimTime second_page = po + SimTime{3 * adapted.period_ms()};
+    cell_.simulation().queue().schedule_at(second_page, [&] {
+        ASSERT_TRUE(ue.listening_at(second_page));
+        ue.page_normal();
+    });
+    Ue::Hooks hooks;
+    hooks.on_connected = [&](DeviceId, SimTime at) {
+        ue.begin_reception(at + SimTime{5'000}, SimTime{0});
+    };
+    ue.set_hooks(std::move(hooks));
+    run();
+    EXPECT_TRUE(ue.payload_received());
+    EXPECT_EQ(ue.current_cycle(), drx::seconds_163_84());
+    // Restore adds a reconfiguration on top of setup (x2) + release (x2).
+    EXPECT_EQ(ue.energy().uptime(PowerState::connected_signaling),
+              2 * timing_.rrc_setup + 2 * timing_.rrc_reconfiguration +
+                  2 * timing_.rrc_release);
+    // Back on the formula grid of the original cycle.
+    EXPECT_TRUE(cell_.paging().is_po(ue.next_po_at_or_after(second_page + SimTime{1}),
+                                     ue.imsi(), drx::seconds_163_84()));
+}
+
+TEST_F(UeTest, ListeningOnlyAtOwnPos) {
+    Ue& ue = make_ue(drx::seconds_20_48());
+    ue.start_monitoring(SimTime{400'000});
+    const SimTime po = po_of(ue);
+    EXPECT_TRUE(ue.listening_at(po));
+    EXPECT_FALSE(ue.listening_at(po + SimTime{1}));
+    EXPECT_TRUE(ue.listening_at(po + ue.current_cycle().period()));
+}
+
+TEST_F(UeTest, IdleBroadcastReceivesWithoutConnection) {
+    Ue& ue = make_ue(drx::seconds_20_48());
+    ue.start_monitoring(SimTime{400'000});
+    cell_.simulation().queue().schedule_at(
+        SimTime{10'000}, [&] { ue.receive_idle_broadcast(SimTime{40'000}); });
+    run();
+    EXPECT_TRUE(ue.payload_received());
+    EXPECT_EQ(ue.energy().uptime(PowerState::rach), SimTime{0});
+    EXPECT_EQ(ue.energy().uptime(PowerState::connected_signaling), SimTime{0});
+    EXPECT_EQ(ue.energy().uptime(PowerState::connected_rx), SimTime{30'000});
+}
+
+TEST_F(UeTest, ReleaseWithoutReceptionReturnsIdleUnreceived) {
+    Ue& ue = make_ue(drx::seconds_20_48());
+    ue.start_monitoring(SimTime{400'000});
+    Ue::Hooks hooks;
+    hooks.on_connected = [&](DeviceId, SimTime) { ue.release_without_reception(); };
+    ue.set_hooks(std::move(hooks));
+    cell_.simulation().queue().schedule_at(po_of(ue), [&] { ue.page_normal(); });
+    run();
+    EXPECT_EQ(ue.state(), UeState::idle);
+    EXPECT_FALSE(ue.payload_received());
+    ASSERT_TRUE(ue.released_at().has_value());
+}
+
+TEST_F(UeTest, ChargeAddsExternalUptime) {
+    Ue& ue = make_ue(drx::seconds_20_48());
+    ue.charge(PowerState::po_monitor, SimTime{123});
+    EXPECT_EQ(ue.energy().uptime(PowerState::po_monitor), SimTime{123});
+}
+
+TEST_F(UeTest, CellRejectsNonDenseDeviceIds) {
+    EXPECT_THROW(cell_.add_ue(UeSpec{DeviceId{5}, Imsi{1}, drx::seconds_2_56()}),
+                 std::invalid_argument);
+}
+
+TEST_F(UeTest, CellLookupUnknownDeviceThrows) {
+    EXPECT_THROW((void)cell_.ue(DeviceId{99}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace nbmg::nbiot

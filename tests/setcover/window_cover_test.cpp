@@ -1,0 +1,169 @@
+#include "setcover/window_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "setcover/solvers.hpp"
+
+namespace nbmg::setcover {
+namespace {
+
+using sim::SimTime;
+
+std::vector<PoEvent> paper_figure4_events() {
+    // Loosely mirrors Fig. 4: 7 devices with scattered POs.
+    return {
+        {SimTime{100}, 0}, {SimTime{150}, 1}, {SimTime{180}, 2},  // cluster A
+        {SimTime{500}, 3}, {SimTime{520}, 4},                      // cluster B
+        {SimTime{900}, 5},                                         // loner
+        {SimTime{1'300}, 6}, {SimTime{1'350}, 5},                  // cluster C
+    };
+}
+
+TEST(WindowCoverTest, CoversAllDevicesOnce) {
+    sim::RandomStream rng{1};
+    const auto result = greedy_window_cover(paper_figure4_events(), SimTime{100}, 7, rng);
+    EXPECT_TRUE(result.uncoverable.empty());
+    std::set<std::uint32_t> covered;
+    for (const auto& w : result.windows) {
+        for (const auto d : w.devices) {
+            EXPECT_TRUE(covered.insert(d).second) << "device covered twice";
+        }
+    }
+    EXPECT_EQ(covered.size(), 7u);
+}
+
+TEST(WindowCoverTest, PicksDensestClusterFirst) {
+    sim::RandomStream rng{1};
+    const auto result = greedy_window_cover(paper_figure4_events(), SimTime{100}, 7, rng);
+    ASSERT_FALSE(result.windows.empty());
+    EXPECT_EQ(result.windows.front().devices.size(), 3u);  // cluster A
+}
+
+TEST(WindowCoverTest, SingleWindowWhenAllWithinTi) {
+    sim::RandomStream rng{2};
+    std::vector<PoEvent> events;
+    for (std::uint32_t d = 0; d < 10; ++d) {
+        events.push_back({SimTime{1'000 + d * 30}, d});
+    }
+    const auto result = greedy_window_cover(events, SimTime{300}, 10, rng);
+    ASSERT_EQ(result.windows.size(), 1u);
+    EXPECT_EQ(result.windows.front().devices.size(), 10u);
+    EXPECT_EQ(result.windows.front().start, SimTime{1'000});
+}
+
+TEST(WindowCoverTest, ZeroWindowGroupsOnlyExactCoincidence) {
+    sim::RandomStream rng{3};
+    const std::vector<PoEvent> events{
+        {SimTime{10}, 0}, {SimTime{10}, 1}, {SimTime{11}, 2}};
+    const auto result = greedy_window_cover(events, SimTime{0}, 3, rng);
+    EXPECT_EQ(result.windows.size(), 2u);
+}
+
+TEST(WindowCoverTest, WindowBoundaryIsInclusive) {
+    sim::RandomStream rng{4};
+    const std::vector<PoEvent> events{{SimTime{0}, 0}, {SimTime{100}, 1}};
+    const auto one = greedy_window_cover(events, SimTime{100}, 2, rng);
+    EXPECT_EQ(one.windows.size(), 1u);
+    const auto two = greedy_window_cover(events, SimTime{99}, 2, rng);
+    EXPECT_EQ(two.windows.size(), 2u);
+}
+
+TEST(WindowCoverTest, DevicesWithoutEventsReportedUncoverable) {
+    sim::RandomStream rng{5};
+    const std::vector<PoEvent> events{{SimTime{10}, 0}};
+    const auto result = greedy_window_cover(events, SimTime{50}, 3, rng);
+    EXPECT_EQ(result.uncoverable, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(WindowCoverTest, EmptyEventsAllUncoverable) {
+    sim::RandomStream rng{6};
+    const auto result = greedy_window_cover({}, SimTime{50}, 2, rng);
+    EXPECT_TRUE(result.windows.empty());
+    EXPECT_EQ(result.uncoverable.size(), 2u);
+}
+
+TEST(WindowCoverTest, DeviceIdOutOfRangeThrows) {
+    sim::RandomStream rng{7};
+    const std::vector<PoEvent> events{{SimTime{10}, 5}};
+    EXPECT_THROW((void)greedy_window_cover(events, SimTime{50}, 3, rng),
+                 std::invalid_argument);
+}
+
+TEST(WindowCoverTest, NegativeWindowThrows) {
+    sim::RandomStream rng{7};
+    EXPECT_THROW((void)greedy_window_cover({}, SimTime{-1}, 0, rng),
+                 std::invalid_argument);
+}
+
+TEST(WindowCoverTest, MultiplePosPerDeviceAnyOneSuffices) {
+    sim::RandomStream rng{8};
+    // Device 0 has POs far apart; device 1 sits next to the second one.
+    const std::vector<PoEvent> events{
+        {SimTime{0}, 0}, {SimTime{10'000}, 0}, {SimTime{10'050}, 1}};
+    const auto result = greedy_window_cover(events, SimTime{100}, 2, rng);
+    EXPECT_EQ(result.windows.size(), 1u);
+    EXPECT_EQ(result.windows.front().start, SimTime{10'000});
+}
+
+TEST(WindowCoverTest, DeterministicGivenSeed) {
+    auto run = [](std::uint64_t seed) {
+        sim::RandomStream rng{seed};
+        std::vector<PoEvent> events;
+        sim::RandomStream gen{99};
+        for (std::uint32_t d = 0; d < 50; ++d) {
+            for (int k = 0; k < 3; ++k) {
+                events.push_back({SimTime{gen.uniform_int(0, 100'000)}, d});
+            }
+        }
+        const auto result = greedy_window_cover(events, SimTime{2'000}, 50, rng);
+        std::vector<std::int64_t> starts;
+        for (const auto& w : result.windows) starts.push_back(w.start.count());
+        return starts;
+    };
+    EXPECT_EQ(run(3), run(3));
+}
+
+TEST(WindowCoverTest, GreedyMatchesGenericGreedyCount) {
+    // The specialized sliding-window greedy and the generic set-cover
+    // greedy choose max-coverage sets the same way; with deterministic
+    // tie-breaks their cover sizes agree on small instances.
+    sim::RandomStream gen{123};
+    std::vector<PoEvent> events;
+    for (std::uint32_t d = 0; d < 20; ++d) {
+        events.push_back({SimTime{gen.uniform_int(0, 5'000)}, d});
+    }
+    sim::RandomStream rng{1};
+    const auto fast = greedy_window_cover(events, SimTime{400}, 20, rng);
+    const SetCoverInstance inst = to_set_cover_instance(events, SimTime{400}, 20);
+    const SetCoverSolution generic = greedy_cover(inst);
+    EXPECT_TRUE(generic.covers_all);
+    EXPECT_EQ(fast.windows.size(), generic.chosen.size());
+}
+
+TEST(WindowCoverTest, NeverWorseThanExactAndWithinBound) {
+    sim::RandomStream gen{5};
+    std::vector<PoEvent> events;
+    for (std::uint32_t d = 0; d < 12; ++d) {
+        events.push_back({SimTime{gen.uniform_int(0, 3'000)}, d});
+    }
+    sim::RandomStream rng{1};
+    const auto fast = greedy_window_cover(events, SimTime{500}, 12, rng);
+    const auto exact = exact_cover(to_set_cover_instance(events, SimTime{500}, 12));
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_GE(fast.windows.size(), exact->chosen.size());
+    EXPECT_LE(static_cast<double>(fast.windows.size()),
+              harmonic(12) * static_cast<double>(exact->chosen.size()) + 1e-9);
+}
+
+TEST(ToSetCoverInstanceTest, OneSetPerAnchor) {
+    const std::vector<PoEvent> events{{SimTime{0}, 0}, {SimTime{50}, 1}};
+    const SetCoverInstance inst = to_set_cover_instance(events, SimTime{100}, 2);
+    ASSERT_EQ(inst.set_count(), 2u);
+    EXPECT_EQ(inst.set(0).size(), 2u);  // window at 0 covers both
+    EXPECT_EQ(inst.set(1).size(), 1u);  // window at 50 covers only device 1
+}
+
+}  // namespace
+}  // namespace nbmg::setcover

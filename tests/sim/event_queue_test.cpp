@@ -1,0 +1,210 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nbmg::sim {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(EventQueueTest, StartsAtTimeZeroAndEmpty) {
+    EventQueue q;
+    EXPECT_EQ(q.now(), SimTime{0});
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueTest, CustomStartTime) {
+    EventQueue q{SimTime{5000}};
+    EXPECT_EQ(q.now(), SimTime{5000});
+}
+
+TEST(EventQueueTest, RunsEventAtScheduledTime) {
+    EventQueue q;
+    SimTime fired{-1};
+    q.schedule_at(SimTime{42}, [&] { fired = q.now(); });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, SimTime{42});
+    EXPECT_EQ(q.now(), SimTime{42});
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+    EventQueue q;
+    q.schedule_at(SimTime{10}, [&] {
+        q.schedule_after(SimTime{5}, [] {});
+    });
+    q.step();
+    EXPECT_EQ(q.pending(), 1u);
+    q.step();
+    EXPECT_EQ(q.now(), SimTime{15});
+}
+
+TEST(EventQueueTest, EventsRunInTimeOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule_at(SimTime{30}, [&] { order.push_back(3); });
+    q.schedule_at(SimTime{10}, [&] { order.push_back(1); });
+    q.schedule_at(SimTime{20}, [&] { order.push_back(2); });
+    q.run_all();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimeEventsRunFifo) {
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i) {
+        q.schedule_at(SimTime{100}, [&order, i] { order.push_back(i); });
+    }
+    q.run_all();
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, HandlerMayScheduleMoreEvents) {
+    EventQueue q;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 5) q.schedule_after(SimTime{1}, chain);
+    };
+    q.schedule_at(SimTime{0}, chain);
+    q.run_all();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.now(), SimTime{4});
+}
+
+TEST(EventQueueTest, SchedulingInThePastThrows) {
+    EventQueue q;
+    q.schedule_at(SimTime{10}, [] {});
+    q.step();
+    EXPECT_THROW(q.schedule_at(SimTime{5}, [] {}), std::logic_error);
+}
+
+TEST(EventQueueTest, NegativeDelayThrows) {
+    EventQueue q;
+    EXPECT_THROW(q.schedule_after(SimTime{-1}, [] {}), std::logic_error);
+}
+
+TEST(EventQueueTest, EmptyHandlerThrows) {
+    EventQueue q;
+    EXPECT_THROW(q.schedule_at(SimTime{1}, EventQueue::Handler{}),
+                 std::invalid_argument);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+    EventQueue q;
+    bool ran = false;
+    const EventId id = q.schedule_at(SimTime{10}, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    q.run_all();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelTwiceReturnsFalse) {
+    EventQueue q;
+    const EventId id = q.schedule_at(SimTime{10}, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelAfterExecutionReturnsFalse) {
+    EventQueue q;
+    const EventId id = q.schedule_at(SimTime{10}, [] {});
+    q.step();
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelUnknownIdReturnsFalse) {
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(EventId{9999}));
+    EXPECT_FALSE(q.cancel(EventId{0}));
+}
+
+TEST(EventQueueTest, CancelledEventsDoNotAdvanceClock) {
+    EventQueue q;
+    const EventId id = q.schedule_at(SimTime{10}, [] {});
+    q.schedule_at(SimTime{20}, [] {});
+    q.cancel(id);
+    q.step();
+    EXPECT_EQ(q.now(), SimTime{20});
+}
+
+TEST(EventQueueTest, PendingCountTracksScheduleAndCancel) {
+    EventQueue q;
+    const EventId a = q.schedule_at(SimTime{1}, [] {});
+    q.schedule_at(SimTime{2}, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.pending(), 1u);
+    q.step();
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueTest, RunUntilRunsInclusiveBoundary) {
+    EventQueue q;
+    int ran = 0;
+    q.schedule_at(SimTime{10}, [&] { ++ran; });
+    q.schedule_at(SimTime{20}, [&] { ++ran; });
+    q.schedule_at(SimTime{21}, [&] { ++ran; });
+    EXPECT_EQ(q.run_until(SimTime{20}), 2u);
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(q.now(), SimTime{20});
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWithoutEvents) {
+    EventQueue q;
+    EXPECT_EQ(q.run_until(SimTime{500}), 0u);
+    EXPECT_EQ(q.now(), SimTime{500});
+}
+
+TEST(EventQueueTest, RunAllRespectsBudget) {
+    EventQueue q;
+    std::function<void()> forever = [&] { q.schedule_after(SimTime{1}, forever); };
+    q.schedule_at(SimTime{0}, forever);
+    EXPECT_EQ(q.run_all(100), 100u);
+    EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueueTest, StepOnEmptyQueueReturnsFalse) {
+    EventQueue q;
+    EXPECT_FALSE(q.step());
+    EXPECT_EQ(q.now(), SimTime{0});
+}
+
+TEST(EventQueueTest, ExecutedCounterCounts) {
+    EventQueue q;
+    for (int i = 0; i < 7; ++i) q.schedule_at(SimTime{i}, [] {});
+    q.run_all();
+    EXPECT_EQ(q.executed(), 7u);
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering) {
+    EventQueue q;
+    SimTime last{-1};
+    bool monotone = true;
+    for (int i = 0; i < 5000; ++i) {
+        // Deterministic pseudo-scatter.
+        const auto t = SimTime{(i * 7919) % 1000};
+        q.schedule_at(t, [&, t] {
+            if (q.now() < last) monotone = false;
+            last = q.now();
+        });
+    }
+    q.run_all();
+    EXPECT_TRUE(monotone);
+    EXPECT_EQ(q.executed(), 5000u);
+}
+
+TEST(EventQueueTest, CancelDuringHandlerOfSameTime) {
+    EventQueue q;
+    bool second_ran = false;
+    EventId second{};
+    q.schedule_at(SimTime{10}, [&] { q.cancel(second); });
+    second = q.schedule_at(SimTime{10}, [&] { second_ran = true; });
+    q.run_all();
+    EXPECT_FALSE(second_ran);
+}
+
+}  // namespace
+}  // namespace nbmg::sim

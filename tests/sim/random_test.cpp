@@ -1,0 +1,178 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+namespace nbmg::sim {
+namespace {
+
+TEST(DeriveSeedTest, DeterministicForSameInputs) {
+    EXPECT_EQ(derive_seed(1, "a", 0), derive_seed(1, "a", 0));
+    EXPECT_EQ(derive_seed(99, "population", 7), derive_seed(99, "population", 7));
+}
+
+TEST(DeriveSeedTest, DiffersByRoot) {
+    EXPECT_NE(derive_seed(1, "a"), derive_seed(2, "a"));
+}
+
+TEST(DeriveSeedTest, DiffersByLabel) {
+    EXPECT_NE(derive_seed(1, "a"), derive_seed(1, "b"));
+}
+
+TEST(DeriveSeedTest, DiffersByIndex) {
+    EXPECT_NE(derive_seed(1, "a", 0), derive_seed(1, "a", 1));
+}
+
+TEST(DeriveSeedTest, SpreadsAcrossIndexSequence) {
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(derive_seed(42, "run", i));
+    EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(RandomStreamTest, UniformIntWithinBounds) {
+    RandomStream rng{1};
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_int(-5, 17);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 17);
+    }
+}
+
+TEST(RandomStreamTest, UniformIntSinglePoint) {
+    RandomStream rng{1};
+    EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(RandomStreamTest, UniformIntInvalidRangeThrows) {
+    RandomStream rng{1};
+    EXPECT_THROW((void)rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(RandomStreamTest, UniformRealWithinBounds) {
+    RandomStream rng{2};
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform_real(0.25, 0.75);
+        EXPECT_GE(v, 0.25);
+        EXPECT_LT(v, 0.75);
+    }
+}
+
+TEST(RandomStreamTest, BernoulliEdgeCases) {
+    RandomStream rng{3};
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(RandomStreamTest, BernoulliRateRoughlyMatchesP) {
+    RandomStream rng{4};
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / 10000.0, 0.3, 0.03);
+}
+
+TEST(RandomStreamTest, ExponentialMeanRoughlyMatches) {
+    RandomStream rng{5};
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) sum += rng.exponential(50.0);
+    EXPECT_NEAR(sum / 20000.0, 50.0, 2.5);
+}
+
+TEST(RandomStreamTest, ExponentialRejectsNonPositiveMean) {
+    RandomStream rng{5};
+    EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+    EXPECT_THROW((void)rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(RandomStreamTest, GeometricMeanRoughlyMatches) {
+    RandomStream rng{6};
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) sum += static_cast<double>(rng.geometric(0.25));
+    // Mean of Geometric(p) counting failures is (1-p)/p = 3.
+    EXPECT_NEAR(sum / 20000.0, 3.0, 0.25);
+}
+
+TEST(RandomStreamTest, GeometricPOneIsZero) {
+    RandomStream rng{6};
+    EXPECT_EQ(rng.geometric(1.0), 0);
+}
+
+TEST(RandomStreamTest, GeometricRejectsBadP) {
+    RandomStream rng{6};
+    EXPECT_THROW((void)rng.geometric(0.0), std::invalid_argument);
+    EXPECT_THROW((void)rng.geometric(1.5), std::invalid_argument);
+}
+
+TEST(RandomStreamTest, WeightedIndexRespectsWeights) {
+    RandomStream rng{7};
+    const std::array<double, 3> weights{0.0, 1.0, 3.0};
+    std::array<int, 3> counts{};
+    for (int i = 0; i < 10000; ++i) {
+        ++counts[rng.weighted_index(weights)];
+    }
+    EXPECT_EQ(counts[0], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / static_cast<double>(counts[1]), 3.0,
+                0.4);
+}
+
+TEST(RandomStreamTest, WeightedIndexRejectsBadInput) {
+    RandomStream rng{8};
+    EXPECT_THROW((void)rng.weighted_index(std::span<const double>{}),
+                 std::invalid_argument);
+    const std::array<double, 2> negative{1.0, -0.5};
+    EXPECT_THROW((void)rng.weighted_index(negative), std::invalid_argument);
+    const std::array<double, 2> zero{0.0, 0.0};
+    EXPECT_THROW((void)rng.weighted_index(zero), std::invalid_argument);
+}
+
+TEST(RandomStreamTest, PickReturnsElementFromContainer) {
+    RandomStream rng{9};
+    const std::vector<int> v{10, 20, 30};
+    for (int i = 0; i < 100; ++i) {
+        const int x = rng.pick(v);
+        EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+    }
+}
+
+TEST(RandomStreamTest, PickEmptyThrows) {
+    RandomStream rng{9};
+    const std::vector<int> empty;
+    EXPECT_THROW((void)rng.pick(empty), std::invalid_argument);
+}
+
+TEST(RandomStreamTest, ShufflePreservesElements) {
+    RandomStream rng{10};
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(RandomStreamTest, SameSeedSameSequence) {
+    RandomStream a{123};
+    RandomStream b{123};
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngFactoryTest, StreamsAreIndependentByLabel) {
+    const RngFactory factory{77};
+    RandomStream a = factory.stream("alpha");
+    RandomStream b = factory.stream("beta");
+    EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(RngFactoryTest, StreamsReproducible) {
+    const RngFactory factory{77};
+    RandomStream a1 = factory.stream("alpha", 3);
+    RandomStream a2 = factory.stream("alpha", 3);
+    EXPECT_EQ(a1.next_u64(), a2.next_u64());
+}
+
+}  // namespace
+}  // namespace nbmg::sim

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace nbmg::stats {
+namespace {
+
+TEST(SummaryTest, EmptyIsZero) {
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    EXPECT_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(SummaryTest, SingleSample) {
+    Summary s;
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 42.0);
+    EXPECT_EQ(s.min(), 42.0);
+    EXPECT_EQ(s.max(), 42.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryTest, KnownMeanAndVariance) {
+    Summary s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance with n-1: sum sq dev = 32, n-1 = 7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryTest, Ci95ShrinksWithSamples) {
+    Summary small;
+    Summary large;
+    for (int i = 0; i < 10; ++i) small.add(i % 2 == 0 ? 1.0 : 2.0);
+    for (int i = 0; i < 1000; ++i) large.add(i % 2 == 0 ? 1.0 : 2.0);
+    EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(SummaryTest, MergeEqualsConcatenation) {
+    Summary a;
+    Summary b;
+    Summary whole;
+    for (int i = 0; i < 50; ++i) {
+        const double x = std::sin(i) * 10;
+        (i < 25 ? a : b).add(x);
+        whole.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+    EXPECT_EQ(a.min(), whole.min());
+    EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(SummaryTest, MergeWithEmpty) {
+    Summary a;
+    a.add(5.0);
+    Summary empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_EQ(empty.mean(), 5.0);
+}
+
+TEST(SummaryTest, SummarizeSpan) {
+    const std::array<double, 3> xs{1.0, 2.0, 3.0};
+    const Summary s = summarize(xs);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinsSamplesCorrectly) {
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(5.9);
+    h.add(9.99);
+    EXPECT_EQ(h.bin_count(0), 1u);
+    EXPECT_EQ(h.bin_count(5), 2u);
+    EXPECT_EQ(h.bin_count(9), 1u);
+    EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(HistogramTest, OutOfRangeClampedAndCounted) {
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0);
+    h.add(15.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bin_count(0), 1u);
+    EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(HistogramTest, BinBoundaries) {
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(HistogramTest, QuantileApproximation) {
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+    EXPECT_THROW((void)h.quantile(1.5), std::invalid_argument);
+}
+
+TEST(HistogramTest, RenderContainsBars) {
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    const std::string out = h.render(10);
+    EXPECT_NE(out.find('#'), std::string::npos);
+    EXPECT_NE(out.find('\n'), std::string::npos);
+}
+
+TEST(TableTest, RequiresColumns) {
+    EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(TableTest, RowCellCountEnforced) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+    t.add_row({"x", "y"});
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(TableTest, MarkdownHasHeaderSeparatorAndAlignment) {
+    Table t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22"});
+    const std::string md = t.to_markdown();
+    EXPECT_NE(md.find("| name"), std::string::npos);
+    EXPECT_NE(md.find("|---"), std::string::npos);
+    EXPECT_NE(md.find("| alpha"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+    Table t({"name"});
+    t.add_row({"has,comma"});
+    t.add_row({"has\"quote"});
+    const std::string csv = t.to_csv();
+    EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, CellFormatters) {
+    EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::cell(std::int64_t{-42}), "-42");
+    EXPECT_EQ(Table::cell_percent(0.1234, 1), "12.3%");
+}
+
+}  // namespace
+}  // namespace nbmg::stats
