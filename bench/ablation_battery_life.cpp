@@ -9,8 +9,19 @@
 #include "core/experiment.hpp"
 #include "core/planners.hpp"
 #include "core/report.hpp"
+#include "core/sweep.hpp"
 #include "traffic/firmware.hpp"
 #include "traffic/population.hpp"
+
+namespace {
+
+struct MechanismProjection {
+    double energy_mj = 0.0;
+    double avg_ma = 0.0;
+    double years = 0.0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
     using namespace nbmg;
@@ -18,7 +29,8 @@ int main(int argc, char** argv) {
     const std::size_t devices = bench::flag_value(argc, argv, "--devices", 150);
     const std::size_t updates_per_year =
         bench::flag_value(argc, argv, "--updates-per-year", 12);
-    const std::uint64_t seed = bench::flag_value(argc, argv, "--seed", 42);
+    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
+    const std::size_t threads = bench::flag_threads(argc, argv);
 
     bench::print_header("Ablation A6", "battery-life projection per mechanism");
     std::printf("n=%zu, %zu firmware campaigns per year, payload=1MB, 5 Ah cell\n",
@@ -31,12 +43,12 @@ int main(int argc, char** argv) {
         traffic::generate_population(traffic::massive_iot_city(), devices, pop_rng));
     const std::int64_t payload = traffic::firmware_1mb().bytes;
 
-    stats::Table table({"mechanism", "campaign energy (J/device)",
-                        "avg current w/ campaigns (uA)", "battery life (years)"});
-    for (const core::MechanismKind kind :
-         {core::MechanismKind::unicast, core::MechanismKind::dr_sc,
-          core::MechanismKind::da_sc, core::MechanismKind::dr_si,
-          core::MechanismKind::sc_ptm}) {
+    const std::vector<core::MechanismKind> kinds = {
+        core::MechanismKind::unicast, core::MechanismKind::dr_sc,
+        core::MechanismKind::da_sc, core::MechanismKind::dr_si,
+        core::MechanismKind::sc_ptm};
+    const auto project = [&](std::size_t k) {
+        const core::MechanismKind kind = kinds[k];
         const auto result = core::plan_and_run(*core::make_mechanism(kind), specs,
                                                config, payload, seed);
         // Mean per-device energy and idle-life current over the horizon.
@@ -71,11 +83,19 @@ int main(int argc, char** argv) {
         const double avg_ma = profile.current_ma[0]  // deep sleep floor
                               + light_ma_ms / 1000.0 / horizon_s
                               + connected_ma_ms / 1000.0 * campaigns / year_s;
-        const double years = nbiot::battery_life_years(profile, avg_ma);
-        table.add_row({std::string{core::to_string(kind)},
-                       stats::Table::cell(energy_mj / 1000.0, 2),
-                       stats::Table::cell(avg_ma * 1000.0, 1),
-                       stats::Table::cell(years, 1)});
+        return MechanismProjection{energy_mj, avg_ma,
+                                   nbiot::battery_life_years(profile, avg_ma)};
+    };
+    const std::vector<MechanismProjection> projections =
+        core::sweep_indexed(kinds.size(), threads, project);
+
+    stats::Table table({"mechanism", "campaign energy (J/device)",
+                        "avg current w/ campaigns (uA)", "battery life (years)"});
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+        table.add_row({std::string{core::to_string(kinds[k])},
+                       stats::Table::cell(projections[k].energy_mj / 1000.0, 2),
+                       stats::Table::cell(projections[k].avg_ma * 1000.0, 1),
+                       stats::Table::cell(projections[k].years, 1)});
     }
     bench::print_table(table);
     std::printf(

@@ -8,15 +8,29 @@
 #include "core/experiment.hpp"
 #include "core/planners.hpp"
 #include "core/report.hpp"
+#include "core/sweep.hpp"
 #include "traffic/firmware.hpp"
 #include "traffic/population.hpp"
+
+namespace {
+
+struct RunResult {
+    double delivered = 0.0;
+    double recovery = 0.0;
+    double collisions = 0.0;
+    double failures = 0.0;
+    double connected = 0.0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
     using namespace nbmg;
 
     const std::size_t runs = bench::flag_value(argc, argv, "--runs", 10);
     const std::size_t devices = bench::flag_value(argc, argv, "--devices", 400);
-    const std::uint64_t seed = bench::flag_value(argc, argv, "--seed", 42);
+    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
+    const std::size_t threads = bench::flag_threads(argc, argv);
 
     bench::print_header("Ablation A4", "paging capacity, RACH load and page loss");
     std::printf("n=%zu runs=%zu mechanism=DR-SI payload=100KB\n", devices, runs);
@@ -43,12 +57,7 @@ int main(int argc, char** argv) {
         config.background_ra_per_second = sc.background_ra;
         config.page_miss_prob = sc.page_miss;
 
-        stats::Summary delivered;
-        stats::Summary recovery;
-        stats::Summary collisions;
-        stats::Summary failures;
-        stats::Summary connected;
-        for (std::size_t run = 0; run < runs; ++run) {
+        const auto stress_run = [&](std::size_t run) {
             sim::RandomStream pop_rng{sim::derive_seed(seed, "pop", run)};
             const auto specs = traffic::to_specs(traffic::generate_population(
                 traffic::massive_iot_city(), devices, pop_rng));
@@ -59,12 +68,28 @@ int main(int argc, char** argv) {
                                    run_seed);
             const auto result = core::plan_and_run(core::DrSiMechanism{}, specs,
                                                    config, payload, run_seed);
-            delivered.add(static_cast<double>(result.received_count()) /
-                          static_cast<double>(devices));
-            recovery.add(static_cast<double>(result.recovery_transmissions));
-            collisions.add(static_cast<double>(result.rach_collisions));
-            failures.add(static_cast<double>(result.rach_failures));
-            connected.add(core::relative_uptime(result, unicast).connected_increase);
+            RunResult out;
+            out.delivered = static_cast<double>(result.received_count()) /
+                            static_cast<double>(devices);
+            out.recovery = static_cast<double>(result.recovery_transmissions);
+            out.collisions = static_cast<double>(result.rach_collisions);
+            out.failures = static_cast<double>(result.rach_failures);
+            out.connected =
+                core::relative_uptime(result, unicast).connected_increase;
+            return out;
+        };
+
+        stats::Summary delivered;
+        stats::Summary recovery;
+        stats::Summary collisions;
+        stats::Summary failures;
+        stats::Summary connected;
+        for (const RunResult& r : core::sweep_indexed(runs, threads, stress_run)) {
+            delivered.add(r.delivered);
+            recovery.add(r.recovery);
+            collisions.add(r.collisions);
+            failures.add(r.failures);
+            connected.add(r.connected);
         }
         table.add_row({sc.name, stats::Table::cell_percent(delivered.mean(), 2),
                        stats::Table::cell(recovery.mean(), 1),

@@ -12,7 +12,8 @@ int main(int argc, char** argv) {
     using namespace nbmg;
 
     const std::size_t runs = bench::flag_value(argc, argv, "--runs", 30);
-    const std::uint64_t seed = bench::flag_value(argc, argv, "--seed", 42);
+    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
+    const std::size_t threads = bench::flag_threads(argc, argv);
 
     bench::print_header("Ablation A3", "DRX mix sensitivity of DR-SC transmissions");
     const core::CampaignConfig config;
@@ -32,7 +33,8 @@ int main(int argc, char** argv) {
         for (const std::size_t n : {std::size_t{100}, std::size_t{500},
                                     std::size_t{1000}}) {
             const auto point =
-                core::drsc_transmission_point(profile, n, config, runs, seed);
+                core::drsc_transmission_point(profile, n, config, runs, seed,
+                                              threads);
             row.push_back(stats::Table::cell(point.transmissions_per_device.mean(), 3));
         }
         table.add_row(std::move(row));

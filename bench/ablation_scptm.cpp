@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
 
     const std::size_t runs = bench::flag_value(argc, argv, "--runs", 15);
     const std::size_t devices = bench::flag_value(argc, argv, "--devices", 200);
-    const std::uint64_t seed = bench::flag_value(argc, argv, "--seed", 42);
+    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
 
     bench::print_header("Ablation A5", "SC-PTM baseline vs on-demand mechanisms");
     std::printf("n=%zu runs=%zu payload=100KB (uptime per device over one campaign "
@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
     setup.payload_bytes = traffic::firmware_100kb().bytes;
     setup.runs = runs;
     setup.base_seed = seed;
+    setup.threads = bench::flag_threads(argc, argv);
     setup.mechanisms = {core::MechanismKind::dr_sc, core::MechanismKind::da_sc,
                         core::MechanismKind::dr_si, core::MechanismKind::sc_ptm};
 

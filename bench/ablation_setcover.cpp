@@ -8,34 +8,41 @@
 
 #include "bench/bench_util.hpp"
 #include "core/mechanism.hpp"
+#include "core/sweep.hpp"
 #include "setcover/solvers.hpp"
 #include "setcover/window_cover.hpp"
 #include "stats/summary.hpp"
 #include "traffic/population.hpp"
+
+namespace {
+
+/// One instance's cover sizes; exact < 0 means the node budget ran out.
+struct InstanceResult {
+    double greedy = 0.0;
+    double first_fit = 0.0;
+    double random = 0.0;
+    double exact = -1.0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
     using namespace nbmg;
 
     const std::size_t runs = bench::flag_value(argc, argv, "--runs", 40);
     const std::size_t devices = bench::flag_value(argc, argv, "--devices", 24);
-    const std::uint64_t seed = bench::flag_value(argc, argv, "--seed", 42);
+    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
+    const std::size_t threads = bench::flag_threads(argc, argv);
 
     bench::print_header("Ablation A1",
                         "set-cover solvers on DR-SC window instances");
     std::printf("n=%zu devices per instance, %zu instances\n", devices, runs);
 
     const core::CampaignConfig config;
-    const nbiot::PagingSchedule paging(config.paging);
     const traffic::PopulationProfile profile = traffic::massive_iot_city();
 
-    stats::Summary greedy_size;
-    stats::Summary first_fit_size;
-    stats::Summary random_size;
-    stats::Summary exact_size;
-    stats::Summary greedy_ratio;
-    std::size_t exact_solved = 0;
-
-    for (std::size_t run = 0; run < runs; ++run) {
+    const auto solve_instance = [&](std::size_t run) {
+        const nbiot::PagingSchedule paging(config.paging);
         sim::RandomStream pop_rng{sim::derive_seed(seed, "pop", run)};
         const auto population = traffic::generate_population(profile, devices, pop_rng);
         const auto specs = traffic::to_specs(population);
@@ -50,25 +57,43 @@ int main(int argc, char** argv) {
             }
         }
 
+        InstanceResult out;
         sim::RandomStream tie_rng{sim::derive_seed(seed, "tie", run)};
         const auto fast = setcover::greedy_window_cover(
             events, config.inactivity_timer, static_cast<std::uint32_t>(devices),
             tie_rng);
-        greedy_size.add(static_cast<double>(fast.windows.size()));
+        out.greedy = static_cast<double>(fast.windows.size());
 
         const setcover::SetCoverInstance instance = setcover::to_set_cover_instance(
             events, config.inactivity_timer, static_cast<std::uint32_t>(devices));
-        first_fit_size.add(
-            static_cast<double>(setcover::first_fit_cover(instance).chosen.size()));
+        out.first_fit =
+            static_cast<double>(setcover::first_fit_cover(instance).chosen.size());
         sim::RandomStream rnd_rng{sim::derive_seed(seed, "rnd", run)};
-        random_size.add(
-            static_cast<double>(setcover::random_cover(instance, rnd_rng).chosen.size()));
+        out.random =
+            static_cast<double>(setcover::random_cover(instance, rnd_rng).chosen.size());
 
         if (const auto exact = setcover::exact_cover(instance, 2'000'000)) {
+            out.exact = static_cast<double>(exact->chosen.size());
+        }
+        return out;
+    };
+    const std::vector<InstanceResult> instances =
+        core::sweep_indexed(runs, threads, solve_instance);
+
+    stats::Summary greedy_size;
+    stats::Summary first_fit_size;
+    stats::Summary random_size;
+    stats::Summary exact_size;
+    stats::Summary greedy_ratio;
+    std::size_t exact_solved = 0;
+    for (const InstanceResult& r : instances) {
+        greedy_size.add(r.greedy);
+        first_fit_size.add(r.first_fit);
+        random_size.add(r.random);
+        if (r.exact >= 0.0) {
             ++exact_solved;
-            exact_size.add(static_cast<double>(exact->chosen.size()));
-            greedy_ratio.add(static_cast<double>(fast.windows.size()) /
-                             static_cast<double>(exact->chosen.size()));
+            exact_size.add(r.exact);
+            greedy_ratio.add(r.greedy / r.exact);
         }
     }
 

@@ -13,7 +13,8 @@ int main(int argc, char** argv) {
 
     const std::size_t runs = bench::flag_value(argc, argv, "--runs", 20);
     const std::size_t devices = bench::flag_value(argc, argv, "--devices", 300);
-    const std::uint64_t seed = bench::flag_value(argc, argv, "--seed", 42);
+    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
+    const std::size_t threads = bench::flag_threads(argc, argv);
 
     bench::print_header("Ablation A2", "inactivity timer (TI) sweep");
     std::printf("n=%zu runs=%zu payload=100KB\n", devices, runs);
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
         setup.payload_bytes = traffic::firmware_100kb().bytes;
         setup.runs = runs;
         setup.base_seed = seed;
+        setup.threads = threads;
         setup.config.inactivity_timer = nbiot::SimTime{ti_ms};
 
         const core::ComparisonOutcome outcome = core::run_comparison(setup);

@@ -1,6 +1,10 @@
 // Shared helpers for the benchmark harness binaries.
 #pragma once
 
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,17 +14,78 @@
 
 namespace nbmg::bench {
 
-/// Parses "--runs N" / "--devices N" style overrides; returns fallback when
-/// the flag is absent.
-inline std::size_t flag_value(int argc, char** argv, const char* flag,
-                              std::size_t fallback) {
-    for (int i = 1; i + 1 < argc; ++i) {
+/// Prints a usage message for a malformed flag and exits with status 2.
+[[noreturn]] inline void flag_error(const char* flag, const char* value,
+                                    const char* reason) {
+    if (value != nullptr) {
+        std::fprintf(stderr, "error: bad value '%s' for %s: %s\n", value, flag,
+                     reason);
+    } else {
+        std::fprintf(stderr, "error: %s: %s\n", flag, reason);
+    }
+    std::fprintf(stderr,
+                 "usage: flags take the form '%s N' where N is a non-negative "
+                 "decimal integer\n",
+                 flag);
+    std::exit(2);
+}
+
+/// Locates `flag` and returns its value string, or nullptr when the flag is
+/// absent.  A flag with no following value is a usage error.
+[[nodiscard]] inline const char* flag_text(int argc, char** argv, const char* flag) {
+    for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], flag) == 0) {
-            const long v = std::strtol(argv[i + 1], nullptr, 10);
-            if (v > 0) return static_cast<std::size_t>(v);
+            if (i + 1 >= argc) flag_error(flag, nullptr, "missing value");
+            return argv[i + 1];
         }
     }
-    return fallback;
+    return nullptr;
+}
+
+/// Parses "--seed N" style overrides strictly: the whole value must be a
+/// non-negative decimal integer >= min_value (0 is valid — seeds may be 0).
+/// Returns fallback only when the flag is absent; malformed input exits
+/// with a usage message instead of silently falling back.
+[[nodiscard]] inline std::uint64_t flag_u64(int argc, char** argv, const char* flag,
+                                            std::uint64_t fallback,
+                                            std::uint64_t min_value = 0) {
+    const char* text = flag_text(argc, argv, flag);
+    if (text == nullptr) return fallback;
+    if (*text == '\0') flag_error(flag, text, "empty value");
+    if (*text == '-') flag_error(flag, text, "value must be non-negative");
+    // strtoull itself skips whitespace and accepts a sign; insist the value
+    // starts with a digit so ' -5' or '+7' cannot sneak past.
+    if (std::isdigit(static_cast<unsigned char>(*text)) == 0) {
+        flag_error(flag, text, "not a decimal integer");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno == ERANGE) flag_error(flag, text, "value out of range");
+    if (end == text || *end != '\0') {
+        flag_error(flag, text, "not a decimal integer");
+    }
+    if (v < min_value) {
+        char reason[64];
+        std::snprintf(reason, sizeof reason, "value must be >= %" PRIu64, min_value);
+        flag_error(flag, text, reason);
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+/// Parses "--runs N" / "--devices N" style overrides (strictly, as
+/// flag_u64); by default the value must be at least 1.
+[[nodiscard]] inline std::size_t flag_value(int argc, char** argv, const char* flag,
+                                            std::size_t fallback,
+                                            std::size_t min_value = 1) {
+    return static_cast<std::size_t>(
+        flag_u64(argc, argv, flag, fallback, min_value));
+}
+
+/// Parses "--threads N"; 0 (the default) means one worker per hardware
+/// thread.  Results never depend on the thread count.
+[[nodiscard]] inline std::size_t flag_threads(int argc, char** argv) {
+    return static_cast<std::size_t>(flag_u64(argc, argv, "--threads", 0));
 }
 
 inline void print_header(const char* experiment_id, const char* title) {

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
 
     const std::size_t runs = bench::flag_value(argc, argv, "--runs", 50);
     const std::size_t devices = bench::flag_value(argc, argv, "--devices", 300);
-    const std::uint64_t seed = bench::flag_value(argc, argv, "--seed", 42);
+    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
 
     core::ComparisonSetup setup;
     setup.profile = traffic::massive_iot_city();
@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
     setup.payload_bytes = traffic::firmware_100kb().bytes;
     setup.runs = runs;
     setup.base_seed = seed;
+    setup.threads = bench::flag_threads(argc, argv);
 
     bench::print_header("Fig. 6(a)", "relative light-sleep uptime increase vs unicast");
     std::printf("profile=%s n=%zu payload=100KB TI=%.1fs runs=%zu\n",

@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
 
     const std::size_t runs = bench::flag_value(argc, argv, "--runs", 30);
     const std::size_t devices = bench::flag_value(argc, argv, "--devices", 300);
-    const std::uint64_t seed = bench::flag_value(argc, argv, "--seed", 42);
+    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
+    const std::size_t threads = bench::flag_threads(argc, argv);
 
     bench::print_header("Fig. 6(b)",
                         "relative connected-mode uptime increase vs unicast");
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
         setup.payload_bytes = payload.bytes;
         setup.runs = runs;
         setup.base_seed = seed;
+        setup.threads = threads;
 
         const core::ComparisonOutcome outcome = core::run_comparison(setup);
         table.add_row({payload.name, "Unicast",

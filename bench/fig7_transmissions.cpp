@@ -5,6 +5,7 @@
 // ~40% at n = 1000 (figure caption; see EXPERIMENTS.md for the text/caption
 // discrepancy note).
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "core/analysis.hpp"
@@ -15,7 +16,8 @@ int main(int argc, char** argv) {
     using namespace nbmg;
 
     const std::size_t runs = bench::flag_value(argc, argv, "--runs", 100);
-    const std::uint64_t seed = bench::flag_value(argc, argv, "--seed", 42);
+    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
+    const std::size_t threads = bench::flag_threads(argc, argv);
 
     core::CampaignConfig config;  // paper defaults: TI = 20 s
     const traffic::PopulationProfile profile = traffic::massive_iot_city();
@@ -25,12 +27,18 @@ int main(int argc, char** argv) {
                 static_cast<double>(config.inactivity_timer.count()) / 1000.0, runs,
                 static_cast<unsigned long long>(seed));
 
+    std::vector<std::size_t> device_counts;
+    for (std::size_t n = 100; n <= 1000; n += 100) device_counts.push_back(n);
+    // The full devices x runs grid fans across the worker pool at once.
+    const std::vector<core::TransmissionSweepPoint> points =
+        core::drsc_transmission_sweep(profile, device_counts, config, runs, seed,
+                                      threads);
+
     stats::Table table({"devices", "mean transmissions", "ci95", "tx/device",
                         "slot-model bound", "savings vs unicast",
                         "paper tx/device"});
-    for (std::size_t n = 100; n <= 1000; n += 100) {
-        const core::TransmissionSweepPoint point =
-            core::drsc_transmission_point(profile, n, config, runs, seed);
+    for (const core::TransmissionSweepPoint& point : points) {
+        const std::size_t n = point.device_count;
         // Paper anchor points: caption states ~0.5 at low n, ~0.4 at n=1000.
         const double paper = n <= 200 ? 0.50 : (n >= 900 ? 0.40 : -1.0);
         table.add_row({stats::Table::cell(static_cast<std::int64_t>(n)),

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Single verification entry point (CI and local): configure Debug and
+# Release with warnings-as-errors, build everything, run the full CTest
+# suite in both configurations.
+#
+#   $ ci/verify.sh            # both configurations
+#   $ ci/verify.sh Release    # just one
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+configs=("${@:-Debug}")
+if [[ $# -eq 0 ]]; then
+  configs=(Debug Release)
+fi
+
+for config in "${configs[@]}"; do
+  build_dir="build-$(echo "${config}" | tr '[:upper:]' '[:lower:]')"
+  echo "=== ${config} -> ${build_dir} ==="
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE="${config}" -DNBMG_WERROR=ON
+  cmake --build "${build_dir}" -j"${jobs}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j"${jobs}"
+done
+
+echo "verify: all configurations green"

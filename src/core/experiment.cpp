@@ -3,8 +3,95 @@
 #include <stdexcept>
 
 #include "core/planners.hpp"
+#include "core/sweep.hpp"
 
 namespace nbmg::core {
+
+void MechanismStats::merge(const MechanismStats& other) noexcept {
+    light_sleep_increase.merge(other.light_sleep_increase);
+    connected_increase.merge(other.connected_increase);
+    transmissions.merge(other.transmissions);
+    transmissions_per_device.merge(other.transmissions_per_device);
+    bytes_ratio.merge(other.bytes_ratio);
+    recovery_transmissions.merge(other.recovery_transmissions);
+    unreceived_devices.merge(other.unreceived_devices);
+    mean_connected_seconds.merge(other.mean_connected_seconds);
+    mean_light_sleep_seconds.merge(other.mean_light_sleep_seconds);
+}
+
+namespace {
+
+/// One run's contribution: single-sample summaries, merged in run order by
+/// the caller.
+struct RunContribution {
+    MechanismStats unicast;
+    std::vector<MechanismStats> mechanisms;
+};
+
+RunContribution comparison_run(const ComparisonSetup& setup, std::size_t run) {
+    RunContribution contrib;
+    contrib.unicast.kind = MechanismKind::unicast;
+    contrib.mechanisms.resize(setup.mechanisms.size());
+
+    const sim::RngFactory rng_factory(setup.base_seed);
+    const UnicastBaseline unicast;
+    const CampaignRunner runner(setup.config);
+
+    sim::RandomStream pop_rng = rng_factory.stream("population", run);
+    const auto population =
+        traffic::generate_population(setup.profile, setup.device_count, pop_rng);
+    const auto specs = traffic::to_specs(population);
+    const nbiot::SimTime horizon =
+        recommended_horizon(specs, setup.config, setup.payload_bytes);
+    const std::uint64_t run_seed = sim::derive_seed(setup.base_seed, "run", run);
+
+    sim::RandomStream unicast_rng = rng_factory.stream("plan-unicast", run);
+    const MulticastPlan unicast_plan = unicast.plan(specs, setup.config, unicast_rng);
+    const CampaignResult reference =
+        runner.run(unicast_plan, specs, setup.payload_bytes, horizon, run_seed);
+
+    contrib.unicast.transmissions.add(
+        static_cast<double>(reference.total_transmissions()));
+    contrib.unicast.transmissions_per_device.add(
+        static_cast<double>(reference.total_transmissions()) /
+        static_cast<double>(reference.devices.size()));
+    contrib.unicast.bytes_ratio.add(1.0);
+    contrib.unicast.recovery_transmissions.add(
+        static_cast<double>(reference.recovery_transmissions));
+    contrib.unicast.unreceived_devices.add(static_cast<double>(
+        reference.devices.size() - reference.received_count()));
+    contrib.unicast.mean_connected_seconds.add(mean_connected_ms(reference) / 1000.0);
+    contrib.unicast.mean_light_sleep_seconds.add(mean_light_sleep_ms(reference) /
+                                                 1000.0);
+
+    for (std::size_t m = 0; m < setup.mechanisms.size(); ++m) {
+        const auto mechanism = make_mechanism(setup.mechanisms[m]);
+        sim::RandomStream plan_rng = rng_factory.stream(mechanism->name(), run);
+        const MulticastPlan plan = mechanism->plan(specs, setup.config, plan_rng);
+        const CampaignResult result =
+            runner.run(plan, specs, setup.payload_bytes, horizon, run_seed);
+
+        const RelativeUptime rel = relative_uptime(result, reference);
+        const BandwidthComparison bw = bandwidth_comparison(result, reference);
+
+        MechanismStats& out = contrib.mechanisms[m];
+        out.kind = setup.mechanisms[m];
+        out.light_sleep_increase.add(rel.light_sleep_increase);
+        out.connected_increase.add(rel.connected_increase);
+        out.transmissions.add(static_cast<double>(result.total_transmissions()));
+        out.transmissions_per_device.add(bw.transmissions_per_device);
+        out.bytes_ratio.add(bw.bytes_on_air_ratio);
+        out.recovery_transmissions.add(
+            static_cast<double>(result.recovery_transmissions));
+        out.unreceived_devices.add(static_cast<double>(
+            result.devices.size() - result.received_count()));
+        out.mean_connected_seconds.add(mean_connected_ms(result) / 1000.0);
+        out.mean_light_sleep_seconds.add(mean_light_sleep_ms(result) / 1000.0);
+    }
+    return contrib;
+}
+
+}  // namespace
 
 ComparisonOutcome run_comparison(const ComparisonSetup& setup) {
     if (setup.runs == 0 || setup.device_count == 0) {
@@ -13,98 +100,78 @@ ComparisonOutcome run_comparison(const ComparisonSetup& setup) {
 
     ComparisonOutcome outcome;
     outcome.mechanisms.resize(setup.mechanisms.size());
-    std::vector<MechanismStats>& stats = outcome.mechanisms;
     for (std::size_t m = 0; m < setup.mechanisms.size(); ++m) {
-        stats[m].kind = setup.mechanisms[m];
+        outcome.mechanisms[m].kind = setup.mechanisms[m];
     }
     outcome.unicast.kind = MechanismKind::unicast;
 
-    const sim::RngFactory rng_factory(setup.base_seed);
-    const UnicastBaseline unicast;
-    const CampaignRunner runner(setup.config);
+    const std::vector<RunContribution> contributions = sweep_indexed(
+        setup.runs, setup.threads,
+        [&setup](std::size_t run) { return comparison_run(setup, run); });
 
-    for (std::size_t run = 0; run < setup.runs; ++run) {
-        sim::RandomStream pop_rng = rng_factory.stream("population", run);
-        const auto population =
-            traffic::generate_population(setup.profile, setup.device_count, pop_rng);
-        const auto specs = traffic::to_specs(population);
-        const nbiot::SimTime horizon =
-            recommended_horizon(specs, setup.config, setup.payload_bytes);
-        const std::uint64_t run_seed = sim::derive_seed(setup.base_seed, "run", run);
-
-        sim::RandomStream unicast_rng = rng_factory.stream("plan-unicast", run);
-        const MulticastPlan unicast_plan =
-            unicast.plan(specs, setup.config, unicast_rng);
-        const CampaignResult reference =
-            runner.run(unicast_plan, specs, setup.payload_bytes, horizon, run_seed);
-
-        outcome.unicast.transmissions.add(
-            static_cast<double>(reference.total_transmissions()));
-        outcome.unicast.transmissions_per_device.add(
-            static_cast<double>(reference.total_transmissions()) /
-            static_cast<double>(reference.devices.size()));
-        outcome.unicast.bytes_ratio.add(1.0);
-        outcome.unicast.recovery_transmissions.add(
-            static_cast<double>(reference.recovery_transmissions));
-        outcome.unicast.unreceived_devices.add(static_cast<double>(
-            reference.devices.size() - reference.received_count()));
-        outcome.unicast.mean_connected_seconds.add(mean_connected_ms(reference) / 1000.0);
-        outcome.unicast.mean_light_sleep_seconds.add(mean_light_sleep_ms(reference) /
-                                                     1000.0);
-
+    for (const RunContribution& contrib : contributions) {
+        outcome.unicast.merge(contrib.unicast);
         for (std::size_t m = 0; m < setup.mechanisms.size(); ++m) {
-            const auto mechanism = make_mechanism(setup.mechanisms[m]);
-            sim::RandomStream plan_rng =
-                rng_factory.stream(mechanism->name(), run);
-            const MulticastPlan plan = mechanism->plan(specs, setup.config, plan_rng);
-            const CampaignResult result =
-                runner.run(plan, specs, setup.payload_bytes, horizon, run_seed);
-
-            const RelativeUptime rel = relative_uptime(result, reference);
-            const BandwidthComparison bw = bandwidth_comparison(result, reference);
-
-            MechanismStats& out = stats[m];
-            out.light_sleep_increase.add(rel.light_sleep_increase);
-            out.connected_increase.add(rel.connected_increase);
-            out.transmissions.add(static_cast<double>(result.total_transmissions()));
-            out.transmissions_per_device.add(bw.transmissions_per_device);
-            out.bytes_ratio.add(bw.bytes_on_air_ratio);
-            out.recovery_transmissions.add(
-                static_cast<double>(result.recovery_transmissions));
-            out.unreceived_devices.add(static_cast<double>(
-                result.devices.size() - result.received_count()));
-            out.mean_connected_seconds.add(mean_connected_ms(result) / 1000.0);
-            out.mean_light_sleep_seconds.add(mean_light_sleep_ms(result) / 1000.0);
+            outcome.mechanisms[m].merge(contrib.mechanisms[m]);
         }
     }
     return outcome;
 }
 
-TransmissionSweepPoint drsc_transmission_point(const traffic::PopulationProfile& profile,
-                                               std::size_t device_count,
-                                               const CampaignConfig& config,
-                                               std::size_t runs,
-                                               std::uint64_t base_seed) {
-    if (runs == 0 || device_count == 0) {
-        throw std::invalid_argument("drsc_transmission_point: empty setup");
+std::vector<TransmissionSweepPoint> drsc_transmission_sweep(
+    const traffic::PopulationProfile& profile,
+    std::span<const std::size_t> device_counts, const CampaignConfig& config,
+    std::size_t runs, std::uint64_t base_seed, std::size_t threads) {
+    if (runs == 0 || device_counts.empty()) {
+        throw std::invalid_argument("drsc_transmission_sweep: empty setup");
     }
-    TransmissionSweepPoint point;
-    point.device_count = device_count;
+    for (const std::size_t n : device_counts) {
+        if (n == 0) {
+            throw std::invalid_argument("drsc_transmission_sweep: empty setup");
+        }
+    }
 
-    const sim::RngFactory rng_factory(base_seed);
-    const DrScMechanism dr_sc;
-    for (std::size_t run = 0; run < runs; ++run) {
+    // A cell plans one run at one device count; the RNG streams depend only
+    // on (base_seed, run), exactly as the serial loop derived them.
+    const auto plan_cell = [&](std::size_t point, std::size_t run) -> double {
+        const std::size_t device_count = device_counts[point];
+        const sim::RngFactory rng_factory(base_seed);
+        const DrScMechanism dr_sc;
         sim::RandomStream pop_rng = rng_factory.stream("population", run);
         const auto population =
             traffic::generate_population(profile, device_count, pop_rng);
         const auto specs = traffic::to_specs(population);
         sim::RandomStream plan_rng = rng_factory.stream("plan-drsc", run);
         const MulticastPlan plan = dr_sc.plan(specs, config, plan_rng);
-        const auto tx = static_cast<double>(plan.transmissions.size());
-        point.transmissions.add(tx);
-        point.transmissions_per_device.add(tx / static_cast<double>(device_count));
+        return static_cast<double>(plan.transmissions.size());
+    };
+    const auto reduce_point = [&](std::size_t point,
+                                  std::span<const double> transmissions) {
+        TransmissionSweepPoint out;
+        out.device_count = device_counts[point];
+        for (const double tx : transmissions) {
+            out.transmissions.add(tx);
+            out.transmissions_per_device.add(tx /
+                                             static_cast<double>(out.device_count));
+        }
+        return out;
+    };
+    return sweep_points(device_counts.size(), runs, threads, plan_cell, reduce_point);
+}
+
+TransmissionSweepPoint drsc_transmission_point(const traffic::PopulationProfile& profile,
+                                               std::size_t device_count,
+                                               const CampaignConfig& config,
+                                               std::size_t runs,
+                                               std::uint64_t base_seed,
+                                               std::size_t threads) {
+    const std::size_t counts[] = {device_count};
+    if (device_count == 0) {
+        throw std::invalid_argument("drsc_transmission_point: empty setup");
     }
-    return point;
+    return drsc_transmission_sweep(profile, counts, config, runs, base_seed,
+                                   threads)
+        .front();
 }
 
 }  // namespace nbmg::core

@@ -1,9 +1,15 @@
 // Multi-run experiment driver: repeats campaigns across seeds and
 // aggregates the paper's metrics.  Every benchmark binary is a thin shell
 // around these helpers.
+//
+// Runs fan out over the sweep engine (core/sweep.hpp): every run derives
+// its RNG streams from the base seed and its run index alone, and the
+// per-run partial statistics are merged in run order, so the aggregates
+// are bit-identical for any thread count.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/campaign.hpp"
@@ -20,6 +26,9 @@ struct ComparisonSetup {
     CampaignConfig config{};
     std::size_t runs = 100;
     std::uint64_t base_seed = 42;
+    /// Worker threads for the run sweep; 0 = one per hardware thread.
+    /// Results do not depend on this value.
+    std::size_t threads = 0;
     std::vector<MechanismKind> mechanisms{MechanismKind::dr_sc, MechanismKind::da_sc,
                                           MechanismKind::dr_si};
 };
@@ -36,6 +45,9 @@ struct MechanismStats {
     stats::Summary unreceived_devices;         // devices left without payload
     stats::Summary mean_connected_seconds;     // absolute per-device mean
     stats::Summary mean_light_sleep_seconds;   // absolute per-device mean
+
+    /// Field-wise stats::Summary::merge; `other.kind` must match.
+    void merge(const MechanismStats& other) noexcept;
 };
 
 struct ComparisonOutcome {
@@ -55,8 +67,16 @@ struct TransmissionSweepPoint {
     stats::Summary transmissions_per_device;
 };
 
+/// Sweeps DR-SC planning over `device_counts x runs`, fanning the whole
+/// grid across `threads` workers.  One result per device count, in order.
+[[nodiscard]] std::vector<TransmissionSweepPoint> drsc_transmission_sweep(
+    const traffic::PopulationProfile& profile,
+    std::span<const std::size_t> device_counts, const CampaignConfig& config,
+    std::size_t runs, std::uint64_t base_seed, std::size_t threads = 0);
+
 [[nodiscard]] TransmissionSweepPoint drsc_transmission_point(
     const traffic::PopulationProfile& profile, std::size_t device_count,
-    const CampaignConfig& config, std::size_t runs, std::uint64_t base_seed);
+    const CampaignConfig& config, std::size_t runs, std::uint64_t base_seed,
+    std::size_t threads = 0);
 
 }  // namespace nbmg::core

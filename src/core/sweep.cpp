@@ -1,0 +1,60 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace nbmg::core {
+
+std::size_t resolve_threads(std::size_t requested) noexcept {
+    if (requested != 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void WorkerPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& fn) const {
+    if (count == 0) return;
+    const std::size_t workers = std::min(threads_, count);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) return;
+            try {
+                fn(i);
+            } catch (...) {
+                const std::scoped_lock lock(error_mutex);
+                if (!first_error) first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    try {
+        for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(worker);
+    } catch (...) {
+        // Thread spawn failed: stop handing out work, drain the threads that
+        // did start, then report the failure (never std::terminate).
+        next.store(count, std::memory_order_relaxed);
+        for (std::thread& t : pool) t.join();
+        throw;
+    }
+    worker();  // the calling thread participates
+    for (std::thread& t : pool) t.join();
+
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace nbmg::core

@@ -2,6 +2,8 @@
 
 #include <array>
 #include <cmath>
+#include <span>
+#include <vector>
 
 #include "stats/histogram.hpp"
 #include "stats/summary.hpp"
@@ -73,6 +75,73 @@ TEST(SummaryTest, MergeWithEmpty) {
     empty.merge(a);
     EXPECT_EQ(empty.count(), 1u);
     EXPECT_EQ(empty.mean(), 5.0);
+}
+
+// Property tests backing the sweep engine's reduction: merging per-chunk
+// summaries must behave like one pass over the concatenated samples no
+// matter how the samples were grouped (commutative and associative up to
+// floating-point noise; count/min/max exactly).
+namespace {
+
+Summary chunk_summary(std::span<const double> samples, std::size_t begin,
+                      std::size_t end) {
+    return summarize(samples.subspan(begin, end - begin));
+}
+
+std::vector<double> property_samples() {
+    std::vector<double> xs;
+    for (int i = 0; i < 90; ++i) {
+        xs.push_back(std::sin(i * 0.7) * 100.0 + std::cos(i) * 0.01);
+    }
+    return xs;
+}
+
+void expect_statistically_equal(const Summary& a, const Summary& b) {
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.min(), b.min());
+    EXPECT_EQ(a.max(), b.max());
+    EXPECT_NEAR(a.mean(), b.mean(), 1e-9 * (1.0 + std::abs(b.mean())));
+    EXPECT_NEAR(a.variance(), b.variance(), 1e-9 * (1.0 + b.variance()));
+}
+
+}  // namespace
+
+TEST(SummaryTest, MergeIsCommutative) {
+    const std::vector<double> xs = property_samples();
+    Summary ab = chunk_summary(xs, 0, 30);
+    ab.merge(chunk_summary(xs, 30, 90));
+    Summary ba = chunk_summary(xs, 30, 90);
+    ba.merge(chunk_summary(xs, 0, 30));
+    expect_statistically_equal(ab, ba);
+}
+
+TEST(SummaryTest, MergeIsAssociative) {
+    const std::vector<double> xs = property_samples();
+    const Summary a = chunk_summary(xs, 0, 20);
+    const Summary b = chunk_summary(xs, 20, 55);
+    const Summary c = chunk_summary(xs, 55, 90);
+
+    Summary left = a;   // (a + b) + c
+    left.merge(b);
+    left.merge(c);
+    Summary right = b;  // a + (b + c)
+    right.merge(c);
+    Summary a_first = a;
+    a_first.merge(right);
+
+    expect_statistically_equal(left, a_first);
+    expect_statistically_equal(left, summarize(xs));
+}
+
+TEST(SummaryTest, MergingSingleSampleChunksMatchesSequentialAdds) {
+    const std::vector<double> xs = property_samples();
+    Summary merged;
+    for (const double x : xs) {
+        Summary one;
+        one.add(x);
+        merged.merge(one);
+    }
+    expect_statistically_equal(merged, summarize(xs));
 }
 
 TEST(SummaryTest, SummarizeSpan) {
