@@ -22,6 +22,11 @@ int main(int argc, char** argv) {
     stats::Table table({"TI (s)", "DR-SC tx/device", "DR-SC connected vs unicast",
                         "DA-SC connected vs unicast", "DR-SI connected vs unicast",
                         "DA-SC light-sleep vs unicast"});
+    // Every TI point replays the same per-run populations; generate them
+    // once and share (bit-identical to regenerating at each point).
+    const core::SharedPopulations populations =
+        core::generate_comparison_populations(traffic::massive_iot_city(), devices,
+                                              runs, seed);
     for (const std::int64_t ti_ms : {5'000, 10'000, 20'000, 30'000}) {
         core::ComparisonSetup setup;
         setup.profile = traffic::massive_iot_city();
@@ -30,6 +35,7 @@ int main(int argc, char** argv) {
         setup.runs = runs;
         setup.base_seed = seed;
         setup.threads = threads;
+        setup.populations = populations;
         setup.config.inactivity_timer = nbiot::SimTime{ti_ms};
 
         const core::ComparisonOutcome outcome = core::run_comparison(setup);

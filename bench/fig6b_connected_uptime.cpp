@@ -27,6 +27,11 @@ int main(int argc, char** argv) {
 
     stats::Table table({"payload", "mechanism", "connected uptime (s/device)",
                         "increase vs unicast", "ci95", "paper shape"});
+    // The payload sweep replays the same per-run populations at every
+    // point; generate them once and share.
+    const core::SharedPopulations populations =
+        core::generate_comparison_populations(traffic::massive_iot_city(), devices,
+                                              runs, seed);
     for (const auto& payload : traffic::paper_payloads()) {
         core::ComparisonSetup setup;
         setup.profile = traffic::massive_iot_city();
@@ -35,6 +40,7 @@ int main(int argc, char** argv) {
         setup.runs = runs;
         setup.base_seed = seed;
         setup.threads = threads;
+        setup.populations = populations;
 
         const core::ComparisonOutcome outcome = core::run_comparison(setup);
         table.add_row({payload.name, "Unicast",

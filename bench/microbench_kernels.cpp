@@ -6,6 +6,7 @@
 #include "core/campaign.hpp"
 #include "core/planners.hpp"
 #include "nbiot/paging.hpp"
+#include "setcover/solvers.hpp"
 #include "setcover/window_cover.hpp"
 #include "sim/event_queue.hpp"
 #include "traffic/population.hpp"
@@ -41,7 +42,27 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_EventQueueScheduleRun)->Arg(1'000)->Arg(10'000);
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1'000)->Arg(10'000)->Arg(1'000'000);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+    // Cancellation-path cost: schedule n events, cancel every other one up
+    // front, then drain — the popped heap is half stale entries.
+    for (auto _ : state) {
+        sim::EventQueue queue;
+        const auto n = state.range(0);
+        std::vector<sim::EventId> ids;
+        ids.reserve(static_cast<std::size_t>(n));
+        for (std::int64_t i = 0; i < n; ++i) {
+            ids.push_back(
+                queue.schedule_at(sim::SimTime{(i * 7919) % 100'000}, [] {}));
+        }
+        for (std::size_t i = 0; i < ids.size(); i += 2) queue.cancel(ids[i]);
+        queue.run_all();
+        benchmark::DoNotOptimize(queue.executed());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(10'000)->Arg(1'000'000);
 
 void BM_WindowCoverGreedy(benchmark::State& state) {
     const auto devices = static_cast<std::uint32_t>(state.range(0));
@@ -63,7 +84,42 @@ void BM_WindowCoverGreedy(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() *
                             static_cast<std::int64_t>(events.size()));
 }
-BENCHMARK(BM_WindowCoverGreedy)->Arg(100)->Arg(500);
+BENCHMARK(BM_WindowCoverGreedy)->Arg(100)->Arg(500)->Arg(5'000);
+
+/// Random coverable instance shaped like the DR-SC window instances:
+/// `sets` candidate windows over a universe of `universe` devices.
+setcover::SetCoverInstance make_cover_instance(std::size_t sets,
+                                               std::size_t universe) {
+    sim::RandomStream gen{123};
+    std::vector<std::vector<setcover::Element>> raw(sets);
+    for (auto& s : raw) {
+        const auto size = static_cast<std::size_t>(gen.uniform_int(16, 128));
+        s.reserve(size);
+        for (std::size_t k = 0; k < size; ++k) {
+            s.push_back(static_cast<setcover::Element>(
+                gen.uniform_int(0, static_cast<std::int64_t>(universe) - 1)));
+        }
+    }
+    for (std::size_t e = 0; e < universe; ++e) {
+        raw[e % sets].push_back(static_cast<setcover::Element>(e));
+    }
+    return setcover::SetCoverInstance{universe, std::move(raw)};
+}
+
+void BM_GreedyCover(benchmark::State& state) {
+    const setcover::SetCoverInstance instance =
+        make_cover_instance(static_cast<std::size_t>(state.range(0)),
+                            static_cast<std::size_t>(state.range(1)));
+    for (auto _ : state) {
+        sim::RandomStream rng{7};
+        benchmark::DoNotOptimize(setcover::greedy_cover(instance, &rng));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_GreedyCover)
+    ->Args({1'000, 10'000})
+    ->Args({10'000, 100'000})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DrScPlan(benchmark::State& state) {
     sim::RandomStream pop_rng{1};
@@ -91,7 +147,7 @@ void BM_FullCampaign(benchmark::State& state) {
             core::plan_and_run(mechanism, specs, config, 100 * 1024, 7));
     }
 }
-BENCHMARK(BM_FullCampaign)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullCampaign)->Arg(100)->Arg(400)->Arg(10'000)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Records the kernel microbenchmarks as google-benchmark JSON at the repo
+# root — the perf trajectory file future PRs regress against.
+#
+#   $ ci/bench.sh                  # writes BENCH_pr2.json
+#   $ ci/bench.sh BENCH_pr3.json   # explicit output name
+#
+# The suite includes the large-n cases (event queue at 10^6 events, greedy
+# cover at 10^4 sets x 10^5 elements, full campaign at 10^4 devices), so a
+# full run takes a few minutes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pr2.json}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+build_dir=build-release
+
+cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Release -DNBMG_WERROR=ON \
+      -DNBMG_ENABLE_LTO=ON
+cmake --build "${build_dir}" -j"${jobs}" --target microbench_kernels
+
+if [[ ! -x "${build_dir}/bench/microbench_kernels" ]]; then
+  echo "error: microbench_kernels was not built (google-benchmark missing?)" >&2
+  exit 1
+fi
+
+"${build_dir}/bench/microbench_kernels" \
+  --benchmark_out="${out}" --benchmark_out_format=json
+echo "bench: wrote ${out}"

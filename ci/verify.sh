@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Single verification entry point (CI and local): configure Debug and
 # Release with warnings-as-errors, build everything, run the full CTest
-# suite in both configurations.
+# suite in both configurations.  The Release leg builds with NBMG_ENABLE_LTO
+# (so the option cannot rot) and finishes with a short microbenchmark smoke
+# — one pass over the small kernel cases, asserting they run clean.
 #
 #   $ ci/verify.sh            # both configurations
 #   $ ci/verify.sh Release    # just one
@@ -17,10 +19,22 @@ fi
 
 for config in "${configs[@]}"; do
   build_dir="build-$(echo "${config}" | tr '[:upper:]' '[:lower:]')"
-  echo "=== ${config} -> ${build_dir} ==="
-  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE="${config}" -DNBMG_WERROR=ON
+  lto=OFF
+  if [[ "${config}" == "Release" ]]; then
+    lto=ON
+  fi
+  echo "=== ${config} -> ${build_dir} (LTO=${lto}) ==="
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE="${config}" -DNBMG_WERROR=ON \
+        -DNBMG_ENABLE_LTO="${lto}"
   cmake --build "${build_dir}" -j"${jobs}"
   ctest --test-dir "${build_dir}" --output-on-failure -j"${jobs}"
+
+  if [[ "${config}" == "Release" && -x "${build_dir}/bench/microbench_kernels" ]]; then
+    echo "=== ${config}: microbenchmark smoke (small kernel cases) ==="
+    "${build_dir}/bench/microbench_kernels" \
+      --benchmark_filter='PagingFirstPoAtOrAfter/3$|EventQueueScheduleRun/1000$|EventQueueCancelHeavy/10000$|WindowCoverGreedy/100$|GreedyCover/1000/|DrScPlan/200$|FullCampaign/100$' \
+      --benchmark_min_time=0.01
+  fi
 done
 
 echo "verify: all configurations green"

@@ -37,10 +37,18 @@ RunContribution comparison_run(const ComparisonSetup& setup, std::size_t run) {
     const UnicastBaseline unicast;
     const CampaignRunner runner(setup.config);
 
-    sim::RandomStream pop_rng = rng_factory.stream("population", run);
-    const auto population =
-        traffic::generate_population(setup.profile, setup.device_count, pop_rng);
-    const auto specs = traffic::to_specs(population);
+    // A shared population set (same stream derivation, precomputed once)
+    // skips the per-run generation cost; results are bit-identical.
+    std::vector<nbiot::UeSpec> generated;
+    if (!setup.populations) {
+        sim::RandomStream pop_rng = rng_factory.stream("population", run);
+        generated = traffic::to_specs(
+            traffic::generate_population(setup.profile, setup.device_count, pop_rng));
+    }
+    const std::span<const nbiot::UeSpec> specs =
+        setup.populations
+            ? std::span<const nbiot::UeSpec>(setup.populations->runs[run])
+            : std::span<const nbiot::UeSpec>(generated);
     const nbiot::SimTime horizon =
         recommended_horizon(specs, setup.config, setup.payload_bytes);
     const std::uint64_t run_seed = sim::derive_seed(setup.base_seed, "run", run);
@@ -93,9 +101,41 @@ RunContribution comparison_run(const ComparisonSetup& setup, std::size_t run) {
 
 }  // namespace
 
+SharedPopulations generate_comparison_populations(
+    const traffic::PopulationProfile& profile, std::size_t device_count,
+    std::size_t runs, std::uint64_t base_seed) {
+    const sim::RngFactory rng_factory(base_seed);
+    auto populations = std::make_shared<ComparisonPopulations>();
+    populations->profile_name = profile.name;
+    populations->device_count = device_count;
+    populations->base_seed = base_seed;
+    populations->runs.reserve(runs);
+    for (std::size_t run = 0; run < runs; ++run) {
+        sim::RandomStream pop_rng = rng_factory.stream("population", run);
+        populations->runs.push_back(traffic::to_specs(
+            traffic::generate_population(profile, device_count, pop_rng)));
+    }
+    return populations;
+}
+
 ComparisonOutcome run_comparison(const ComparisonSetup& setup) {
     if (setup.runs == 0 || setup.device_count == 0) {
         throw std::invalid_argument("run_comparison: empty setup");
+    }
+    if (setup.populations) {
+        // Provenance must match the setup: a set generated for another
+        // seed/profile/size would silently break reproducibility.
+        if (setup.populations->base_seed != setup.base_seed ||
+            setup.populations->device_count != setup.device_count ||
+            setup.populations->profile_name != setup.profile.name) {
+            throw std::invalid_argument(
+                "run_comparison: shared populations were generated for a "
+                "different (profile, device_count, base_seed)");
+        }
+        if (setup.populations->runs.size() < setup.runs) {
+            throw std::invalid_argument(
+                "run_comparison: shared populations cover fewer runs than setup.runs");
+        }
     }
 
     ComparisonOutcome outcome;

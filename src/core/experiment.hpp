@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/campaign.hpp"
@@ -18,6 +20,27 @@
 #include "traffic/population.hpp"
 
 namespace nbmg::core {
+
+/// Per-run device populations generated once and shared across every
+/// mechanism and every sweep point that uses the same (profile,
+/// device_count, base_seed).  The generating parameters travel with the
+/// specs so run_comparison can reject a set generated for a different
+/// setup instead of silently producing non-reproducible aggregates.
+struct ComparisonPopulations {
+    std::string profile_name;
+    std::size_t device_count = 0;
+    std::uint64_t base_seed = 0;
+    std::vector<std::vector<nbiot::UeSpec>> runs;  // index: runs[run]
+};
+using SharedPopulations = std::shared_ptr<const ComparisonPopulations>;
+
+/// Precomputes the populations run_comparison would generate for runs
+/// 0..runs-1, using the identical RNG stream derivation
+/// (stream("population", run) from base_seed) — aggregates computed from a
+/// shared set are bit-identical to regenerating per call.
+[[nodiscard]] SharedPopulations generate_comparison_populations(
+    const traffic::PopulationProfile& profile, std::size_t device_count,
+    std::size_t runs, std::uint64_t base_seed);
 
 struct ComparisonSetup {
     traffic::PopulationProfile profile;
@@ -31,6 +54,11 @@ struct ComparisonSetup {
     std::size_t threads = 0;
     std::vector<MechanismKind> mechanisms{MechanismKind::dr_sc, MechanismKind::da_sc,
                                           MechanismKind::dr_si};
+    /// Optional: precomputed per-run populations (see
+    /// generate_comparison_populations).  Must have been generated for
+    /// this profile, device_count and base_seed with at least `runs`
+    /// entries; when null, each run generates its own population.
+    SharedPopulations populations;
 };
 
 /// Aggregated results of one mechanism across runs.

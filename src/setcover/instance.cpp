@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "setcover/bitset.hpp"
+
 namespace nbmg::setcover {
 
 SetCoverInstance::SetCoverInstance(std::size_t universe_size,
@@ -22,29 +24,23 @@ SetCoverInstance::SetCoverInstance(std::size_t universe_size,
 }
 
 bool SetCoverInstance::is_cover(std::span<const std::size_t> chosen) const {
-    std::vector<bool> covered(universe_size_, false);
+    CoverageBitset covered(universe_size_);
     std::size_t remaining = universe_size_;
     for (const std::size_t idx : chosen) {
         if (idx >= sets_.size()) throw std::out_of_range("is_cover: bad set index");
         for (const Element e : sets_[idx]) {
-            if (!covered[e]) {
-                covered[e] = true;
-                --remaining;
-            }
+            if (covered.test_and_set(e)) --remaining;
         }
     }
     return remaining == 0;
 }
 
 bool SetCoverInstance::is_coverable() const {
-    std::vector<bool> covered(universe_size_, false);
+    CoverageBitset covered(universe_size_);
     std::size_t remaining = universe_size_;
     for (const auto& s : sets_) {
         for (const Element e : s) {
-            if (!covered[e]) {
-                covered[e] = true;
-                --remaining;
-            }
+            if (covered.test_and_set(e)) --remaining;
         }
     }
     return remaining == 0;

@@ -7,6 +7,7 @@
 // the instance representation shared by the exact and heuristic solvers.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -27,8 +28,10 @@ public:
     [[nodiscard]] const std::vector<std::vector<Element>>& sets() const noexcept {
         return sets_;
     }
-    [[nodiscard]] std::span<const Element> set(std::size_t index) const {
-        return sets_.at(index);
+    /// Hot-path accessor: bounds are asserted in debug builds only.
+    [[nodiscard]] std::span<const Element> set(std::size_t index) const noexcept {
+        assert(index < sets_.size());
+        return sets_[index];
     }
 
     /// True when the chosen sets cover every element of the universe.

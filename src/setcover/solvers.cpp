@@ -2,58 +2,92 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
+#include <utility>
 #include <vector>
+
+#include "setcover/bitset.hpp"
 
 namespace nbmg::setcover {
 namespace {
 
 /// Number of elements in `set` not yet covered.
-std::size_t gain(const std::vector<Element>& set, const std::vector<bool>& covered) {
+std::size_t gain(const std::vector<Element>& set, const CoverageBitset& covered) {
     std::size_t g = 0;
     for (const Element e : set) {
-        if (!covered[e]) ++g;
+        g += covered.test(e) ? 0 : 1;
     }
     return g;
 }
 
-void mark(const std::vector<Element>& set, std::vector<bool>& covered,
+void mark(const std::vector<Element>& set, CoverageBitset& covered,
           std::size_t& remaining) {
     for (const Element e : set) {
-        if (!covered[e]) {
-            covered[e] = true;
-            --remaining;
-        }
+        if (covered.test_and_set(e)) --remaining;
     }
 }
 
 }  // namespace
 
+// Lazy greedy (Minoux' accelerated Chvátal): coverage gains are submodular
+// — once elements get covered a set's gain can only shrink — so each set
+// carries a cached upper bound (its gain when last evaluated) in a
+// max-heap.  A round only re-evaluates sets whose bound could still reach
+// the best exact gain seen so far; every set whose bound >= the round's
+// best IS re-evaluated, so the tie list is exactly the reference
+// implementation's (all sets achieving the maximum gain, ascending index)
+// and the tie-break RNG consumes the identical sequence.  Picks are
+// bit-identical to the plain O(rounds * sets * |set|) scan.
 SetCoverSolution greedy_cover(const SetCoverInstance& instance,
                               sim::RandomStream* tie_break) {
     SetCoverSolution solution;
-    std::vector<bool> covered(instance.universe_size(), false);
+    CoverageBitset covered(instance.universe_size());
     std::size_t remaining = instance.universe_size();
-    std::vector<std::size_t> ties;
+    const std::vector<std::vector<Element>>& sets = instance.sets();
 
+    // (bound, set index); the instance constructor deduplicates, so a
+    // set's size is its exact initial gain.
+    using Candidate = std::pair<std::size_t, std::size_t>;
+    std::priority_queue<Candidate> heap;
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        if (!sets[i].empty()) heap.push({sets[i].size(), i});
+    }
+
+    std::vector<std::size_t> ties;
+    std::vector<Candidate> refreshed;  // exact gains computed this round
     while (remaining > 0) {
         std::size_t best_gain = 0;
         ties.clear();
-        for (std::size_t i = 0; i < instance.set_count(); ++i) {
-            const std::size_t g = gain(instance.sets()[i], covered);
+        refreshed.clear();
+        // Any set whose cached bound is below max(best_gain, 1) cannot win
+        // or tie this round, nor can anything deeper in the heap.
+        while (!heap.empty() &&
+               heap.top().first >= std::max<std::size_t>(best_gain, 1)) {
+            const std::size_t i = heap.top().second;
+            heap.pop();
+            const std::size_t g = gain(sets[i], covered);
+            if (g == 0) continue;  // gains never recover; drop for good
+            refreshed.push_back({g, i});
             if (g > best_gain) {
                 best_gain = g;
                 ties.assign(1, i);
-            } else if (g == best_gain && g > 0) {
+            } else if (g == best_gain) {
                 ties.push_back(i);
             }
         }
         if (best_gain == 0) break;  // uncoverable remainder
+        // Heap order mixed the tie indices; the reference enumerates them
+        // in ascending index order, which the RNG pick depends on.
+        std::sort(ties.begin(), ties.end());
         const std::size_t pick =
             tie_break ? ties[static_cast<std::size_t>(tie_break->uniform_int(
                             0, static_cast<std::int64_t>(ties.size()) - 1))]
                       : ties.front();
         solution.chosen.push_back(pick);
-        mark(instance.sets()[pick], covered, remaining);
+        mark(sets[pick], covered, remaining);
+        for (const Candidate& c : refreshed) {
+            if (c.second != pick) heap.push(c);
+        }
     }
     solution.covers_all = remaining == 0;
     return solution;
@@ -61,7 +95,7 @@ SetCoverSolution greedy_cover(const SetCoverInstance& instance,
 
 SetCoverSolution first_fit_cover(const SetCoverInstance& instance) {
     SetCoverSolution solution;
-    std::vector<bool> covered(instance.universe_size(), false);
+    CoverageBitset covered(instance.universe_size());
     std::size_t remaining = instance.universe_size();
     for (std::size_t i = 0; i < instance.set_count() && remaining > 0; ++i) {
         if (gain(instance.sets()[i], covered) > 0) {
@@ -75,7 +109,7 @@ SetCoverSolution first_fit_cover(const SetCoverInstance& instance) {
 
 SetCoverSolution random_cover(const SetCoverInstance& instance, sim::RandomStream& rng) {
     SetCoverSolution solution;
-    std::vector<bool> covered(instance.universe_size(), false);
+    CoverageBitset covered(instance.universe_size());
     std::size_t remaining = instance.universe_size();
     std::vector<std::size_t> useful;
     while (remaining > 0) {
@@ -104,7 +138,7 @@ struct ExactState {
     std::size_t node_budget = 0;
     bool budget_exhausted = false;
 
-    void search(std::vector<bool>& covered, std::size_t remaining,
+    void search(CoverageBitset& covered, std::size_t remaining,
                 std::vector<std::size_t>& chosen) {
         if (++nodes > node_budget) {
             budget_exhausted = true;
@@ -123,7 +157,7 @@ struct ExactState {
         std::size_t pivot = covered.size();
         std::size_t pivot_options = std::numeric_limits<std::size_t>::max();
         for (std::size_t e = 0; e < covered.size(); ++e) {
-            if (covered[e]) continue;
+            if (covered.test(e)) continue;
             if (sets_of_element[e].size() < pivot_options) {
                 pivot_options = sets_of_element[e].size();
                 pivot = e;
@@ -134,15 +168,12 @@ struct ExactState {
         for (const std::size_t set_index : sets_of_element[pivot]) {
             std::vector<Element> newly;
             for (const Element e : instance->sets()[set_index]) {
-                if (!covered[e]) {
-                    covered[e] = true;
-                    newly.push_back(e);
-                }
+                if (covered.test_and_set(e)) newly.push_back(e);
             }
             chosen.push_back(set_index);
             search(covered, remaining - newly.size(), chosen);
             chosen.pop_back();
-            for (const Element e : newly) covered[e] = false;
+            for (const Element e : newly) covered.reset(e);
             if (budget_exhausted) return;
         }
     }
@@ -170,7 +201,7 @@ std::optional<SetCoverSolution> exact_cover(const SetCoverInstance& instance,
     state.best = greedy.chosen;
     state.best_size = greedy.chosen.size();
 
-    std::vector<bool> covered(instance.universe_size(), false);
+    CoverageBitset covered(instance.universe_size());
     std::vector<std::size_t> chosen;
     state.search(covered, instance.universe_size(), chosen);
     if (state.budget_exhausted) return std::nullopt;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "setcover/bitset.hpp"
+
 namespace nbmg::setcover {
 namespace {
 
@@ -13,14 +15,17 @@ struct RoundBest {
     std::size_t coverage = 0;
 };
 
+/// `scratch_counts` must be all-zero on entry and is all-zero again on
+/// return: every increment the leading pointer applies, the trailing
+/// pointer undoes, so the buffer never needs a per-round reset.
 RoundBest find_best_window(const std::vector<PoEvent>& events, sim::SimTime window,
-                           std::uint32_t device_count, sim::RandomStream& rng,
-                           std::vector<std::uint32_t>& scratch_counts) {
-    scratch_counts.assign(device_count, 0);
+                           sim::RandomStream& rng,
+                           std::vector<std::uint32_t>& scratch_counts,
+                           std::vector<std::size_t>& ties) {
     std::size_t distinct = 0;
 
     RoundBest best;
-    std::vector<std::size_t> ties;
+    ties.clear();
     std::size_t j = 0;
     for (std::size_t i = 0; i < events.size(); ++i) {
         // Window anchored at events[i]: [at, at + window] inclusive.
@@ -65,34 +70,35 @@ WindowCoverResult greedy_window_cover(std::vector<PoEvent> events, sim::SimTime 
     });
 
     WindowCoverResult result;
-    std::vector<bool> seen(device_count, false);
-    for (const PoEvent& e : events) seen[e.device] = true;
+    CoverageBitset seen(device_count);
+    for (const PoEvent& e : events) seen.set(e.device);
     for (std::uint32_t d = 0; d < device_count; ++d) {
-        if (!seen[d]) result.uncoverable.push_back(d);
+        if (!seen.test(d)) result.uncoverable.push_back(d);
     }
 
-    std::vector<bool> covered(device_count, false);
-    std::vector<std::uint32_t> scratch_counts;
+    CoverageBitset covered(device_count);
+    std::vector<std::uint32_t> scratch_counts(device_count, 0);
+    std::vector<std::size_t> ties;
+    ties.reserve(64);
     while (!events.empty()) {
-        const RoundBest best = find_best_window(events, window, device_count, rng,
-                                                scratch_counts);
+        const RoundBest best =
+            find_best_window(events, window, rng, scratch_counts, ties);
         if (best.coverage == 0) break;  // defensive; events would be empty
 
         const sim::SimTime start = events[best.anchor].at;
         const sim::SimTime limit = start + window;
         CoverWindow chosen{start, limit, {}};
+        chosen.devices.reserve(best.coverage);
         for (std::size_t k = best.anchor; k < events.size() && events[k].at <= limit;
              ++k) {
             const std::uint32_t d = events[k].device;
-            if (!covered[d]) {
-                covered[d] = true;
-                chosen.devices.push_back(d);
-            }
+            if (covered.test_and_set(d)) chosen.devices.push_back(d);
         }
         result.windows.push_back(std::move(chosen));
 
         // Drop every event of a covered device.
-        std::erase_if(events, [&covered](const PoEvent& e) { return covered[e.device]; });
+        std::erase_if(events,
+                      [&covered](const PoEvent& e) { return covered.test(e.device); });
     }
     return result;
 }

@@ -1,9 +1,64 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace nbmg::sim {
+
+void EventQueue::EventHeap::push(const HeapEntry& e) {
+    // Hole insertion: move ancestors down into the hole and place the new
+    // entry once, instead of swapping at every level.
+    std::size_t i = v_.size();
+    v_.push_back(e);
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / kArity;
+        if (!before(e, v_[parent])) break;
+        v_[i] = v_[parent];
+        i = parent;
+    }
+    v_[i] = e;
+}
+
+void EventQueue::EventHeap::pop() {
+    const HeapEntry last = v_.back();
+    v_.pop_back();
+    if (v_.empty()) return;
+    // Sift the former last element down from the root.
+    std::size_t i = 0;
+    const std::size_t n = v_.size();
+    for (;;) {
+        const std::size_t first_child = i * kArity + 1;
+        if (first_child >= n) break;
+        std::size_t best = first_child;
+        const std::size_t end = std::min(first_child + kArity, n);
+        for (std::size_t c = first_child + 1; c < end; ++c) {
+            if (before(v_[c], v_[best])) best = c;
+        }
+        if (!before(v_[best], last)) break;
+        v_[i] = v_[best];
+        i = best;
+    }
+    v_[i] = last;
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+    if (!free_slots_.empty()) {
+        const std::uint32_t index = free_slots_.back();
+        free_slots_.pop_back();
+        return index;
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t index) noexcept {
+    Slot& slot = slots_[index];
+    slot.handler.reset();
+    slot.seq = 0;
+    free_slots_.push_back(index);
+    --pending_;
+}
 
 EventId EventQueue::schedule_at(SimTime at, Handler handler) {
     if (at < now_) {
@@ -13,9 +68,14 @@ EventId EventQueue::schedule_at(SimTime at, Handler handler) {
         throw std::invalid_argument("EventQueue::schedule_at: empty handler");
     }
     const std::uint64_t seq = next_seq_++;
-    heap_.push(Entry{at, seq, std::move(handler)});
-    pending_ids_.insert(seq);
-    return EventId{seq};
+    const std::uint32_t index = acquire_slot();
+    Slot& slot = slots_[index];
+    slot.handler = std::move(handler);
+    slot.seq = seq;
+    ++slot.generation;  // live ids always have generation >= 1
+    ++pending_;
+    heap_.push(HeapEntry{at, seq, index});
+    return EventId{index, slot.generation};
 }
 
 EventId EventQueue::schedule_after(SimTime delay, Handler handler) {
@@ -26,35 +86,41 @@ EventId EventQueue::schedule_after(SimTime delay, Handler handler) {
 }
 
 bool EventQueue::cancel(EventId id) {
-    // Ids of events that already fired were removed from pending_ids_, so a
-    // stale cancel is a harmless no-op.
-    return pending_ids_.erase(id.value) > 0;
+    // Ids of events that already fired point at a freed (seq == 0) or
+    // reused (generation bumped) slot, so a stale cancel is a no-op.
+    if (id.index >= slots_.size()) return false;
+    Slot& slot = slots_[id.index];
+    if (slot.seq == 0 || slot.generation != id.generation) return false;
+    release_slot(id.index);  // the heap entry goes stale and is skipped later
+    return true;
 }
 
-bool EventQueue::skip_cancelled() {
+bool EventQueue::skip_stale() {
     while (!heap_.empty()) {
-        if (pending_ids_.contains(heap_.top().seq)) return true;
+        const HeapEntry& top = heap_.top();
+        if (slots_[top.slot].seq == top.seq) return true;
         heap_.pop();
     }
     return false;
 }
 
 bool EventQueue::step() {
-    if (!skip_cancelled()) return false;
-    // Copy the entry out before running it: the handler may schedule new
-    // events, which can reallocate the heap's storage.
-    Entry top = heap_.top();
+    if (!skip_stale()) return false;
+    const HeapEntry top = heap_.top();
     heap_.pop();
-    pending_ids_.erase(top.seq);
+    // Move the handler out before running it: the handler may schedule new
+    // events, which can reuse this slot or grow the slab.
+    Handler handler = std::move(slots_[top.slot].handler);
+    release_slot(top.slot);
     now_ = top.at;
     ++executed_;
-    top.handler();
+    handler();
     return true;
 }
 
 std::size_t EventQueue::run_until(SimTime until) {
     std::size_t n = 0;
-    while (skip_cancelled() && heap_.top().at <= until) {
+    while (skip_stale() && heap_.top().at <= until) {
         step();
         ++n;
     }

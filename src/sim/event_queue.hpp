@@ -2,15 +2,25 @@
 //
 // Events scheduled for the same instant run in insertion order (FIFO
 // tie-breaking), which makes every simulation bit-reproducible for a given
-// seed.  Events are cancellable; cancellation is lazy (the entry stays in the
-// heap but is skipped when popped).
+// seed.  Events are cancellable in O(1): handlers live in a slab of reusable
+// slots addressed by {index, generation}, and a cancelled slot is simply
+// freed (its heap entry is skipped lazily when popped, recognized by a
+// stale sequence number).
+//
+// Handlers are stored with small-buffer optimization: callables up to
+// InlineHandler::kInlineCapacity bytes (every lambda the simulator
+// schedules) live inline in the slot; larger ones fall back to one heap
+// allocation.  The ordering heap itself holds only 24-byte {time, seq,
+// slot} entries, so sift operations never touch handler storage.
 #pragma once
 
+#include <cassert>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace nbmg::sim {
@@ -20,10 +30,119 @@ namespace nbmg::sim {
 using SimTime = std::chrono::milliseconds;
 
 /// Identifies a scheduled event so it can be cancelled before it fires.
+/// `index` addresses a slab slot; `generation` distinguishes successive
+/// occupants of the same slot, so a stale id can never cancel a newer
+/// event that happens to reuse its storage.
 struct EventId {
-    std::uint64_t value = 0;
+    std::uint32_t index = 0;
+    std::uint32_t generation = 0;
 
     friend bool operator==(EventId, EventId) = default;
+};
+
+/// Type-erased `void()` callable with inline storage for small targets.
+/// Move-only; empty by default.  Targets larger than kInlineCapacity (or
+/// over-aligned, or with a throwing move) are stored through one heap
+/// allocation instead.
+class InlineHandler {
+public:
+    static constexpr std::size_t kInlineCapacity = 48;
+
+    InlineHandler() = default;
+
+    template <typename F>
+        requires(!std::is_same_v<std::decay_t<F>, InlineHandler> &&
+                 std::is_invocable_r_v<void, std::decay_t<F>&>)
+    InlineHandler(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+        using Target = std::decay_t<F>;
+        if constexpr (fits_inline<Target>()) {
+            ::new (static_cast<void*>(storage_)) Target(std::forward<F>(f));
+            ops_ = &kInlineOps<Target>;
+        } else {
+            ::new (static_cast<void*>(storage_))
+                Target*(new Target(std::forward<F>(f)));
+            ops_ = &kHeapOps<Target>;
+        }
+    }
+
+    InlineHandler(InlineHandler&& other) noexcept : ops_(other.ops_) {
+        if (ops_ != nullptr) {
+            ops_->relocate(storage_, other.storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    InlineHandler& operator=(InlineHandler&& other) noexcept {
+        if (this != &other) {
+            reset();
+            ops_ = other.ops_;
+            if (ops_ != nullptr) {
+                ops_->relocate(storage_, other.storage_);
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InlineHandler(const InlineHandler&) = delete;
+    InlineHandler& operator=(const InlineHandler&) = delete;
+
+    ~InlineHandler() { reset(); }
+
+    void operator()() {
+        assert(ops_ != nullptr);
+        ops_->invoke(storage_);
+    }
+
+    [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    void reset() noexcept {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+private:
+    struct Ops {
+        void (*invoke)(void*);
+        void (*relocate)(void* dst, void* src) noexcept;
+        void (*destroy)(void*) noexcept;
+    };
+
+    template <typename Target>
+    static constexpr bool fits_inline() {
+        return sizeof(Target) <= kInlineCapacity &&
+               alignof(Target) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Target>;
+    }
+
+    template <typename Target>
+    static Target* as(void* p) noexcept {
+        return std::launder(reinterpret_cast<Target*>(p));
+    }
+
+    template <typename Target>
+    static constexpr Ops kInlineOps{
+        [](void* p) { (*as<Target>(p))(); },
+        [](void* dst, void* src) noexcept {
+            ::new (dst) Target(std::move(*as<Target>(src)));
+            as<Target>(src)->~Target();
+        },
+        [](void* p) noexcept { as<Target>(p)->~Target(); },
+    };
+
+    // The stored object is a Target* (trivially destructible), so relocation
+    // is a pointer copy and only destroy() releases the heap target.
+    template <typename Target>
+    static constexpr Ops kHeapOps{
+        [](void* p) { (**as<Target*>(p))(); },
+        [](void* dst, void* src) noexcept { ::new (dst) Target*(*as<Target*>(src)); },
+        [](void* p) noexcept { delete *as<Target*>(p); },
+    };
+
+    alignas(std::max_align_t) std::byte storage_[kInlineCapacity];
+    const Ops* ops_ = nullptr;
 };
 
 /// Priority queue of timed events with a simulated clock.
@@ -34,7 +153,7 @@ struct EventId {
 ///  - equal-time events fire in the order they were scheduled.
 class EventQueue {
 public:
-    using Handler = std::function<void()>;
+    using Handler = InlineHandler;
 
     EventQueue() = default;
     explicit EventQueue(SimTime start) : now_(start) {}
@@ -52,8 +171,8 @@ public:
     /// Schedules `handler` to run `delay` after the current time.
     EventId schedule_after(SimTime delay, Handler handler);
 
-    /// Cancels a pending event.  Returns false if the event already fired,
-    /// was already cancelled, or never existed.
+    /// Cancels a pending event in O(1).  Returns false if the event already
+    /// fired, was already cancelled, or never existed.
     bool cancel(EventId id);
 
     /// Runs the earliest pending event.  Returns false when the queue is
@@ -69,9 +188,9 @@ public:
     std::size_t run_all(std::size_t max_events = kDefaultEventBudget);
 
     /// Number of pending (non-cancelled) events.
-    [[nodiscard]] std::size_t pending() const noexcept { return pending_ids_.size(); }
+    [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
 
-    [[nodiscard]] bool empty() const noexcept { return pending_ids_.empty(); }
+    [[nodiscard]] bool empty() const noexcept { return pending_ == 0; }
 
     /// Total events executed since construction (diagnostics).
     [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
@@ -81,26 +200,57 @@ public:
     static constexpr std::size_t kDefaultEventBudget = 500'000'000;
 
 private:
-    struct Entry {
-        SimTime at;
-        std::uint64_t seq;  // FIFO tie-break + cancellation key
+    /// One slab cell.  `seq == 0` marks the slot free; a live slot keeps
+    /// the globally unique sequence number of its occupant, which the heap
+    /// entry must match to be considered live.
+    struct Slot {
         Handler handler;
+        std::uint64_t seq = 0;
+        std::uint32_t generation = 0;
     };
-    struct Later {
-        bool operator()(const Entry& a, const Entry& b) const noexcept {
-            if (a.at != b.at) return a.at > b.at;
-            return a.seq > b.seq;
+    /// Heap entries carry no handler: 24 bytes, moved freely during sifts.
+    struct HeapEntry {
+        SimTime at;
+        std::uint64_t seq;  // FIFO tie-break + staleness check
+        std::uint32_t slot;
+    };
+
+    /// 4-ary min-heap on (at, seq).  The comparator is a total order (seq
+    /// is unique), so the pop sequence is independent of heap shape or
+    /// arity — switching from the binary std::priority_queue changes only
+    /// the constant factor (half the levels, cache-friendlier sifts), not
+    /// the order in which events fire.
+    class EventHeap {
+    public:
+        [[nodiscard]] bool empty() const noexcept { return v_.empty(); }
+        [[nodiscard]] const HeapEntry& top() const noexcept { return v_.front(); }
+        void push(const HeapEntry& e);
+        void pop();
+
+    private:
+        static constexpr std::size_t kArity = 4;
+        static bool before(const HeapEntry& a, const HeapEntry& b) noexcept {
+            if (a.at != b.at) return a.at < b.at;
+            return a.seq < b.seq;
         }
+
+        std::vector<HeapEntry> v_;
     };
 
-    // Pops cancelled entries off the top; returns false when drained.
-    bool skip_cancelled();
+    [[nodiscard]] std::uint32_t acquire_slot();
+    void release_slot(std::uint32_t index) noexcept;
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::unordered_set<std::uint64_t> pending_ids_;
+    // Pops entries whose slot was cancelled/reused off the top; returns
+    // false when drained.
+    bool skip_stale();
+
+    EventHeap heap_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_slots_;
     SimTime now_{0};
     std::uint64_t next_seq_ = 1;
     std::uint64_t executed_ = 0;
+    std::size_t pending_ = 0;
 };
 
 }  // namespace nbmg::sim

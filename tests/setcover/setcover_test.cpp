@@ -193,5 +193,97 @@ TEST_P(SolverPropertyTest, GreedyNeverWorseThanRandomOnAverage) {
 INSTANTIATE_TEST_SUITE_P(RandomInstances, SolverPropertyTest,
                          ::testing::Range(std::uint64_t{1}, std::uint64_t{21}));
 
+/// The seed greedy, kept verbatim as the trace reference: full O(sets)
+/// rescan per round over a std::vector<bool> coverage map.  The lazy-greedy
+/// bitset solver must choose the identical set sequence and consume the
+/// tie-break RNG identically.
+SetCoverSolution reference_greedy(const SetCoverInstance& instance,
+                                  sim::RandomStream* tie_break) {
+    const auto gain = [](const std::vector<Element>& set,
+                         const std::vector<bool>& covered) {
+        std::size_t g = 0;
+        for (const Element e : set) {
+            if (!covered[e]) ++g;
+        }
+        return g;
+    };
+
+    SetCoverSolution solution;
+    std::vector<bool> covered(instance.universe_size(), false);
+    std::size_t remaining = instance.universe_size();
+    std::vector<std::size_t> ties;
+    while (remaining > 0) {
+        std::size_t best_gain = 0;
+        ties.clear();
+        for (std::size_t i = 0; i < instance.set_count(); ++i) {
+            const std::size_t g = gain(instance.sets()[i], covered);
+            if (g > best_gain) {
+                best_gain = g;
+                ties.assign(1, i);
+            } else if (g == best_gain && g > 0) {
+                ties.push_back(i);
+            }
+        }
+        if (best_gain == 0) break;
+        const std::size_t pick =
+            tie_break ? ties[static_cast<std::size_t>(tie_break->uniform_int(
+                            0, static_cast<std::int64_t>(ties.size()) - 1))]
+                      : ties.front();
+        solution.chosen.push_back(pick);
+        for (const Element e : instance.sets()[pick]) {
+            if (!covered[e]) {
+                covered[e] = true;
+                --remaining;
+            }
+        }
+    }
+    solution.covers_all = remaining == 0;
+    return solution;
+}
+
+/// Random instance with many duplicate set sizes (to force ties) and no
+/// coverability guarantee (to exercise the early-break path).
+SetCoverInstance random_tie_heavy_instance(std::uint64_t seed) {
+    sim::RandomStream gen{seed};
+    const std::size_t universe = 60;
+    const std::size_t sets = 40;
+    std::vector<std::vector<Element>> raw(sets);
+    for (auto& s : raw) {
+        // Few distinct sizes -> rounds see wide tie lists.
+        const auto size = static_cast<std::size_t>(2 * gen.uniform_int(1, 4));
+        for (std::size_t k = 0; k < size; ++k) {
+            s.push_back(static_cast<Element>(
+                gen.uniform_int(0, static_cast<std::int64_t>(universe) - 1)));
+        }
+    }
+    return SetCoverInstance{universe, std::move(raw)};
+}
+
+class GreedyTraceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyTraceTest, LazyGreedyMatchesReferenceWithTieBreakRng) {
+    const SetCoverInstance inst = random_tie_heavy_instance(GetParam());
+    sim::RandomStream ref_rng{GetParam() * 7 + 1};
+    sim::RandomStream lazy_rng{GetParam() * 7 + 1};
+    const SetCoverSolution ref = reference_greedy(inst, &ref_rng);
+    const SetCoverSolution lazy = greedy_cover(inst, &lazy_rng);
+    EXPECT_EQ(lazy.chosen, ref.chosen);
+    EXPECT_EQ(lazy.covers_all, ref.covers_all);
+    // Identical RNG consumption: the engines must be in the same state.
+    EXPECT_TRUE(lazy_rng.engine() == ref_rng.engine());
+    EXPECT_EQ(lazy_rng.next_u64(), ref_rng.next_u64());
+}
+
+TEST_P(GreedyTraceTest, LazyGreedyMatchesReferenceWithoutTieBreak) {
+    const SetCoverInstance inst = random_tie_heavy_instance(GetParam() + 1000);
+    const SetCoverSolution ref = reference_greedy(inst, nullptr);
+    const SetCoverSolution lazy = greedy_cover(inst, nullptr);
+    EXPECT_EQ(lazy.chosen, ref.chosen);
+    EXPECT_EQ(lazy.covers_all, ref.covers_all);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTieHeavyInstances, GreedyTraceTest,
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{26}));
+
 }  // namespace
 }  // namespace nbmg::setcover

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "setcover/solvers.hpp"
 
@@ -156,6 +158,114 @@ TEST(WindowCoverTest, NeverWorseThanExactAndWithinBound) {
     EXPECT_LE(static_cast<double>(fast.windows.size()),
               harmonic(12) * static_cast<double>(exact->chosen.size()) + 1e-9);
 }
+
+/// The seed window-cover greedy, kept verbatim as the trace reference
+/// (std::vector<bool> coverage, per-round scratch reset).  The bitset
+/// version must produce identical windows and consume the RNG identically.
+WindowCoverResult reference_window_cover(std::vector<PoEvent> events,
+                                         sim::SimTime window,
+                                         std::uint32_t device_count,
+                                         sim::RandomStream& rng) {
+    struct RoundBest {
+        std::size_t anchor = 0;
+        std::size_t coverage = 0;
+    };
+    const auto find_best = [&](const std::vector<PoEvent>& evs,
+                               std::vector<std::uint32_t>& counts) {
+        counts.assign(device_count, 0);
+        std::size_t distinct = 0;
+        RoundBest best;
+        std::vector<std::size_t> ties;
+        std::size_t j = 0;
+        for (std::size_t i = 0; i < evs.size(); ++i) {
+            const sim::SimTime limit = evs[i].at + window;
+            while (j < evs.size() && evs[j].at <= limit) {
+                if (counts[evs[j].device]++ == 0) ++distinct;
+                ++j;
+            }
+            if (distinct > best.coverage) {
+                best.coverage = distinct;
+                best.anchor = i;
+                ties.assign(1, i);
+            } else if (distinct == best.coverage && distinct > 0) {
+                ties.push_back(i);
+            }
+            if (--counts[evs[i].device] == 0) --distinct;
+        }
+        if (!ties.empty() && ties.size() > 1) {
+            best.anchor = ties[static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(ties.size()) - 1))];
+        }
+        return best;
+    };
+
+    std::sort(events.begin(), events.end(), [](const PoEvent& a, const PoEvent& b) {
+        if (a.at != b.at) return a.at < b.at;
+        return a.device < b.device;
+    });
+
+    WindowCoverResult result;
+    std::vector<bool> seen(device_count, false);
+    for (const PoEvent& e : events) seen[e.device] = true;
+    for (std::uint32_t d = 0; d < device_count; ++d) {
+        if (!seen[d]) result.uncoverable.push_back(d);
+    }
+
+    std::vector<bool> covered(device_count, false);
+    std::vector<std::uint32_t> counts;
+    while (!events.empty()) {
+        const RoundBest best = find_best(events, counts);
+        if (best.coverage == 0) break;
+        const sim::SimTime start = events[best.anchor].at;
+        const sim::SimTime limit = start + window;
+        CoverWindow chosen{start, limit, {}};
+        for (std::size_t k = best.anchor;
+             k < events.size() && events[k].at <= limit; ++k) {
+            const std::uint32_t d = events[k].device;
+            if (!covered[d]) {
+                covered[d] = true;
+                chosen.devices.push_back(d);
+            }
+        }
+        result.windows.push_back(std::move(chosen));
+        std::erase_if(events,
+                      [&covered](const PoEvent& e) { return covered[e.device]; });
+    }
+    return result;
+}
+
+class WindowCoverTraceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WindowCoverTraceTest, BitsetGreedyMatchesReference) {
+    sim::RandomStream gen{GetParam() * 131 + 5};
+    const std::uint32_t devices = 60;
+    std::vector<PoEvent> events;
+    for (std::uint32_t d = 0; d < devices; ++d) {
+        const int pos = static_cast<int>(gen.uniform_int(1, 6));
+        for (int k = 0; k < pos; ++k) {
+            // Coarse grid -> frequent exact ties between windows.
+            events.push_back({SimTime{100 * gen.uniform_int(0, 40)}, d});
+        }
+    }
+    sim::RandomStream ref_rng{GetParam()};
+    sim::RandomStream fast_rng{GetParam()};
+    const WindowCoverResult ref =
+        reference_window_cover(events, SimTime{500}, devices, ref_rng);
+    const WindowCoverResult fast =
+        greedy_window_cover(events, SimTime{500}, devices, fast_rng);
+
+    EXPECT_EQ(fast.uncoverable, ref.uncoverable);
+    ASSERT_EQ(fast.windows.size(), ref.windows.size());
+    for (std::size_t w = 0; w < ref.windows.size(); ++w) {
+        EXPECT_EQ(fast.windows[w].start, ref.windows[w].start);
+        EXPECT_EQ(fast.windows[w].end, ref.windows[w].end);
+        EXPECT_EQ(fast.windows[w].devices, ref.windows[w].devices);
+    }
+    EXPECT_EQ(fast_rng.next_u64(), ref_rng.next_u64());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPoPatterns, WindowCoverTraceTest,
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{16}));
 
 TEST(ToSetCoverInstanceTest, OneSetPerAnchor) {
     const std::vector<PoEvent> events{{SimTime{0}, 0}, {SimTime{50}, 1}};

@@ -2,7 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
 #include <vector>
+
+#include "sim/random.hpp"
 
 namespace nbmg::sim {
 namespace {
@@ -205,6 +213,157 @@ TEST(EventQueueTest, CancelDuringHandlerOfSameTime) {
     q.run_all();
     EXPECT_FALSE(second_ran);
 }
+
+TEST(EventQueueTest, StaleIdCannotCancelSlotReuser) {
+    EventQueue q;
+    const EventId a = q.schedule_at(SimTime{10}, [] {});
+    ASSERT_TRUE(q.cancel(a));
+    // The freed slot is reused by the next event; the stale id must not
+    // reach the new occupant.
+    bool b_ran = false;
+    const EventId b = q.schedule_at(SimTime{20}, [&] { b_ran = true; });
+    EXPECT_EQ(b.index, a.index);  // slab reuses LIFO
+    EXPECT_NE(b.generation, a.generation);
+    EXPECT_FALSE(q.cancel(a));
+    q.run_all();
+    EXPECT_TRUE(b_ran);
+}
+
+TEST(EventQueueTest, OversizedHandlerFallsBackToHeap) {
+    EventQueue q;
+    std::array<char, 4 * InlineHandler::kInlineCapacity> big{};
+    big[0] = 1;
+    big[big.size() - 1] = 2;
+    int sum = 0;
+    q.schedule_at(SimTime{5}, [big, &sum] { sum = big[0] + big[big.size() - 1]; });
+    q.run_all();
+    EXPECT_EQ(sum, 3);
+}
+
+TEST(EventQueueTest, InlineHandlerMoveTransfersTarget) {
+    int calls = 0;
+    InlineHandler a = [&calls] { ++calls; };
+    InlineHandler b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(calls, 1);
+}
+
+/// The seed implementation, kept verbatim as the ordering reference: a
+/// binary std::priority_queue of {time, seq, std::function} entries with
+/// an unordered_set cancellation path.  The slab queue must reproduce its
+/// pop order bit for bit.
+class ReferenceEventQueue {
+public:
+    using Handler = std::function<void()>;
+
+    [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+    std::uint64_t schedule_at(SimTime at, Handler handler) {
+        const std::uint64_t seq = next_seq_++;
+        heap_.push(Entry{at, seq, std::move(handler)});
+        pending_ids_.insert(seq);
+        return seq;
+    }
+
+    std::uint64_t schedule_after(SimTime delay, Handler handler) {
+        return schedule_at(now_ + delay, std::move(handler));
+    }
+
+    bool cancel(std::uint64_t id) { return pending_ids_.erase(id) > 0; }
+
+    bool step() {
+        while (!heap_.empty() && !pending_ids_.contains(heap_.top().seq)) {
+            heap_.pop();
+        }
+        if (heap_.empty()) return false;
+        Entry top = heap_.top();
+        heap_.pop();
+        pending_ids_.erase(top.seq);
+        now_ = top.at;
+        top.handler();
+        return true;
+    }
+
+    void run_all() {
+        while (step()) {
+        }
+    }
+
+private:
+    struct Entry {
+        SimTime at;
+        std::uint64_t seq;
+        Handler handler;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const noexcept {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<std::uint64_t> pending_ids_;
+    SimTime now_{0};
+    std::uint64_t next_seq_ = 1;
+};
+
+/// Runs the same RNG-scripted workload — scattered schedules, random
+/// cancellations, handlers that schedule children and cancel peers — on
+/// any queue type and records the (label, fire-time) trace.  Identical
+/// traces imply identical execution order AND identical RNG consumption
+/// (handler decisions draw from the shared stream in fire order).
+template <typename Queue>
+std::vector<std::pair<int, std::int64_t>> scripted_trace(std::uint64_t seed) {
+    Queue q;
+    RandomStream rng{seed};
+    std::vector<std::pair<int, std::int64_t>> trace;
+    using Id = decltype(q.schedule_at(SimTime{0}, [] {}));
+    std::vector<Id> ids;
+    int next_label = 0;
+
+    std::function<void(int)> fire = [&](int label) {
+        trace.emplace_back(label, q.now().count());
+        const std::int64_t action = rng.uniform_int(0, 9);
+        if (action < 3) {
+            const int child = next_label++;
+            ids.push_back(q.schedule_after(SimTime{rng.uniform_int(0, 40)},
+                                           [&fire, child] { fire(child); }));
+        } else if (action < 5 && !ids.empty()) {
+            const auto pick = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+            (void)q.cancel(ids[pick]);
+        }
+    };
+
+    for (int i = 0; i < 300; ++i) {
+        const int label = next_label++;
+        // Coarse times force plenty of equal-time FIFO ties.
+        ids.push_back(q.schedule_at(SimTime{rng.uniform_int(0, 80)},
+                                    [&fire, label] { fire(label); }));
+    }
+    for (int i = 0; i < 120; ++i) {
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+        (void)q.cancel(ids[pick]);
+    }
+    q.run_all();
+    return trace;
+}
+
+class SlabQueueTraceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SlabQueueTraceTest, PopOrderMatchesReferenceImplementation) {
+    const auto reference = scripted_trace<ReferenceEventQueue>(GetParam());
+    const auto slab = scripted_trace<EventQueue>(GetParam());
+    ASSERT_FALSE(reference.empty());
+    EXPECT_EQ(slab, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScripts, SlabQueueTraceTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 42u, 1234u, 99991u));
 
 }  // namespace
 }  // namespace nbmg::sim
