@@ -10,23 +10,25 @@
 #include <cstring>
 #include <string>
 
+#include "multicell/assignment.hpp"
 #include "stats/table.hpp"
 
 namespace nbmg::bench {
 
 /// Prints a usage message for a malformed flag and exits with status 2.
+/// `expected` describes the value shape in the usage line.
 [[noreturn]] inline void flag_error(const char* flag, const char* value,
-                                    const char* reason) {
+                                    const char* reason,
+                                    const char* expected =
+                                        "N where N is a non-negative decimal "
+                                        "integer") {
     if (value != nullptr) {
         std::fprintf(stderr, "error: bad value '%s' for %s: %s\n", value, flag,
                      reason);
     } else {
         std::fprintf(stderr, "error: %s: %s\n", flag, reason);
     }
-    std::fprintf(stderr,
-                 "usage: flags take the form '%s N' where N is a non-negative "
-                 "decimal integer\n",
-                 flag);
+    std::fprintf(stderr, "usage: flags take the form '%s %s'\n", flag, expected);
     std::exit(2);
 }
 
@@ -86,6 +88,28 @@ namespace nbmg::bench {
 /// thread.  Results never depend on the thread count.
 [[nodiscard]] inline std::size_t flag_threads(int argc, char** argv) {
     return static_cast<std::size_t>(flag_u64(argc, argv, "--threads", 0));
+}
+
+/// Parses "--cells N" for multicell deployments; at least one cell.
+[[nodiscard]] inline std::size_t flag_cells(int argc, char** argv,
+                                            std::size_t fallback = 1) {
+    return flag_value(argc, argv, "--cells", fallback, 1);
+}
+
+/// Parses "--assignment NAME" strictly: the value must be one of the
+/// multicell policy spellings (uniform | hotspot | class-affinity); any
+/// other value exits with a usage message instead of silently falling back.
+[[nodiscard]] inline multicell::AssignmentPolicy flag_assignment(
+    int argc, char** argv,
+    multicell::AssignmentPolicy fallback = multicell::AssignmentPolicy::uniform_hash) {
+    const char* text = flag_text(argc, argv, "--assignment");
+    if (text == nullptr) return fallback;
+    const auto parsed = multicell::parse_assignment_policy(text);
+    if (!parsed.has_value()) {
+        flag_error("--assignment", text, "unknown assignment policy",
+                   "uniform | hotspot | class-affinity");
+    }
+    return *parsed;
 }
 
 inline void print_header(const char* experiment_id, const char* title) {

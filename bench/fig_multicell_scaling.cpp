@@ -1,0 +1,93 @@
+// Multicell scaling: one firmware campaign for a fixed city-wide fleet,
+// sharded over an increasing number of cells.  Planning stays per cell, so
+// the dominant costs (DR-SC cover, paging-slot search, the event loop)
+// shrink superlinearly with the shard size, and the independent (run, cell)
+// loops fan across the worker pool — wall-clock drops from one serial loop
+// toward max-over-cells.  The fleet population is generated once and shared
+// by every sweep point, and aggregates stay bit-identical for any
+// --threads.
+//
+//   $ fig_multicell_scaling --devices 100000 --cells 64 --runs 1 --threads 8
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "multicell/deployment.hpp"
+#include "traffic/population.hpp"
+
+int main(int argc, char** argv) {
+    using namespace nbmg;
+
+    const std::size_t devices = bench::flag_value(argc, argv, "--devices", 20'000);
+    const std::size_t max_cells = bench::flag_cells(argc, argv, 64);
+    const std::size_t runs = bench::flag_value(argc, argv, "--runs", 2);
+    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
+    const std::size_t threads = bench::flag_threads(argc, argv);
+    const multicell::AssignmentPolicy policy = bench::flag_assignment(argc, argv);
+
+    multicell::DeploymentSetup setup;
+    setup.profile = traffic::massive_iot_city();
+    setup.device_count = devices;
+    setup.runs = runs;
+    setup.base_seed = seed;
+    setup.threads = threads;
+    setup.assignment = policy;
+    // DR-SC is the planning-heavy mechanism and the interesting scaling
+    // case; the unicast reference runs implicitly at every point.
+    setup.mechanisms = {core::MechanismKind::dr_sc};
+
+    bench::print_header("Multicell scaling",
+                        "fleet campaign sharded across independent cells");
+    std::printf("profile=%s fleet=%zu runs=%zu assignment=%s threads=%zu\n",
+                setup.profile.name.c_str(), devices, runs,
+                multicell::to_string(policy), threads);
+
+    // One fleet, every sweep point: population generation is paid once.
+    setup.populations = core::generate_comparison_populations(
+        setup.profile, setup.device_count, setup.runs, setup.base_seed);
+
+    stats::Table table({"cells", "wall-clock (s)", "speedup vs 1 cell",
+                        "max cell load", "empty cell-runs",
+                        "DR-SC tx (fleet)", "light-sleep incr",
+                        "RACH collision p50", "p95 across cells"});
+    // Sweep 1, 4, 16, ... and always finish at the requested --cells value,
+    // whether or not it is a power of 4.
+    std::vector<std::size_t> cell_counts;
+    for (std::size_t cells = 1; cells < max_cells; cells *= 4) {
+        cell_counts.push_back(cells);
+    }
+    cell_counts.push_back(max_cells);
+
+    double serial_seconds = 0.0;
+    for (const std::size_t cells : cell_counts) {
+        setup.topology = multicell::CellTopology::uniform(cells);
+
+        const auto started = std::chrono::steady_clock::now();
+        const multicell::DeploymentResult result = multicell::run_deployment(setup);
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+                .count();
+        if (cells == 1) serial_seconds = seconds;
+
+        const auto& dr_sc = result.mechanisms.front();
+        table.add_row(
+            {stats::Table::cell(static_cast<std::int64_t>(cells)),
+             stats::Table::cell(seconds, 2),
+             stats::Table::cell(serial_seconds / seconds, 2),
+             stats::Table::cell(result.cell_load.max(), 0),
+             stats::Table::cell(static_cast<std::int64_t>(result.empty_cell_runs)),
+             stats::Table::cell(dr_sc.stats.transmissions.mean(), 1),
+             stats::Table::cell_percent(dr_sc.stats.light_sleep_increase.mean(), 2),
+             stats::Table::cell(result.rach_collision_across_cells.quantile(0.5), 4),
+             stats::Table::cell(result.rach_collision_across_cells.quantile(0.95),
+                                4)});
+    }
+    bench::print_table(table);
+    std::printf(
+        "\nReading the table: the fleet aggregates stay in the same regime while\n"
+        "wall-clock falls — planning is per cell, so sharding cuts the greedy\n"
+        "cover and paging-slot search superlinearly and the cells run in\n"
+        "parallel.  Per-cell RACH contention drops as each cell's RACH only\n"
+        "carries its own camped devices.\n");
+    return 0;
+}

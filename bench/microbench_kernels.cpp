@@ -5,6 +5,7 @@
 
 #include "core/campaign.hpp"
 #include "core/planners.hpp"
+#include "multicell/deployment.hpp"
 #include "nbiot/paging.hpp"
 #include "setcover/solvers.hpp"
 #include "setcover/window_cover.hpp"
@@ -133,7 +134,35 @@ void BM_DrScPlan(benchmark::State& state) {
         benchmark::DoNotOptimize(mechanism.plan(specs, config, rng));
     }
 }
-BENCHMARK(BM_DrScPlan)->Arg(200)->Arg(1'000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DrScPlan)->Arg(200)->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+void BM_MulticellCampaign(benchmark::State& state) {
+    // One fleet-wide comparison run (unicast reference + DR-SC) sharded
+    // across `cells` cells with 8 workers: the deployment-layer scaling
+    // case.  The population is generated once outside the timed region and
+    // shared, exactly as fig_multicell_scaling shares it across points.
+    multicell::DeploymentSetup setup;
+    setup.profile = traffic::massive_iot_city();
+    setup.device_count = static_cast<std::size_t>(state.range(0));
+    setup.runs = 1;
+    setup.base_seed = 42;
+    setup.threads = 8;
+    setup.mechanisms = {core::MechanismKind::dr_sc};
+    setup.topology = multicell::CellTopology::uniform(
+        static_cast<std::size_t>(state.range(1)));
+    setup.populations = core::generate_comparison_populations(
+        setup.profile, setup.device_count, setup.runs, setup.base_seed);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(multicell::run_deployment(setup));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MulticellCampaign)
+    ->Args({100'000, 1})
+    ->Args({100'000, 16})
+    ->Args({100'000, 64})
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
 
 void BM_FullCampaign(benchmark::State& state) {
     sim::RandomStream pop_rng{1};

@@ -2,17 +2,18 @@
 # Records the kernel microbenchmarks as google-benchmark JSON at the repo
 # root — the perf trajectory file future PRs regress against.
 #
-#   $ ci/bench.sh                  # writes BENCH_pr2.json
-#   $ ci/bench.sh BENCH_pr3.json   # explicit output name
+#   $ ci/bench.sh                  # writes BENCH_pr3.json
+#   $ ci/bench.sh BENCH_pr4.json   # explicit output name
 #
 # The suite includes the large-n cases (event queue at 10^6 events, greedy
-# cover at 10^4 sets x 10^5 elements, full campaign at 10^4 devices), so a
-# full run takes a few minutes.
+# cover at 10^4 sets x 10^5 elements, full campaign at 10^4 devices, and
+# the multicell deployment at 10^5 devices x {1, 16, 64} cells), so a full
+# run takes several minutes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr2.json}"
+out="${1:-BENCH_pr3.json}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 build_dir=build-release
 

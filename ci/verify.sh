@@ -29,11 +29,17 @@ for config in "${configs[@]}"; do
   cmake --build "${build_dir}" -j"${jobs}"
   ctest --test-dir "${build_dir}" --output-on-failure -j"${jobs}"
 
-  if [[ "${config}" == "Release" && -x "${build_dir}/bench/microbench_kernels" ]]; then
-    echo "=== ${config}: microbenchmark smoke (small kernel cases) ==="
-    "${build_dir}/bench/microbench_kernels" \
-      --benchmark_filter='PagingFirstPoAtOrAfter/3$|EventQueueScheduleRun/1000$|EventQueueCancelHeavy/10000$|WindowCoverGreedy/100$|GreedyCover/1000/|DrScPlan/200$|FullCampaign/100$' \
-      --benchmark_min_time=0.01
+  if [[ "${config}" == "Release" ]]; then
+    if [[ -x "${build_dir}/bench/microbench_kernels" ]]; then
+      echo "=== ${config}: microbenchmark smoke (small kernel cases) ==="
+      "${build_dir}/bench/microbench_kernels" \
+        --benchmark_filter='PagingFirstPoAtOrAfter/3$|EventQueueScheduleRun/1000$|EventQueueCancelHeavy/10000$|WindowCoverGreedy/100$|GreedyCover/1000/|DrScPlan/200$|FullCampaign/100$' \
+        --benchmark_min_time=0.01
+    fi
+
+    echo "=== ${config}: multicell smoke (sharded fleet, 8 cells) ==="
+    "${build_dir}/bench/fig_multicell_scaling" \
+      --devices 2000 --cells 8 --runs 1 --threads 2
   fi
 done
 

@@ -1,0 +1,87 @@
+// City-wide rollout: one firmware campaign delivered to a fleet camped
+// across a grid of cells, under the three assignment scenarios the
+// deployment layer models — i.i.d. camping, a downtown hotspot gradient,
+// and class-affinity clustering (fleets deployed building by building).
+//
+// Planning runs per cell (each eNB covers only its own camped devices), so
+// besides the scaling win this surfaces genuinely multicell effects:
+// skewed per-cell load, per-cell RACH contention, and what clustering does
+// to DR-SC's grouping opportunities.
+//
+//   $ ./citywide_rollout [devices] [cells] [seed]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "multicell/deployment.hpp"
+#include "stats/table.hpp"
+#include "traffic/population.hpp"
+
+int main(int argc, char** argv) {
+    using namespace nbmg;
+
+    const std::size_t devices =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6'000;
+    const std::size_t cells = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 16;
+    const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+
+    multicell::DeploymentSetup setup;
+    setup.profile = traffic::massive_iot_city();
+    setup.device_count = devices;
+    setup.runs = 2;
+    setup.base_seed = seed;
+
+    std::printf(
+        "citywide rollout: %zu devices over %zu cells, %zu runs, seed %llu\n"
+        "payload 100KB, mechanisms DR-SC / DA-SC / DR-SI vs per-cell unicast\n",
+        devices, cells, setup.runs,
+        static_cast<unsigned long long>(seed));
+
+    // The fleet is the same under every scenario: generate it once.
+    setup.populations = core::generate_comparison_populations(
+        setup.profile, setup.device_count, setup.runs, setup.base_seed);
+
+    stats::Table table({"assignment", "max/min cell load", "DR-SC tx (fleet)",
+                        "DR-SC connected incr", "DA-SC light-sleep incr",
+                        "RACH collision p95 across cells"});
+    for (const multicell::AssignmentPolicy policy :
+         {multicell::AssignmentPolicy::uniform_hash,
+          multicell::AssignmentPolicy::hotspot,
+          multicell::AssignmentPolicy::class_affinity}) {
+        setup.assignment = policy;
+        setup.topology =
+            policy == multicell::AssignmentPolicy::hotspot
+                ? multicell::CellTopology::hotspot(cells, 1.0)
+                : multicell::CellTopology::uniform(cells);
+
+        const multicell::DeploymentResult result = multicell::run_deployment(setup);
+
+        double min_load = static_cast<double>(devices);
+        double max_load = 0.0;
+        for (const multicell::CellAggregates& cell : result.cells) {
+            min_load = std::min(min_load, cell.devices.mean());
+            max_load = std::max(max_load, cell.devices.mean());
+        }
+        char load[64];
+        std::snprintf(load, sizeof load, "%.0f / %.0f", max_load, min_load);
+
+        table.add_row(
+            {multicell::to_string(policy), load,
+             stats::Table::cell(result.mechanisms[0].stats.transmissions.mean(), 1),
+             stats::Table::cell_percent(
+                 result.mechanisms[0].stats.connected_increase.mean(), 1),
+             stats::Table::cell_percent(
+                 result.mechanisms[1].stats.light_sleep_increase.mean(), 2),
+             stats::Table::cell(result.rach_collision_across_cells.quantile(0.95),
+                                4)});
+    }
+    std::fputs(table.to_markdown().c_str(), stdout);
+
+    std::printf(
+        "\nReading the table: the hotspot scenario concentrates load (and RACH\n"
+        "contention) on the downtown cells; class affinity packs devices with\n"
+        "the same DRX behaviour onto shared cells, which is exactly where\n"
+        "DR-SC's window grouping finds dense clusters.  All numbers are\n"
+        "bit-identical for any thread count.\n");
+    return 0;
+}

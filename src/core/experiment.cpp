@@ -110,10 +110,18 @@ SharedPopulations generate_comparison_populations(
     populations->device_count = device_count;
     populations->base_seed = base_seed;
     populations->runs.reserve(runs);
+    populations->class_indices.reserve(runs);
     for (std::size_t run = 0; run < runs; ++run) {
         sim::RandomStream pop_rng = rng_factory.stream("population", run);
-        populations->runs.push_back(traffic::to_specs(
-            traffic::generate_population(profile, device_count, pop_rng)));
+        const auto generated =
+            traffic::generate_population(profile, device_count, pop_rng);
+        populations->runs.push_back(traffic::to_specs(generated));
+        std::vector<std::uint32_t> classes;
+        classes.reserve(generated.size());
+        for (const auto& d : generated) {
+            classes.push_back(static_cast<std::uint32_t>(d.class_index));
+        }
+        populations->class_indices.push_back(std::move(classes));
     }
     return populations;
 }

@@ -31,6 +31,11 @@ struct ComparisonPopulations {
     std::size_t device_count = 0;
     std::uint64_t base_seed = 0;
     std::vector<std::vector<nbiot::UeSpec>> runs;  // index: runs[run]
+    /// Per-device profile class (parallel to `runs`): class_indices[run][d]
+    /// is the index into PopulationProfile::classes that generated device d.
+    /// run_comparison ignores it; the multicell deployment layer feeds it to
+    /// class-affinity assignment policies.
+    std::vector<std::vector<std::uint32_t>> class_indices;
 };
 using SharedPopulations = std::shared_ptr<const ComparisonPopulations>;
 

@@ -1,0 +1,94 @@
+#include "multicell/assignment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+
+namespace nbmg::multicell {
+namespace {
+
+/// Uniform [0, 1) from a derived 64-bit hash.
+double unit_hash(std::uint64_t root, std::string_view label, std::uint64_t index) {
+    return static_cast<double>(sim::derive_seed(root, label, index)) * 0x1.0p-64;
+}
+
+std::uint32_t uniform_cell(std::size_t cells, std::uint64_t seed, std::uint64_t imsi) {
+    return static_cast<std::uint32_t>(sim::derive_seed(seed, "assign-uniform", imsi) %
+                                      cells);
+}
+
+}  // namespace
+
+std::optional<AssignmentPolicy> parse_assignment_policy(
+    std::string_view text) noexcept {
+    if (text == "uniform") return AssignmentPolicy::uniform_hash;
+    if (text == "hotspot") return AssignmentPolicy::hotspot;
+    if (text == "class-affinity") return AssignmentPolicy::class_affinity;
+    return std::nullopt;
+}
+
+DeviceAssignment assign_devices(const CellTopology& topology,
+                                std::span<const nbiot::UeSpec> devices,
+                                std::span<const std::uint32_t> class_indices,
+                                AssignmentPolicy policy, std::uint64_t seed) {
+    if (!topology.valid()) {
+        throw std::invalid_argument("assign_devices: invalid topology");
+    }
+    if (policy == AssignmentPolicy::class_affinity &&
+        class_indices.size() != devices.size()) {
+        throw std::invalid_argument(
+            "assign_devices: class_affinity needs one class index per device");
+    }
+    const std::size_t cells = topology.cell_count();
+
+    // Cumulative weights for the hotspot policy's weighted hash.
+    std::vector<double> cumulative;
+    if (policy == AssignmentPolicy::hotspot) {
+        cumulative.reserve(cells);
+        double total = 0.0;
+        for (const CellSite& site : topology.cells) {
+            total += site.weight;
+            cumulative.push_back(total);
+        }
+    }
+
+    DeviceAssignment assignment;
+    assignment.cell_of_device.reserve(devices.size());
+    assignment.cell_sizes.assign(cells, 0);
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+        const std::uint64_t imsi = devices[d].imsi.value;
+        std::uint32_t cell = 0;
+        switch (policy) {
+            case AssignmentPolicy::uniform_hash:
+                cell = uniform_cell(cells, seed, imsi);
+                break;
+            case AssignmentPolicy::hotspot: {
+                const double u = unit_hash(seed, "assign-hotspot", imsi) *
+                                 cumulative.back();
+                const auto it =
+                    std::upper_bound(cumulative.begin(), cumulative.end(), u);
+                cell = static_cast<std::uint32_t>(
+                    std::min<std::size_t>(
+                        static_cast<std::size_t>(it - cumulative.begin()),
+                        cells - 1));
+                break;
+            }
+            case AssignmentPolicy::class_affinity: {
+                if (unit_hash(seed, "affinity-spill", imsi) < kClassAffinitySpill) {
+                    cell = uniform_cell(cells, seed, imsi);
+                } else {
+                    cell = static_cast<std::uint32_t>(
+                        sim::derive_seed(seed, "class-home", class_indices[d]) %
+                        cells);
+                }
+                break;
+            }
+        }
+        assignment.cell_of_device.push_back(cell);
+        ++assignment.cell_sizes[cell];
+    }
+    return assignment;
+}
+
+}  // namespace nbmg::multicell

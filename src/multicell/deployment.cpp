@@ -1,0 +1,318 @@
+#include "multicell/deployment.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/planners.hpp"
+#include "core/report.hpp"
+#include "core/sweep.hpp"
+
+namespace nbmg::multicell {
+namespace {
+
+/// Raw totals of one executed campaign on one cell in one run.  Cell
+/// totals are summed (in cell order) into fleet totals before any ratio is
+/// formed, so fleet aggregates are genuine fleet-level numbers rather than
+/// means of per-cell ratios — and with one cell they reduce to exactly the
+/// values run_comparison computes.
+struct CellRunTotals {
+    std::size_t devices = 0;
+    std::size_t transmissions = 0;
+    std::size_t recovery_transmissions = 0;
+    std::size_t unreceived = 0;
+    double light_sleep_ms = 0.0;
+    double connected_ms = 0.0;
+    std::int64_t bytes_on_air = 0;
+    std::uint64_t rach_attempts = 0;
+    std::uint64_t rach_collisions = 0;
+
+    void accumulate(const CellRunTotals& other) noexcept {
+        devices += other.devices;
+        transmissions += other.transmissions;
+        recovery_transmissions += other.recovery_transmissions;
+        unreceived += other.unreceived;
+        light_sleep_ms += other.light_sleep_ms;
+        connected_ms += other.connected_ms;
+        bytes_on_air += other.bytes_on_air;
+        rach_attempts += other.rach_attempts;
+        rach_collisions += other.rach_collisions;
+    }
+};
+
+CellRunTotals totals_from(const core::CampaignResult& result) {
+    CellRunTotals t;
+    t.devices = result.devices.size();
+    t.transmissions = result.total_transmissions();
+    t.recovery_transmissions = result.recovery_transmissions;
+    t.unreceived = result.devices.size() - result.received_count();
+    t.light_sleep_ms = core::total_light_sleep_ms(result);
+    t.connected_ms = core::total_connected_ms(result);
+    t.bytes_on_air = result.bytes_on_air;
+    t.rach_attempts = result.rach_attempts;
+    t.rach_collisions = result.rach_collisions;
+    return t;
+}
+
+/// One (run, cell) contribution: the unicast reference plus every
+/// requested mechanism, executed on this cell's camped devices only.
+struct CellRunOutcome {
+    std::size_t devices = 0;  // 0 = empty cell, nothing executed
+    CellRunTotals unicast;
+    std::vector<CellRunTotals> mechanisms;
+};
+
+CellRunOutcome run_cell(const DeploymentSetup& setup,
+                        std::span<const nbiot::UeSpec> specs,
+                        const core::CampaignConfig& config,
+                        std::uint64_t cell_root, std::size_t run) {
+    CellRunOutcome out;
+    out.devices = specs.size();
+    out.mechanisms.resize(setup.mechanisms.size());
+    if (specs.empty()) return out;
+
+    // Identical structure (and, for one cell, identical streams) to
+    // run_comparison's per-run body: one horizon and one execution seed
+    // shared by every mechanism of this cell's run.
+    const sim::RngFactory rng_factory(cell_root);
+    const core::UnicastBaseline unicast;
+    const core::CampaignRunner runner(config);
+    const nbiot::SimTime horizon =
+        core::recommended_horizon(specs, config, setup.payload_bytes);
+    const std::uint64_t run_seed = sim::derive_seed(cell_root, "run", run);
+
+    sim::RandomStream unicast_rng = rng_factory.stream("plan-unicast", run);
+    const core::MulticastPlan unicast_plan =
+        unicast.plan(specs, config, unicast_rng);
+    out.unicast = totals_from(
+        runner.run(unicast_plan, specs, setup.payload_bytes, horizon, run_seed));
+
+    for (std::size_t m = 0; m < setup.mechanisms.size(); ++m) {
+        const auto mechanism = core::make_mechanism(setup.mechanisms[m]);
+        sim::RandomStream plan_rng = rng_factory.stream(mechanism->name(), run);
+        const core::MulticastPlan plan = mechanism->plan(specs, config, plan_rng);
+        out.mechanisms[m] = totals_from(
+            runner.run(plan, specs, setup.payload_bytes, horizon, run_seed));
+    }
+    return out;
+}
+
+/// The unicast reference's per-run samples, exactly as comparison_run adds
+/// them (no relative-increase samples for the reference itself).
+void add_unicast_samples(DeploymentMechanismStats& out, const CellRunTotals& u) {
+    const double n = static_cast<double>(u.devices);
+    core::MechanismStats& s = out.stats;
+    s.transmissions.add(static_cast<double>(u.transmissions));
+    s.transmissions_per_device.add(static_cast<double>(u.transmissions) / n);
+    s.bytes_ratio.add(1.0);
+    s.recovery_transmissions.add(static_cast<double>(u.recovery_transmissions));
+    s.unreceived_devices.add(static_cast<double>(u.unreceived));
+    s.mean_connected_seconds.add(u.connected_ms / n / 1000.0);
+    s.mean_light_sleep_seconds.add(u.light_sleep_ms / n / 1000.0);
+    out.bytes_on_air.add(static_cast<double>(u.bytes_on_air));
+}
+
+/// A mechanism's per-run samples against the same-scope unicast reference,
+/// with run_comparison's formulas (relative_uptime / bandwidth_comparison
+/// applied to the summed totals, including their zero-baseline guards).
+void add_mechanism_samples(DeploymentMechanismStats& out, const CellRunTotals& m,
+                           const CellRunTotals& u) {
+    const double n = static_cast<double>(m.devices);
+    core::MechanismStats& s = out.stats;
+    s.light_sleep_increase.add(
+        u.light_sleep_ms > 0.0 ? m.light_sleep_ms / u.light_sleep_ms - 1.0 : 0.0);
+    s.connected_increase.add(
+        u.connected_ms > 0.0 ? m.connected_ms / u.connected_ms - 1.0 : 0.0);
+    s.transmissions.add(static_cast<double>(m.transmissions));
+    s.transmissions_per_device.add(static_cast<double>(m.transmissions) / n);
+    s.bytes_ratio.add(u.bytes_on_air > 0
+                          ? static_cast<double>(m.bytes_on_air) /
+                                static_cast<double>(u.bytes_on_air)
+                          : 0.0);
+    s.recovery_transmissions.add(static_cast<double>(m.recovery_transmissions));
+    s.unreceived_devices.add(static_cast<double>(m.unreceived));
+    s.mean_connected_seconds.add(m.connected_ms / n / 1000.0);
+    s.mean_light_sleep_seconds.add(m.light_sleep_ms / n / 1000.0);
+    out.bytes_on_air.add(static_cast<double>(m.bytes_on_air));
+}
+
+void add_rach_sample(DeploymentMechanismStats& fleet, DeploymentMechanismStats& cell,
+                     stats::Histogram& across_cells, const CellRunTotals& t) {
+    if (t.rach_attempts == 0) return;
+    const double rate = static_cast<double>(t.rach_collisions) /
+                        static_cast<double>(t.rach_attempts);
+    fleet.rach_collision_rate.add(rate);
+    cell.rach_collision_rate.add(rate);
+    across_cells.add(rate);
+}
+
+/// Merges a per-run contribution, field-wise, exactly as run_comparison
+/// merges its per-run single-sample summaries (the merge path rounds
+/// differently from adding samples directly; bit-identity with the
+/// single-cell driver requires reproducing it).
+void merge_contribution(DeploymentMechanismStats& into,
+                        const DeploymentMechanismStats& contrib) {
+    into.stats.merge(contrib.stats);
+    into.bytes_on_air.merge(contrib.bytes_on_air);
+    into.rach_collision_rate.merge(contrib.rach_collision_rate);
+}
+
+}  // namespace
+
+std::uint64_t cell_seed_root(std::uint64_t base_seed, std::size_t cell_count,
+                             std::uint32_t cell) noexcept {
+    return cell_count == 1 ? base_seed : sim::derive_seed(base_seed, "cell", cell);
+}
+
+DeploymentResult run_deployment(const DeploymentSetup& setup) {
+    if (setup.runs == 0 || setup.device_count == 0) {
+        throw std::invalid_argument("run_deployment: empty setup");
+    }
+    if (!setup.topology.valid()) {
+        throw std::invalid_argument("run_deployment: invalid topology");
+    }
+
+    core::SharedPopulations populations = setup.populations;
+    if (populations) {
+        if (populations->base_seed != setup.base_seed ||
+            populations->device_count != setup.device_count ||
+            populations->profile_name != setup.profile.name) {
+            throw std::invalid_argument(
+                "run_deployment: shared populations were generated for a "
+                "different (profile, device_count, base_seed)");
+        }
+        if (populations->runs.size() < setup.runs) {
+            throw std::invalid_argument(
+                "run_deployment: shared populations cover fewer runs than "
+                "setup.runs");
+        }
+        if (setup.assignment == AssignmentPolicy::class_affinity &&
+            populations->class_indices.size() < setup.runs) {
+            throw std::invalid_argument(
+                "run_deployment: class_affinity needs shared populations with "
+                "class indices");
+        }
+    } else {
+        populations = core::generate_comparison_populations(
+            setup.profile, setup.device_count, setup.runs, setup.base_seed);
+    }
+
+    const std::size_t cells = setup.topology.cell_count();
+
+    // Per-cell campaign configs (paging-capacity overrides).
+    std::vector<core::CampaignConfig> cell_configs(cells, setup.config);
+    for (std::size_t c = 0; c < cells; ++c) {
+        const int override_records = setup.topology.cells[c].max_page_records_override;
+        if (override_records > 0) {
+            cell_configs[c].paging.max_page_records = override_records;
+        }
+    }
+
+    // Phase 1 — shard every run's fleet into per-cell spec slices (local
+    // dense device ids, fleet order preserved within a cell).  Assignment
+    // hashes IMSIs against the base seed, so the map is independent of the
+    // thread count.
+    struct RunShards {
+        std::vector<std::vector<nbiot::UeSpec>> cell_specs;
+    };
+    const std::vector<RunShards> shards = core::sweep_indexed(
+        setup.runs, setup.threads, [&](std::size_t run) {
+            RunShards out;
+            out.cell_specs.resize(cells);
+            const std::vector<nbiot::UeSpec>& fleet = populations->runs[run];
+            std::span<const std::uint32_t> classes;
+            if (setup.assignment == AssignmentPolicy::class_affinity) {
+                classes = populations->class_indices[run];
+            }
+            const DeviceAssignment assignment = assign_devices(
+                setup.topology, fleet, classes, setup.assignment, setup.base_seed);
+            for (std::size_t c = 0; c < cells; ++c) {
+                out.cell_specs[c].reserve(assignment.cell_sizes[c]);
+            }
+            for (std::size_t d = 0; d < fleet.size(); ++d) {
+                std::vector<nbiot::UeSpec>& bucket =
+                    out.cell_specs[assignment.cell_of_device[d]];
+                nbiot::UeSpec spec = fleet[d];
+                spec.device =
+                    nbiot::DeviceId{static_cast<std::uint32_t>(bucket.size())};
+                bucket.push_back(spec);
+            }
+            return out;
+        });
+
+    // Phase 2 — every (run, cell) campaign is an independent event loop;
+    // fan the whole grid across the pool.
+    const std::vector<CellRunOutcome> outcomes = core::sweep_indexed(
+        setup.runs * cells, setup.threads, [&](std::size_t slot) {
+            const std::size_t run = slot / cells;
+            const std::size_t cell = slot % cells;
+            return run_cell(
+                setup, shards[run].cell_specs[cell], cell_configs[cell],
+                cell_seed_root(setup.base_seed, cells,
+                               static_cast<std::uint32_t>(cell)),
+                run);
+        });
+
+    // Phase 3 — reduce in (run, cell) order on this thread.
+    DeploymentResult result;
+    result.unicast.stats.kind = core::MechanismKind::unicast;
+    result.mechanisms.resize(setup.mechanisms.size());
+    result.cells.resize(cells);
+    for (std::size_t m = 0; m < setup.mechanisms.size(); ++m) {
+        result.mechanisms[m].stats.kind = setup.mechanisms[m];
+    }
+    for (std::size_t c = 0; c < cells; ++c) {
+        CellAggregates& agg = result.cells[c];
+        agg.cell = static_cast<std::uint32_t>(c);
+        agg.unicast.stats.kind = core::MechanismKind::unicast;
+        agg.mechanisms.resize(setup.mechanisms.size());
+        for (std::size_t m = 0; m < setup.mechanisms.size(); ++m) {
+            agg.mechanisms[m].stats.kind = setup.mechanisms[m];
+        }
+    }
+
+    std::vector<CellRunTotals> fleet_mechanisms(setup.mechanisms.size());
+    for (std::size_t run = 0; run < setup.runs; ++run) {
+        CellRunTotals fleet_unicast{};
+        fleet_mechanisms.assign(setup.mechanisms.size(), CellRunTotals{});
+
+        for (std::size_t c = 0; c < cells; ++c) {
+            const CellRunOutcome& outcome = outcomes[run * cells + c];
+            CellAggregates& agg = result.cells[c];
+            result.cell_load.add(static_cast<double>(outcome.devices));
+            agg.devices.add(static_cast<double>(outcome.devices));
+            if (outcome.devices == 0) {
+                ++result.empty_cell_runs;
+                continue;
+            }
+
+            fleet_unicast.accumulate(outcome.unicast);
+            DeploymentMechanismStats cell_contrib;
+            add_unicast_samples(cell_contrib, outcome.unicast);
+            merge_contribution(agg.unicast, cell_contrib);
+            add_rach_sample(result.unicast, agg.unicast,
+                            result.rach_collision_across_cells, outcome.unicast);
+            for (std::size_t m = 0; m < setup.mechanisms.size(); ++m) {
+                fleet_mechanisms[m].accumulate(outcome.mechanisms[m]);
+                DeploymentMechanismStats mech_contrib;
+                add_mechanism_samples(mech_contrib, outcome.mechanisms[m],
+                                      outcome.unicast);
+                merge_contribution(agg.mechanisms[m], mech_contrib);
+                add_rach_sample(result.mechanisms[m], agg.mechanisms[m],
+                                result.rach_collision_across_cells,
+                                outcome.mechanisms[m]);
+            }
+        }
+
+        DeploymentMechanismStats unicast_contrib;
+        add_unicast_samples(unicast_contrib, fleet_unicast);
+        merge_contribution(result.unicast, unicast_contrib);
+        for (std::size_t m = 0; m < setup.mechanisms.size(); ++m) {
+            DeploymentMechanismStats mech_contrib;
+            add_mechanism_samples(mech_contrib, fleet_mechanisms[m], fleet_unicast);
+            merge_contribution(result.mechanisms[m], mech_contrib);
+        }
+    }
+    return result;
+}
+
+}  // namespace nbmg::multicell

@@ -1,0 +1,105 @@
+// City-scale deployment driver: shards one firmware campaign's fleet
+// across N independent cells and fans the per-cell plan+campaign event
+// loops over the sweep worker pool.
+//
+// Per run, the fleet population is generated once (the same
+// "population"-stream derivation run_comparison uses), assigned to cells by
+// a deterministic policy, and every cell plans (DR-SC/DA-SC/DR-SI over its
+// own camped devices) and executes its campaign as an independent event
+// loop.  Per-cell results are merged in (run, cell) order into fleet-wide
+// and per-cell aggregates, so every number is bit-identical for any
+// --threads.
+//
+// Determinism contract: a 1-cell deployment reproduces the single-cell
+// run_comparison aggregates bit for bit — the cell's RNG root degenerates
+// to the base seed, the whole fleet camps on cell 0 under every policy, and
+// the fleet-wide reduction applies run_comparison's formulas to the same
+// campaign results (tests/multicell/deployment_test.cpp pins this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "multicell/assignment.hpp"
+#include "multicell/topology.hpp"
+#include "stats/histogram.hpp"
+
+namespace nbmg::multicell {
+
+struct DeploymentSetup {
+    traffic::PopulationProfile profile;
+    /// Fleet-wide device count, before sharding.
+    std::size_t device_count = 500;
+    std::int64_t payload_bytes = 100 * 1024;
+    core::CampaignConfig config{};
+    std::size_t runs = 20;
+    std::uint64_t base_seed = 42;
+    /// Worker threads for the runs x cells fan-out; 0 = one per hardware
+    /// thread.  Results do not depend on this value.
+    std::size_t threads = 0;
+    std::vector<core::MechanismKind> mechanisms{
+        core::MechanismKind::dr_sc, core::MechanismKind::da_sc,
+        core::MechanismKind::dr_si};
+    CellTopology topology = CellTopology::uniform(1);
+    AssignmentPolicy assignment = AssignmentPolicy::uniform_hash;
+    /// Optional precomputed fleet populations (see
+    /// generate_comparison_populations); reused across every cell and — by
+    /// sharing the handle — across cell-count sweep points.  Must match
+    /// (profile, device_count, base_seed) and cover `runs`; class_affinity
+    /// additionally needs its class_indices.
+    core::SharedPopulations populations;
+};
+
+/// Fleet- or cell-level aggregates of one mechanism, plus deployment-only
+/// extensions the single-cell MechanismStats does not track.
+struct DeploymentMechanismStats {
+    /// Same per-run sample definitions as run_comparison (ratios against
+    /// the same-scope unicast reference).
+    core::MechanismStats stats;
+    /// Absolute bytes on the air interface per run (fleet/cell total).
+    stats::Summary bytes_on_air;
+    /// RACH collision fraction samples, one per (run, cell) with attempts.
+    stats::Summary rach_collision_rate;
+};
+
+/// Per-cell aggregates across runs.
+struct CellAggregates {
+    std::uint32_t cell = 0;
+    /// Devices camped on this cell, one sample per run.
+    stats::Summary devices;
+    DeploymentMechanismStats unicast;
+    std::vector<DeploymentMechanismStats> mechanisms;  // setup.mechanisms order
+};
+
+struct DeploymentResult {
+    /// Fleet-wide aggregates: per run, cell totals are summed in cell order
+    /// and run through run_comparison's ratio formulas.
+    DeploymentMechanismStats unicast;
+    std::vector<DeploymentMechanismStats> mechanisms;  // setup.mechanisms order
+    std::vector<CellAggregates> cells;                 // topology order
+    /// Devices per (run, cell): the realized load distribution.
+    stats::Summary cell_load;
+    /// RACH collision fraction across every (run, cell, campaign) with
+    /// attempts — quantile() gives the contention percentiles across cells.
+    stats::Histogram rach_collision_across_cells{0.0, 1.0, 64};
+    /// (run, cell) pairs that received no devices (skipped, no campaign).
+    std::size_t empty_cell_runs = 0;
+
+    [[nodiscard]] std::size_t cell_count() const noexcept { return cells.size(); }
+};
+
+/// Runs the deployment: `runs` campaigns of the full fleet, each sharded
+/// over `setup.topology` by `setup.assignment`, all (run, cell) event loops
+/// fanned across the worker pool.  Throws std::invalid_argument on an
+/// empty/invalid setup or mismatched shared populations.
+[[nodiscard]] DeploymentResult run_deployment(const DeploymentSetup& setup);
+
+/// The RNG root of one cell: the base seed itself for a 1-cell deployment
+/// (the single-cell determinism contract above), an independent derived
+/// root per cell otherwise.
+[[nodiscard]] std::uint64_t cell_seed_root(std::uint64_t base_seed,
+                                           std::size_t cell_count,
+                                           std::uint32_t cell) noexcept;
+
+}  // namespace nbmg::multicell

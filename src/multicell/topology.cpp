@@ -1,0 +1,35 @@
+#include "multicell/topology.hpp"
+
+#include <cmath>
+
+namespace nbmg::multicell {
+
+bool CellTopology::valid() const noexcept {
+    if (cells.empty()) return false;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        const CellSite& site = cells[c];
+        if (site.id != c) return false;
+        if (!(site.weight > 0.0) || !std::isfinite(site.weight)) return false;
+        if (site.max_page_records_override < 0) return false;
+    }
+    return true;
+}
+
+CellTopology CellTopology::uniform(std::size_t cells) {
+    CellTopology topology;
+    topology.cells.reserve(cells);
+    for (std::size_t c = 0; c < cells; ++c) {
+        topology.cells.push_back(CellSite{static_cast<std::uint32_t>(c), 1.0, 0});
+    }
+    return topology;
+}
+
+CellTopology CellTopology::hotspot(std::size_t cells, double exponent) {
+    CellTopology topology = uniform(cells);
+    for (std::size_t c = 0; c < cells; ++c) {
+        topology.cells[c].weight = std::pow(static_cast<double>(c + 1), -exponent);
+    }
+    return topology;
+}
+
+}  // namespace nbmg::multicell

@@ -1,0 +1,48 @@
+// Multi-cell deployment topology.
+//
+// The paper evaluates "a single eNB scenario"; a city-scale firmware
+// campaign spans hundreds of cells, each an independent eNB with its own
+// paging channel, RACH and camped devices.  A CellTopology describes that
+// grid: per-cell load weights (for skewed-load scenarios) and optional
+// per-cell paging-capacity overrides (heterogeneous eNB configurations).
+// Planning and campaign execution stay strictly per cell — cells share no
+// radio state — which is what lets the deployment layer fan them across
+// the sweep worker pool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nbmg::multicell {
+
+/// One eNB site of the deployment grid.
+struct CellSite {
+    std::uint32_t id = 0;
+    /// Relative attraction weight for load-aware assignment policies
+    /// (hotspot).  Must be > 0; uniform_hash ignores it.
+    double weight = 1.0;
+    /// Per-cell paging capacity (records per paging occasion).  0 keeps the
+    /// campaign config's value; > 0 overrides it for this cell only.
+    int max_page_records_override = 0;
+};
+
+struct CellTopology {
+    std::vector<CellSite> cells;
+
+    [[nodiscard]] std::size_t cell_count() const noexcept { return cells.size(); }
+
+    /// Non-empty, ids dense 0..n-1 in order, positive weights, non-negative
+    /// capacity overrides.
+    [[nodiscard]] bool valid() const noexcept;
+
+    /// `cells` identical sites of weight 1.
+    [[nodiscard]] static CellTopology uniform(std::size_t cells);
+
+    /// Zipf-skewed load: cell k carries weight (k+1)^-exponent, modeling a
+    /// downtown-to-suburb density gradient.  exponent = 0 degenerates to
+    /// uniform; exponent around 1 gives the classic heavy-headed skew.
+    [[nodiscard]] static CellTopology hotspot(std::size_t cells, double exponent);
+};
+
+}  // namespace nbmg::multicell

@@ -8,9 +8,15 @@
 // removes the covered devices.
 //
 // Only windows anchored at PO events need to be considered: shifting a
-// window left until its start touches a PO never loses coverage.  Each
-// round runs one two-pointer sweep with incremental distinct-device counts,
-// so a round costs O(remaining events).
+// window left until its start touches a PO never loses coverage.  The
+// greedy runs lazily: anchors are bucketed by their last exactly evaluated
+// coverage (a valid upper bound, since coverage only shrinks as devices are
+// covered), so a round re-evaluates only the anchors that could still hold
+// or tie the maximum instead of rescanning every remaining event.  Covered
+// devices' events are unlinked from a doubly-linked alive list in O(1)
+// each, giving near-linear total work on typical PO patterns.  The chosen
+// windows and the tie-break RNG stream are bit-identical to the full
+// rescan (see tests/setcover/window_cover_test.cpp, WindowCoverTraceTest).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,89 @@
+// Unit coverage for the bench harness flag parsing, in particular the
+// multicell --cells/--assignment flags: absent flags fall back, valid
+// values parse, and every malformed spelling exits with the usage status
+// (2) instead of silently using a default.
+#include "bench/bench_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace nbmg::bench {
+namespace {
+
+/// argv builder: argv[0] is the program name, the rest the given tokens.
+template <std::size_t N>
+struct Args {
+    std::array<const char*, N + 1> tokens;
+    int argc = static_cast<int>(N + 1);
+
+    explicit Args(const std::array<const char*, N>& rest) {
+        tokens[0] = "bench_test";
+        for (std::size_t i = 0; i < N; ++i) tokens[i + 1] = rest[i];
+    }
+    [[nodiscard]] char** argv() {
+        return const_cast<char**>(tokens.data());
+    }
+};
+
+TEST(BenchFlagTest, AbsentFlagsFallBack) {
+    Args<0> args({});
+    EXPECT_EQ(flag_value(args.argc, args.argv(), "--runs", 50), 50u);
+    EXPECT_EQ(flag_u64(args.argc, args.argv(), "--seed", 42), 42u);
+    EXPECT_EQ(flag_cells(args.argc, args.argv()), 1u);
+    EXPECT_EQ(flag_cells(args.argc, args.argv(), 16), 16u);
+    EXPECT_EQ(flag_assignment(args.argc, args.argv()),
+              multicell::AssignmentPolicy::uniform_hash);
+    EXPECT_EQ(flag_assignment(args.argc, args.argv(),
+                              multicell::AssignmentPolicy::hotspot),
+              multicell::AssignmentPolicy::hotspot);
+}
+
+TEST(BenchFlagTest, ValidValuesParse) {
+    Args<4> cells({"--cells", "64", "--seed", "0"});
+    EXPECT_EQ(flag_cells(cells.argc, cells.argv()), 64u);
+    EXPECT_EQ(flag_u64(cells.argc, cells.argv(), "--seed", 42), 0u);
+
+    Args<2> uniform({"--assignment", "uniform"});
+    EXPECT_EQ(flag_assignment(uniform.argc, uniform.argv()),
+              multicell::AssignmentPolicy::uniform_hash);
+    Args<2> hotspot({"--assignment", "hotspot"});
+    EXPECT_EQ(flag_assignment(hotspot.argc, hotspot.argv()),
+              multicell::AssignmentPolicy::hotspot);
+    Args<2> affinity({"--assignment", "class-affinity"});
+    EXPECT_EQ(flag_assignment(affinity.argc, affinity.argv()),
+              multicell::AssignmentPolicy::class_affinity);
+}
+
+TEST(BenchFlagDeathTest, MalformedCellCountsRejected) {
+    Args<2> zero({"--cells", "0"});
+    EXPECT_EXIT((void)flag_cells(zero.argc, zero.argv()),
+                ::testing::ExitedWithCode(2), "value must be >= 1");
+    Args<2> junk({"--cells", "16x"});
+    EXPECT_EXIT((void)flag_cells(junk.argc, junk.argv()),
+                ::testing::ExitedWithCode(2), "not a decimal integer");
+    Args<2> negative({"--cells", "-4"});
+    EXPECT_EXIT((void)flag_cells(negative.argc, negative.argv()),
+                ::testing::ExitedWithCode(2), "must be non-negative");
+    Args<1> missing({"--cells"});
+    EXPECT_EXIT((void)flag_cells(missing.argc, missing.argv()),
+                ::testing::ExitedWithCode(2), "missing value");
+}
+
+TEST(BenchFlagDeathTest, MalformedAssignmentsRejected) {
+    Args<2> unknown({"--assignment", "zipf"});
+    EXPECT_EXIT((void)flag_assignment(unknown.argc, unknown.argv()),
+                ::testing::ExitedWithCode(2), "unknown assignment policy");
+    Args<2> cased({"--assignment", "Uniform"});
+    EXPECT_EXIT((void)flag_assignment(cased.argc, cased.argv()),
+                ::testing::ExitedWithCode(2), "unknown assignment policy");
+    Args<2> empty({"--assignment", ""});
+    EXPECT_EXIT((void)flag_assignment(empty.argc, empty.argv()),
+                ::testing::ExitedWithCode(2), "unknown assignment policy");
+    Args<1> missing({"--assignment"});
+    EXPECT_EXIT((void)flag_assignment(missing.argc, missing.argv()),
+                ::testing::ExitedWithCode(2), "missing value");
+}
+
+}  // namespace
+}  // namespace nbmg::bench

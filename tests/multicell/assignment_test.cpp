@@ -1,0 +1,191 @@
+#include "multicell/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "multicell/topology.hpp"
+#include "traffic/population.hpp"
+
+namespace nbmg::multicell {
+namespace {
+
+struct Fleet {
+    std::vector<nbiot::UeSpec> specs;
+    std::vector<std::uint32_t> classes;
+};
+
+Fleet make_fleet(std::size_t count, std::uint64_t seed) {
+    sim::RandomStream rng{seed};
+    const auto generated =
+        traffic::generate_population(traffic::massive_iot_city(), count, rng);
+    Fleet fleet;
+    fleet.specs = traffic::to_specs(generated);
+    fleet.classes.reserve(generated.size());
+    for (const auto& d : generated) {
+        fleet.classes.push_back(static_cast<std::uint32_t>(d.class_index));
+    }
+    return fleet;
+}
+
+TEST(CellTopologyTest, UniformIsValid) {
+    const CellTopology topology = CellTopology::uniform(16);
+    EXPECT_EQ(topology.cell_count(), 16u);
+    EXPECT_TRUE(topology.valid());
+    for (const CellSite& site : topology.cells) {
+        EXPECT_DOUBLE_EQ(site.weight, 1.0);
+    }
+}
+
+TEST(CellTopologyTest, HotspotWeightsDecay) {
+    const CellTopology topology = CellTopology::hotspot(8, 1.0);
+    EXPECT_TRUE(topology.valid());
+    for (std::size_t c = 1; c < topology.cell_count(); ++c) {
+        EXPECT_LT(topology.cells[c].weight, topology.cells[c - 1].weight);
+    }
+    // Exponent 0 degenerates to uniform.
+    const CellTopology flat = CellTopology::hotspot(8, 0.0);
+    for (const CellSite& site : flat.cells) {
+        EXPECT_DOUBLE_EQ(site.weight, 1.0);
+    }
+}
+
+TEST(CellTopologyTest, InvalidShapesRejected) {
+    EXPECT_FALSE(CellTopology{}.valid());
+
+    CellTopology bad_ids = CellTopology::uniform(3);
+    bad_ids.cells[2].id = 7;
+    EXPECT_FALSE(bad_ids.valid());
+
+    CellTopology bad_weight = CellTopology::uniform(3);
+    bad_weight.cells[1].weight = 0.0;
+    EXPECT_FALSE(bad_weight.valid());
+
+    CellTopology bad_override = CellTopology::uniform(3);
+    bad_override.cells[0].max_page_records_override = -1;
+    EXPECT_FALSE(bad_override.valid());
+}
+
+TEST(AssignmentPolicyTest, ParseRoundTrips) {
+    for (const AssignmentPolicy policy :
+         {AssignmentPolicy::uniform_hash, AssignmentPolicy::hotspot,
+          AssignmentPolicy::class_affinity}) {
+        const auto parsed = parse_assignment_policy(to_string(policy));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, policy);
+    }
+    EXPECT_FALSE(parse_assignment_policy("zipf").has_value());
+    EXPECT_FALSE(parse_assignment_policy("").has_value());
+    EXPECT_FALSE(parse_assignment_policy("Uniform").has_value());
+}
+
+TEST(AssignmentTest, SameSeedSameMap) {
+    const Fleet fleet = make_fleet(400, 7);
+    const CellTopology topology = CellTopology::uniform(12);
+    for (const AssignmentPolicy policy :
+         {AssignmentPolicy::uniform_hash, AssignmentPolicy::hotspot,
+          AssignmentPolicy::class_affinity}) {
+        const DeviceAssignment a =
+            assign_devices(topology, fleet.specs, fleet.classes, policy, 42);
+        const DeviceAssignment b =
+            assign_devices(topology, fleet.specs, fleet.classes, policy, 42);
+        EXPECT_EQ(a.cell_of_device, b.cell_of_device) << to_string(policy);
+        EXPECT_EQ(a.cell_sizes, b.cell_sizes) << to_string(policy);
+    }
+}
+
+TEST(AssignmentTest, DifferentSeedDifferentMap) {
+    const Fleet fleet = make_fleet(400, 7);
+    const CellTopology topology = CellTopology::uniform(12);
+    const DeviceAssignment a = assign_devices(
+        topology, fleet.specs, fleet.classes, AssignmentPolicy::uniform_hash, 42);
+    const DeviceAssignment b = assign_devices(
+        topology, fleet.specs, fleet.classes, AssignmentPolicy::uniform_hash, 43);
+    EXPECT_NE(a.cell_of_device, b.cell_of_device);
+}
+
+TEST(AssignmentTest, SizesMatchMap) {
+    const Fleet fleet = make_fleet(300, 3);
+    const CellTopology topology = CellTopology::uniform(7);
+    const DeviceAssignment assignment = assign_devices(
+        topology, fleet.specs, fleet.classes, AssignmentPolicy::hotspot, 1);
+    ASSERT_EQ(assignment.cell_of_device.size(), fleet.specs.size());
+    std::vector<std::size_t> recount(topology.cell_count(), 0);
+    for (const std::uint32_t cell : assignment.cell_of_device) {
+        ASSERT_LT(cell, topology.cell_count());
+        ++recount[cell];
+    }
+    EXPECT_EQ(recount, assignment.cell_sizes);
+}
+
+TEST(AssignmentTest, UniformHashBalances) {
+    const Fleet fleet = make_fleet(5'000, 11);
+    const CellTopology topology = CellTopology::uniform(10);
+    const DeviceAssignment assignment = assign_devices(
+        topology, fleet.specs, {}, AssignmentPolicy::uniform_hash, 42);
+    for (const std::size_t size : assignment.cell_sizes) {
+        EXPECT_GT(size, 350u);  // expectation 500; catches gross imbalance
+        EXPECT_LT(size, 650u);
+    }
+}
+
+TEST(AssignmentTest, HotspotFollowsWeights) {
+    const Fleet fleet = make_fleet(5'000, 13);
+    const CellTopology topology = CellTopology::hotspot(8, 1.0);
+    const DeviceAssignment assignment = assign_devices(
+        topology, fleet.specs, {}, AssignmentPolicy::hotspot, 42);
+    // Cell 0 carries weight 1, cell 7 weight 1/8: the head must dominate.
+    EXPECT_GT(assignment.cell_sizes.front(), 3 * assignment.cell_sizes.back());
+}
+
+TEST(AssignmentTest, ClassAffinityClusters) {
+    const Fleet fleet = make_fleet(4'000, 17);
+    const CellTopology topology = CellTopology::uniform(16);
+    const DeviceAssignment assignment = assign_devices(
+        topology, fleet.specs, fleet.classes, AssignmentPolicy::class_affinity, 42);
+
+    const std::uint32_t class_count =
+        *std::max_element(fleet.classes.begin(), fleet.classes.end()) + 1;
+    for (std::uint32_t cls = 0; cls < class_count; ++cls) {
+        std::vector<std::size_t> per_cell(topology.cell_count(), 0);
+        std::size_t members = 0;
+        for (std::size_t d = 0; d < fleet.specs.size(); ++d) {
+            if (fleet.classes[d] != cls) continue;
+            ++members;
+            ++per_cell[assignment.cell_of_device[d]];
+        }
+        if (members < 50) continue;  // tiny classes are statistically noisy
+        const std::size_t modal =
+            *std::max_element(per_cell.begin(), per_cell.end());
+        // 1 - spill of the class sits on its home cell (plus spill strays).
+        EXPECT_GT(static_cast<double>(modal), 0.6 * static_cast<double>(members))
+            << "class " << cls;
+    }
+}
+
+TEST(AssignmentTest, OneCellTakesEverything) {
+    const Fleet fleet = make_fleet(200, 19);
+    const CellTopology topology = CellTopology::uniform(1);
+    for (const AssignmentPolicy policy :
+         {AssignmentPolicy::uniform_hash, AssignmentPolicy::hotspot,
+          AssignmentPolicy::class_affinity}) {
+        const DeviceAssignment assignment =
+            assign_devices(topology, fleet.specs, fleet.classes, policy, 42);
+        EXPECT_EQ(assignment.cell_sizes, (std::vector<std::size_t>{200}));
+    }
+}
+
+TEST(AssignmentTest, InvalidInputsThrow) {
+    const Fleet fleet = make_fleet(10, 23);
+    EXPECT_THROW((void)assign_devices(CellTopology{}, fleet.specs, fleet.classes,
+                                      AssignmentPolicy::uniform_hash, 1),
+                 std::invalid_argument);
+    // class_affinity without a class per device.
+    EXPECT_THROW((void)assign_devices(CellTopology::uniform(4), fleet.specs, {},
+                                      AssignmentPolicy::class_affinity, 1),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nbmg::multicell
