@@ -3,15 +3,17 @@
 // current model (typical NB-IoT module, 5 Ah primary cell) and a firmware
 // cadence of N campaigns per year, answering the question the paper's
 // introduction poses: does grouping preserve the 10-year battery target?
+//
+// Scenario shell: the `ablation-battery` preset (or --scenario/--preset)
+// provides population, payload, seed and the mechanism list; the unicast
+// reference is prepended, and --updates-per-year stays a binary-local knob.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
-#include "core/experiment.hpp"
+#include "core/campaign.hpp"
 #include "core/planners.hpp"
-#include "core/report.hpp"
 #include "core/sweep.hpp"
-#include "traffic/firmware.hpp"
-#include "traffic/population.hpp"
+#include "scenario/spec.hpp"
 
 namespace {
 
@@ -26,31 +28,51 @@ struct MechanismProjection {
 int main(int argc, char** argv) {
     using namespace nbmg;
 
-    const std::size_t devices = bench::flag_value(argc, argv, "--devices", 150);
+    // The projection runs one deterministic campaign per mechanism.
+    bench::reject_flags(argc, argv, {"--runs"},
+                        "has no effect here: the battery projection runs one "
+                        "campaign per mechanism");
+    scenario::ShellFlags shell;
+    shell.value_flags = {"--updates-per-year"};
+    scenario::ScenarioSpec spec = bench::require_single_cell(
+        bench::spec_from_args(argc, argv, "ablation-battery", shell),
+        "ablation_battery_life");
+    if (spec.runs != 1) {
+        // The scenario-file `runs` key has no flag to reject; normalize it
+        // loudly so the banner cannot claim runs that never happen.
+        std::fprintf(stderr,
+                     "note: scenario runs=%zu ignored — the battery projection "
+                     "runs one campaign per mechanism\n",
+                     spec.runs);
+        spec.with_runs(1);
+    }
+    const std::size_t devices = spec.device_count;
     const std::size_t updates_per_year =
         bench::flag_value(argc, argv, "--updates-per-year", 12);
-    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
-    const std::size_t threads = bench::flag_threads(argc, argv);
 
     bench::print_header("Ablation A6", "battery-life projection per mechanism");
-    std::printf("n=%zu, %zu firmware campaigns per year, payload=1MB, 5 Ah cell\n",
-                devices, updates_per_year);
+    bench::print_scenario_line(spec);
+    std::printf("%zu firmware campaigns per year, 5 Ah cell\n", updates_per_year);
 
     const nbiot::PowerProfile profile = nbiot::PowerProfile::typical_nbiot();
-    const core::CampaignConfig config;
-    sim::RandomStream pop_rng{sim::derive_seed(seed, "pop")};
+    const core::CampaignConfig& config = spec.config;
+    sim::RandomStream pop_rng{sim::derive_seed(spec.base_seed, "pop")};
     const auto specs = traffic::to_specs(
-        traffic::generate_population(traffic::massive_iot_city(), devices, pop_rng));
-    const std::int64_t payload = traffic::firmware_1mb().bytes;
+        traffic::generate_population(spec.profile, devices, pop_rng));
+    const std::int64_t payload = spec.payload_bytes;
 
-    const std::vector<core::MechanismKind> kinds = {
-        core::MechanismKind::unicast, core::MechanismKind::dr_sc,
-        core::MechanismKind::da_sc, core::MechanismKind::dr_si,
-        core::MechanismKind::sc_ptm};
+    // Unicast reference first, then the spec's mechanism list (minus any
+    // unicast already in it — no point projecting the reference twice).
+    std::vector<core::MechanismKind> kinds;
+    kinds.reserve(spec.mechanisms.size() + 1);
+    kinds.push_back(core::MechanismKind::unicast);
+    for (const core::MechanismKind kind : spec.mechanisms) {
+        if (kind != core::MechanismKind::unicast) kinds.push_back(kind);
+    }
     const auto project = [&](std::size_t k) {
         const core::MechanismKind kind = kinds[k];
         const auto result = core::plan_and_run(*core::make_mechanism(kind), specs,
-                                               config, payload, seed);
+                                               config, payload, spec.base_seed);
         // Mean per-device energy and idle-life current over the horizon.
         double energy_mj = 0.0;
         for (const auto& d : result.devices) {
@@ -87,7 +109,7 @@ int main(int argc, char** argv) {
                                    nbiot::battery_life_years(profile, avg_ma)};
     };
     const std::vector<MechanismProjection> projections =
-        core::sweep_indexed(kinds.size(), threads, project);
+        core::sweep_indexed(kinds.size(), spec.threads, project);
 
     stats::Table table({"mechanism", "campaign energy (J/device)",
                         "avg current w/ campaigns (uA)", "battery life (years)"});

@@ -2,15 +2,21 @@
 // channel and RACH absorb the grouping load; this bench stresses both —
 // paging-occasion capacity (maxPageRec), background RA traffic, and page
 // loss — and reports what the recovery machinery had to clean up.
+//
+// Scenario shell: the `ablation-contention` preset (or --scenario/--preset)
+// provides the base point.  The first table row runs the scenario's config
+// exactly as given (so a file like stress_contention.scenario shows its own
+// knobs); the canonical stress rows then layer their paging/RACH/loss
+// deltas on top of the remaining config.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hpp"
-#include "core/experiment.hpp"
 #include "core/planners.hpp"
 #include "core/report.hpp"
 #include "core/sweep.hpp"
-#include "traffic/firmware.hpp"
-#include "traffic/population.hpp"
+#include "scenario/spec.hpp"
 
 namespace {
 
@@ -27,47 +33,63 @@ struct RunResult {
 int main(int argc, char** argv) {
     using namespace nbmg;
 
-    const std::size_t runs = bench::flag_value(argc, argv, "--runs", 10);
-    const std::size_t devices = bench::flag_value(argc, argv, "--devices", 400);
-    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
-    const std::size_t threads = bench::flag_threads(argc, argv);
+    const scenario::ScenarioSpec base = bench::require_single_cell(
+        bench::spec_from_args(argc, argv, "ablation-contention"),
+        "ablation_contention");
+    const std::size_t devices = base.device_count;
+    const std::size_t runs = base.runs;
 
     bench::print_header("Ablation A4", "paging capacity, RACH load and page loss");
-    std::printf("n=%zu runs=%zu mechanism=DR-SI payload=100KB\n", devices, runs);
+    bench::print_scenario_line(base);
+    std::printf("mechanism=DR-SI\n");
 
     struct Scenario {
-        const char* name;
-        int max_page_records;
-        double background_ra;
-        double page_miss;
+        std::string name;
+        int max_page_records;       // < 0: keep the base config's value
+        double background_ra;       // < 0: keep
+        double page_miss;           // < 0: keep
     };
-    const Scenario scenarios[] = {
-        {"baseline (16 rec/PO, quiet)", 16, 0.0, 0.0},
-        {"tight paging (1 rec/PO)", 1, 0.0, 0.0},
-        {"busy RACH (40 RA/s bg)", 16, 40.0, 0.0},
-        {"lossy paging (20% miss)", 16, 0.0, 0.20},
-        {"all of the above", 1, 40.0, 0.20},
-    };
+    // Row 0 is the scenario's own config, untouched — unless it already
+    // equals the canonical baseline row, which would just run the most
+    // expensive sweep twice for identical numbers.  The rest is the
+    // canonical stress grid.
+    std::vector<Scenario> scenarios;
+    const bool base_is_baseline = base.config.paging.max_page_records == 16 &&
+                                  base.config.background_ra_per_second == 0.0 &&
+                                  base.config.page_miss_prob == 0.0;
+    if (!base_is_baseline) {
+        scenarios.push_back({"as configured ('" + base.name + "')", -1, -1.0, -1.0});
+    }
+    scenarios.push_back({"baseline (16 rec/PO, quiet)", 16, 0.0, 0.0});
+    scenarios.push_back({"tight paging (1 rec/PO)", 1, 0.0, 0.0});
+    scenarios.push_back({"busy RACH (40 RA/s bg)", 16, 40.0, 0.0});
+    scenarios.push_back({"lossy paging (20% miss)", 16, 0.0, 0.20});
+    scenarios.push_back({"all of the above", 1, 40.0, 0.20});
 
     stats::Table table({"scenario", "delivered", "recovery tx", "RA collisions",
                         "RA failures", "connected vs unicast"});
     for (const Scenario& sc : scenarios) {
-        core::CampaignConfig config;
-        config.paging.max_page_records = sc.max_page_records;
-        config.background_ra_per_second = sc.background_ra;
-        config.page_miss_prob = sc.page_miss;
+        core::CampaignConfig config = base.config;
+        if (sc.max_page_records >= 0) {
+            config.paging.max_page_records = sc.max_page_records;
+        }
+        if (sc.background_ra >= 0.0) {
+            config.background_ra_per_second = sc.background_ra;
+        }
+        if (sc.page_miss >= 0.0) config.page_miss_prob = sc.page_miss;
 
         const auto stress_run = [&](std::size_t run) {
-            sim::RandomStream pop_rng{sim::derive_seed(seed, "pop", run)};
-            const auto specs = traffic::to_specs(traffic::generate_population(
-                traffic::massive_iot_city(), devices, pop_rng));
-            const std::uint64_t run_seed = sim::derive_seed(seed, "run", run);
-            const std::int64_t payload = traffic::firmware_100kb().bytes;
+            sim::RandomStream pop_rng{sim::derive_seed(base.base_seed, "pop", run)};
+            const auto specs = traffic::to_specs(
+                traffic::generate_population(base.profile, devices, pop_rng));
+            const std::uint64_t run_seed =
+                sim::derive_seed(base.base_seed, "run", run);
             const auto unicast =
-                core::plan_and_run(core::UnicastBaseline{}, specs, config, payload,
-                                   run_seed);
+                core::plan_and_run(core::UnicastBaseline{}, specs, config,
+                                   base.payload_bytes, run_seed);
             const auto result = core::plan_and_run(core::DrSiMechanism{}, specs,
-                                                   config, payload, run_seed);
+                                                   config, base.payload_bytes,
+                                                   run_seed);
             RunResult out;
             out.delivered = static_cast<double>(result.received_count()) /
                             static_cast<double>(devices);
@@ -84,7 +106,8 @@ int main(int argc, char** argv) {
         stats::Summary collisions;
         stats::Summary failures;
         stats::Summary connected;
-        for (const RunResult& r : core::sweep_indexed(runs, threads, stress_run)) {
+        for (const RunResult& r :
+             core::sweep_indexed(runs, base.threads, stress_run)) {
             delivered.add(r.delivered);
             recovery.add(r.recovery);
             collisions.add(r.collisions);

@@ -2,21 +2,44 @@
 // paper's population ("realistic NB-IoT traffic patterns") is not public;
 // this bench shows how the transmissions-per-device ratio moves across
 // plausible mixes, including the IMSI-batching knob (fleet provisioning).
+//
+// Scenario shell: the `ablation-drx-mix` preset (or --scenario/--preset)
+// provides config, runs, seed and threads; the binary sweeps the builtin
+// profiles (plus the no-batching variant) at three device counts.
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.hpp"
 #include "core/experiment.hpp"
-#include "traffic/population.hpp"
+#include "scenario/spec.hpp"
 
 int main(int argc, char** argv) {
     using namespace nbmg;
 
-    const std::size_t runs = bench::flag_value(argc, argv, "--runs", 30);
-    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
-    const std::size_t threads = bench::flag_threads(argc, argv);
+    // Planning-only sweep: no payload is ever transmitted.
+    bench::reject_flags(argc, argv, {"--payload-kb"},
+                        "has no effect here: the mix sensitivity counts "
+                        "planned DR-SC transmissions, no payload is delivered");
+    const scenario::ScenarioSpec spec = bench::require_single_cell(
+        bench::spec_from_args(argc, argv, "ablation-drx-mix"),
+        "ablation_drx_mix");
+
+    if (spec.profile.name != "massive_iot_city") {
+        std::fprintf(stderr,
+                     "note: scenario profile ignored — the mix sensitivity "
+                     "sweeps every builtin profile (it is the table's rows)\n");
+    }
 
     bench::print_header("Ablation A3", "DRX mix sensitivity of DR-SC transmissions");
-    const core::CampaignConfig config;
+    bench::print_scenario_line(spec);
+
+    // Device-count columns: the paper-band anchors 100 and 1000 plus the
+    // scenario's own count (the preset's 500 gives the classic 3-column
+    // table); duplicates collapse.
+    std::vector<std::size_t> grid{100, spec.device_count, 1000};
+    std::sort(grid.begin(), grid.end());
+    grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
 
     std::vector<traffic::PopulationProfile> profiles = {
         traffic::massive_iot_city(), traffic::alarm_heavy(), traffic::meter_heavy(),
@@ -26,15 +49,16 @@ int main(int argc, char** argv) {
     no_batching.batch_mean = 1.0;
     profiles.push_back(no_batching);
 
-    stats::Table table({"profile", "tx/device n=100", "tx/device n=500",
-                        "tx/device n=1000"});
+    std::vector<std::string> columns{"profile"};
+    for (const std::size_t n : grid) {
+        columns.push_back("tx/device n=" + std::to_string(n));
+    }
+    stats::Table table(columns);
     for (const auto& profile : profiles) {
         std::vector<std::string> row{profile.name};
-        for (const std::size_t n : {std::size_t{100}, std::size_t{500},
-                                    std::size_t{1000}}) {
-            const auto point =
-                core::drsc_transmission_point(profile, n, config, runs, seed,
-                                              threads);
+        for (const std::size_t n : grid) {
+            const auto point = core::drsc_transmission_point(
+                profile, n, spec.config, spec.runs, spec.base_seed, spec.threads);
             row.push_back(stats::Table::cell(point.transmissions_per_device.mean(), 3));
         }
         table.add_row(std::move(row));

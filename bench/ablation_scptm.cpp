@@ -2,38 +2,27 @@
 // delivery needs a single transmission and no connections, but every device
 // pays a standing SC-MCCH monitoring cost forever — on-demand paging pays
 // only when there is data.
+//
+// Scenario shell: the `ablation-scptm` preset (or --scenario/--preset)
+// carries the four-mechanism list (DR-SC, DA-SC, DR-SI, SC-PTM); run it
+// through the unified entry point.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
-#include "core/experiment.hpp"
-#include "core/planners.hpp"
-#include "core/report.hpp"
-#include "traffic/firmware.hpp"
-#include "traffic/population.hpp"
+#include "scenario/run.hpp"
 
 int main(int argc, char** argv) {
     using namespace nbmg;
 
-    const std::size_t runs = bench::flag_value(argc, argv, "--runs", 15);
-    const std::size_t devices = bench::flag_value(argc, argv, "--devices", 200);
-    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
+    const scenario::ScenarioSpec spec = bench::require_single_cell(
+        bench::spec_from_args(argc, argv, "ablation-scptm"), "ablation_scptm");
 
     bench::print_header("Ablation A5", "SC-PTM baseline vs on-demand mechanisms");
-    std::printf("n=%zu runs=%zu payload=100KB (uptime per device over one campaign "
-                "horizon)\n",
-                devices, runs);
+    bench::print_scenario_line(spec);
+    std::printf("(uptime per device over one campaign horizon)\n");
 
-    core::ComparisonSetup setup;
-    setup.profile = traffic::massive_iot_city();
-    setup.device_count = devices;
-    setup.payload_bytes = traffic::firmware_100kb().bytes;
-    setup.runs = runs;
-    setup.base_seed = seed;
-    setup.threads = bench::flag_threads(argc, argv);
-    setup.mechanisms = {core::MechanismKind::dr_sc, core::MechanismKind::da_sc,
-                        core::MechanismKind::dr_si, core::MechanismKind::sc_ptm};
-
-    const core::ComparisonOutcome outcome = core::run_comparison(setup);
+    const core::ComparisonOutcome outcome =
+        scenario::run_scenario(spec).comparison();
 
     stats::Table table({"mechanism", "light-sleep (s/device)", "connected (s/device)",
                         "vs unicast light-sleep", "transmissions"});

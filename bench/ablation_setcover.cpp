@@ -4,12 +4,17 @@
 // Fig. 3).  This bench quantifies what the heuristic costs: on small
 // instances we compare greedy (the paper's choice), first-fit and random
 // baselines against the exact branch-and-bound optimum.
+//
+// Scenario shell: the `ablation-setcover` preset (or --scenario/--preset)
+// provides profile, campaign config, instance size (devices), instance
+// count (runs), seed and threads.
 #include <cstdio>
 #include <utility>
 
 #include "bench/bench_util.hpp"
 #include "core/mechanism.hpp"
 #include "core/sweep.hpp"
+#include "scenario/spec.hpp"
 #include "setcover/solvers.hpp"
 #include "setcover/window_cover.hpp"
 #include "stats/summary.hpp"
@@ -30,22 +35,27 @@ struct InstanceResult {
 int main(int argc, char** argv) {
     using namespace nbmg;
 
-    const std::size_t runs = bench::flag_value(argc, argv, "--runs", 40);
-    const std::size_t devices = bench::flag_value(argc, argv, "--devices", 24);
-    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
-    const std::size_t threads = bench::flag_threads(argc, argv);
+    // Pure cover-instance solving: no payload is ever transmitted.
+    bench::reject_flags(argc, argv, {"--payload-kb"},
+                        "has no effect here: the solver comparison plans "
+                        "window covers, no payload is delivered");
+    const scenario::ScenarioSpec spec = bench::require_single_cell(
+        bench::spec_from_args(argc, argv, "ablation-setcover"),
+        "ablation_setcover");
+    const std::size_t devices = spec.device_count;
 
     bench::print_header("Ablation A1",
                         "set-cover solvers on DR-SC window instances");
-    std::printf("n=%zu devices per instance, %zu instances\n", devices, runs);
+    bench::print_scenario_line(spec);
+    std::printf("n=%zu devices per instance, %zu instances\n", devices, spec.runs);
 
-    const core::CampaignConfig config;
-    const traffic::PopulationProfile profile = traffic::massive_iot_city();
+    const core::CampaignConfig& config = spec.config;
 
     const auto solve_instance = [&](std::size_t run) {
         const nbiot::PagingSchedule paging(config.paging);
-        sim::RandomStream pop_rng{sim::derive_seed(seed, "pop", run)};
-        const auto population = traffic::generate_population(profile, devices, pop_rng);
+        sim::RandomStream pop_rng{sim::derive_seed(spec.base_seed, "pop", run)};
+        const auto population =
+            traffic::generate_population(spec.profile, devices, pop_rng);
         const auto specs = traffic::to_specs(population);
         const nbiot::SimTime horizon{
             2 * core::population_max_cycle(specs).period_ms()};
@@ -63,14 +73,14 @@ int main(int argc, char** argv) {
         // `events` without a copy.
         const setcover::SetCoverInstance instance = setcover::to_set_cover_instance(
             events, config.inactivity_timer, static_cast<std::uint32_t>(devices));
-        sim::RandomStream tie_rng{sim::derive_seed(seed, "tie", run)};
+        sim::RandomStream tie_rng{sim::derive_seed(spec.base_seed, "tie", run)};
         const auto fast = setcover::greedy_window_cover(
             std::move(events), config.inactivity_timer,
             static_cast<std::uint32_t>(devices), tie_rng);
         out.greedy = static_cast<double>(fast.windows.size());
         out.first_fit =
             static_cast<double>(setcover::first_fit_cover(instance).chosen.size());
-        sim::RandomStream rnd_rng{sim::derive_seed(seed, "rnd", run)};
+        sim::RandomStream rnd_rng{sim::derive_seed(spec.base_seed, "rnd", run)};
         out.random =
             static_cast<double>(setcover::random_cover(instance, rnd_rng).chosen.size());
 
@@ -80,7 +90,7 @@ int main(int argc, char** argv) {
         return out;
     };
     const std::vector<InstanceResult> instances =
-        core::sweep_indexed(runs, threads, solve_instance);
+        core::sweep_indexed(spec.runs, spec.threads, solve_instance);
 
     stats::Summary greedy_size;
     stats::Summary first_fit_size;
@@ -110,6 +120,6 @@ int main(int argc, char** argv) {
                    stats::Table::cell(random_size.mean() / exact_size.mean(), 3)});
     bench::print_table(table);
     std::printf("exact solved %zu/%zu instances within node budget\n", exact_solved,
-                runs);
+                spec.runs);
     return 0;
 }

@@ -1,44 +1,45 @@
 // Ablation A2: the inactivity timer TI (the grouping window) trades DR-SC
 // bandwidth against everyone's connected-mode waiting time.  Commercial
 // networks use 10-30 s (Sec. II-B).
+//
+// Scenario shell: the `ablation-ti` preset (or --scenario/--preset)
+// provides the base point; the binary sweeps TI over the commercial range.
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
-#include "core/experiment.hpp"
-#include "traffic/firmware.hpp"
-#include "traffic/population.hpp"
+#include "scenario/run.hpp"
 
 int main(int argc, char** argv) {
     using namespace nbmg;
 
-    const std::size_t runs = bench::flag_value(argc, argv, "--runs", 20);
-    const std::size_t devices = bench::flag_value(argc, argv, "--devices", 300);
-    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
-    const std::size_t threads = bench::flag_threads(argc, argv);
+    // TI is the swept axis; an override would be overwritten point by point.
+    bench::reject_flags(argc, argv, {"--ti-ms"},
+                        "has no effect here: the ablation sweeps TI over "
+                        "5/10/20/30 s");
+    scenario::ScenarioSpec base = bench::require_single_cell(
+        bench::spec_from_args(argc, argv, "ablation-ti"), "ablation_ti_sweep");
+    if (base.config.inactivity_timer != core::CampaignConfig{}.inactivity_timer) {
+        std::fprintf(stderr,
+                     "note: scenario ti_ms ignored — the ablation sweeps TI "
+                     "over 5/10/20/30 s\n");
+    }
 
     bench::print_header("Ablation A2", "inactivity timer (TI) sweep");
-    std::printf("n=%zu runs=%zu payload=100KB\n", devices, runs);
+    bench::print_scenario_line(base);
 
     stats::Table table({"TI (s)", "DR-SC tx/device", "DR-SC connected vs unicast",
                         "DA-SC connected vs unicast", "DR-SI connected vs unicast",
                         "DA-SC light-sleep vs unicast"});
     // Every TI point replays the same per-run populations; generate them
     // once and share (bit-identical to regenerating at each point).
-    const core::SharedPopulations populations =
-        core::generate_comparison_populations(traffic::massive_iot_city(), devices,
-                                              runs, seed);
+    base.with_populations(core::generate_comparison_populations(
+        base.profile, base.device_count, base.runs, base.base_seed));
     for (const std::int64_t ti_ms : {5'000, 10'000, 20'000, 30'000}) {
-        core::ComparisonSetup setup;
-        setup.profile = traffic::massive_iot_city();
-        setup.device_count = devices;
-        setup.payload_bytes = traffic::firmware_100kb().bytes;
-        setup.runs = runs;
-        setup.base_seed = seed;
-        setup.threads = threads;
-        setup.populations = populations;
-        setup.config.inactivity_timer = nbiot::SimTime{ti_ms};
+        scenario::ScenarioSpec point = base;
+        point.with_inactivity_timer_ms(ti_ms);
 
-        const core::ComparisonOutcome outcome = core::run_comparison(setup);
+        const core::ComparisonOutcome outcome =
+            scenario::run_scenario(point).comparison();
         double drsc_tx = 0.0;
         double drsc_conn = 0.0;
         double dasc_conn = 0.0;

@@ -1,116 +1,32 @@
 // Shared helpers for the benchmark harness binaries.
+//
+// The flag parsing and the --scenario/--preset resolution now live in the
+// scenario layer (src/scenario/cli.hpp) so every driver — bench shells,
+// examples, tests — shares one strict parser; this header re-exports them
+// under nbmg::bench and keeps the printing helpers.
 #pragma once
 
-#include <cctype>
-#include <cerrno>
-#include <cinttypes>
-#include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
 
-#include "multicell/assignment.hpp"
+#include "scenario/cli.hpp"
 #include "stats/table.hpp"
 
 namespace nbmg::bench {
 
-/// Prints a usage message for a malformed flag and exits with status 2.
-/// `expected` describes the value shape in the usage line.
-[[noreturn]] inline void flag_error(const char* flag, const char* value,
-                                    const char* reason,
-                                    const char* expected =
-                                        "N where N is a non-negative decimal "
-                                        "integer") {
-    if (value != nullptr) {
-        std::fprintf(stderr, "error: bad value '%s' for %s: %s\n", value, flag,
-                     reason);
-    } else {
-        std::fprintf(stderr, "error: %s: %s\n", flag, reason);
-    }
-    std::fprintf(stderr, "usage: flags take the form '%s %s'\n", flag, expected);
-    std::exit(2);
-}
-
-/// Locates `flag` and returns its value string, or nullptr when the flag is
-/// absent.  A flag with no following value is a usage error.
-[[nodiscard]] inline const char* flag_text(int argc, char** argv, const char* flag) {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], flag) == 0) {
-            if (i + 1 >= argc) flag_error(flag, nullptr, "missing value");
-            return argv[i + 1];
-        }
-    }
-    return nullptr;
-}
-
-/// Parses "--seed N" style overrides strictly: the whole value must be a
-/// non-negative decimal integer >= min_value (0 is valid — seeds may be 0).
-/// Returns fallback only when the flag is absent; malformed input exits
-/// with a usage message instead of silently falling back.
-[[nodiscard]] inline std::uint64_t flag_u64(int argc, char** argv, const char* flag,
-                                            std::uint64_t fallback,
-                                            std::uint64_t min_value = 0) {
-    const char* text = flag_text(argc, argv, flag);
-    if (text == nullptr) return fallback;
-    if (*text == '\0') flag_error(flag, text, "empty value");
-    if (*text == '-') flag_error(flag, text, "value must be non-negative");
-    // strtoull itself skips whitespace and accepts a sign; insist the value
-    // starts with a digit so ' -5' or '+7' cannot sneak past.
-    if (std::isdigit(static_cast<unsigned char>(*text)) == 0) {
-        flag_error(flag, text, "not a decimal integer");
-    }
-    errno = 0;
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(text, &end, 10);
-    if (errno == ERANGE) flag_error(flag, text, "value out of range");
-    if (end == text || *end != '\0') {
-        flag_error(flag, text, "not a decimal integer");
-    }
-    if (v < min_value) {
-        char reason[64];
-        std::snprintf(reason, sizeof reason, "value must be >= %" PRIu64, min_value);
-        flag_error(flag, text, reason);
-    }
-    return static_cast<std::uint64_t>(v);
-}
-
-/// Parses "--runs N" / "--devices N" style overrides (strictly, as
-/// flag_u64); by default the value must be at least 1.
-[[nodiscard]] inline std::size_t flag_value(int argc, char** argv, const char* flag,
-                                            std::size_t fallback,
-                                            std::size_t min_value = 1) {
-    return static_cast<std::size_t>(
-        flag_u64(argc, argv, flag, fallback, min_value));
-}
-
-/// Parses "--threads N"; 0 (the default) means one worker per hardware
-/// thread.  Results never depend on the thread count.
-[[nodiscard]] inline std::size_t flag_threads(int argc, char** argv) {
-    return static_cast<std::size_t>(flag_u64(argc, argv, "--threads", 0));
-}
-
-/// Parses "--cells N" for multicell deployments; at least one cell.
-[[nodiscard]] inline std::size_t flag_cells(int argc, char** argv,
-                                            std::size_t fallback = 1) {
-    return flag_value(argc, argv, "--cells", fallback, 1);
-}
-
-/// Parses "--assignment NAME" strictly: the value must be one of the
-/// multicell policy spellings (uniform | hotspot | class-affinity); any
-/// other value exits with a usage message instead of silently falling back.
-[[nodiscard]] inline multicell::AssignmentPolicy flag_assignment(
-    int argc, char** argv,
-    multicell::AssignmentPolicy fallback = multicell::AssignmentPolicy::uniform_hash) {
-    const char* text = flag_text(argc, argv, "--assignment");
-    if (text == nullptr) return fallback;
-    const auto parsed = multicell::parse_assignment_policy(text);
-    if (!parsed.has_value()) {
-        flag_error("--assignment", text, "unknown assignment policy",
-                   "uniform | hotspot | class-affinity");
-    }
-    return *parsed;
-}
+using scenario::apply_spec_overrides;
+using scenario::flag_assignment;
+using scenario::flag_cells;
+using scenario::flag_error;
+using scenario::flag_text;
+using scenario::flag_threads;
+using scenario::flag_u64;
+using scenario::flag_value;
+using scenario::positional_text;
+using scenario::positional_u64;
+using scenario::positional_value;
+using scenario::reject_flags;
+using scenario::require_single_cell;
+using scenario::spec_from_args;
 
 inline void print_header(const char* experiment_id, const char* title) {
     std::printf("\n=== %s — %s ===\n", experiment_id, title);
@@ -118,6 +34,20 @@ inline void print_header(const char* experiment_id, const char* title) {
 
 inline void print_table(const stats::Table& table) {
     std::fputs(table.to_markdown().c_str(), stdout);
+}
+
+/// Banner line for scenario-driven shells: which spec is running and the
+/// knobs every scenario shares.
+inline void print_scenario_line(const scenario::ScenarioSpec& spec) {
+    std::printf("scenario=%s profile=%s n=%zu payload=%.0fKB runs=%zu seed=%llu",
+                spec.name.c_str(), spec.profile.name.c_str(), spec.device_count,
+                static_cast<double>(spec.payload_bytes) / 1024.0, spec.runs,
+                static_cast<unsigned long long>(spec.base_seed));
+    if (spec.is_multicell()) {
+        std::printf(" cells=%zu assignment=%s", spec.cell_count(),
+                    multicell::to_string(spec.assignment));
+    }
+    std::printf("\n");
 }
 
 }  // namespace nbmg::bench

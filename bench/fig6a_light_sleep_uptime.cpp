@@ -2,6 +2,10 @@
 // (paging-occasion monitoring + paging reception) versus the unicast
 // reference, for DR-SC, DA-SC and DR-SI.
 //
+// Scenario shell: the workload comes from the `fig6a` preset, a
+// `--scenario FILE`, or `--preset NAME`; the classic flags (--runs,
+// --devices, --seed, --threads, ...) override on top.
+//
 // Paper's reported shape: DR-SC identical to unicast (exactly 0), DR-SI a
 // negligible increase (only a longer paging message), DA-SC a visible
 // increase (extra POs on the shortened cycle).  Because the baseline
@@ -12,32 +16,19 @@
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
-#include "core/experiment.hpp"
-#include "traffic/firmware.hpp"
-#include "traffic/population.hpp"
+#include "scenario/run.hpp"
 
 int main(int argc, char** argv) {
     using namespace nbmg;
 
-    const std::size_t runs = bench::flag_value(argc, argv, "--runs", 50);
-    const std::size_t devices = bench::flag_value(argc, argv, "--devices", 300);
-    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
-
-    core::ComparisonSetup setup;
-    setup.profile = traffic::massive_iot_city();
-    setup.device_count = devices;
-    setup.payload_bytes = traffic::firmware_100kb().bytes;
-    setup.runs = runs;
-    setup.base_seed = seed;
-    setup.threads = bench::flag_threads(argc, argv);
+    const scenario::ScenarioSpec spec = bench::require_single_cell(
+        bench::spec_from_args(argc, argv, "fig6a"), "fig6a_light_sleep_uptime");
 
     bench::print_header("Fig. 6(a)", "relative light-sleep uptime increase vs unicast");
-    std::printf("profile=%s n=%zu payload=100KB TI=%.1fs runs=%zu\n",
-                setup.profile.name.c_str(), devices,
-                static_cast<double>(setup.config.inactivity_timer.count()) / 1000.0,
-                runs);
+    bench::print_scenario_line(spec);
 
-    const core::ComparisonOutcome outcome = core::run_comparison(setup);
+    const scenario::ScenarioResult result = scenario::run_scenario(spec);
+    const core::ComparisonOutcome& outcome = result.comparison();
     const double base_light = outcome.unicast.mean_light_sleep_seconds.mean();
     const double base_total =
         base_light + outcome.unicast.mean_connected_seconds.mean();

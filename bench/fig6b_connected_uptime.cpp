@@ -3,6 +3,10 @@
 // data) versus the unicast reference, for multicast payloads of 100 KB,
 // 1 MB and 10 MB.
 //
+// Scenario shell: the `fig6b` preset (or --scenario FILE / --preset NAME)
+// provides the base point; the binary sweeps the paper's three payload
+// sizes from it, with the classic flags as overrides.
+//
 // Paper's reported shape: DR-SC and DR-SI slightly above unicast (they wait
 // for the transmission to start), DA-SC the longest (it also connects once
 // more for the DRX reconfiguration), and all three relative increases
@@ -10,39 +14,42 @@
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
-#include "core/experiment.hpp"
+#include "scenario/run.hpp"
 #include "traffic/firmware.hpp"
-#include "traffic/population.hpp"
 
 int main(int argc, char** argv) {
     using namespace nbmg;
 
-    const std::size_t runs = bench::flag_value(argc, argv, "--runs", 30);
-    const std::size_t devices = bench::flag_value(argc, argv, "--devices", 300);
-    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
-    const std::size_t threads = bench::flag_threads(argc, argv);
+    // The payload axis IS the figure; an override would be overwritten by
+    // the sweep, so refuse it rather than echo a value that never runs.
+    bench::reject_flags(argc, argv, {"--payload-kb"},
+                        "has no effect here: fig6b sweeps the paper's "
+                        "100KB/1MB/10MB payloads");
+    scenario::ScenarioSpec base = bench::require_single_cell(
+        bench::spec_from_args(argc, argv, "fig6b"), "fig6b_connected_uptime");
+    if (base.payload_bytes != traffic::firmware_100kb().bytes) {
+        std::fprintf(stderr,
+                     "note: scenario payload ignored — fig6b sweeps the "
+                     "paper's 100KB/1MB/10MB payloads\n");
+    }
 
     bench::print_header("Fig. 6(b)",
                         "relative connected-mode uptime increase vs unicast");
+    bench::print_scenario_line(base);
+
+    // The payload sweep replays the same per-run populations at every
+    // point; generate them once and share.
+    base.with_populations(core::generate_comparison_populations(
+        base.profile, base.device_count, base.runs, base.base_seed));
 
     stats::Table table({"payload", "mechanism", "connected uptime (s/device)",
                         "increase vs unicast", "ci95", "paper shape"});
-    // The payload sweep replays the same per-run populations at every
-    // point; generate them once and share.
-    const core::SharedPopulations populations =
-        core::generate_comparison_populations(traffic::massive_iot_city(), devices,
-                                              runs, seed);
     for (const auto& payload : traffic::paper_payloads()) {
-        core::ComparisonSetup setup;
-        setup.profile = traffic::massive_iot_city();
-        setup.device_count = devices;
-        setup.payload_bytes = payload.bytes;
-        setup.runs = runs;
-        setup.base_seed = seed;
-        setup.threads = threads;
-        setup.populations = populations;
+        scenario::ScenarioSpec point = base;
+        point.with_payload_bytes(payload.bytes);
 
-        const core::ComparisonOutcome outcome = core::run_comparison(setup);
+        const core::ComparisonOutcome outcome =
+            scenario::run_scenario(point).comparison();
         table.add_row({payload.name, "Unicast",
                        stats::Table::cell(
                            outcome.unicast.mean_connected_seconds.mean(), 2),
@@ -60,8 +67,7 @@ int main(int argc, char** argv) {
                            expected});
         }
     }
-    std::printf("n=%zu runs=%zu per payload; expectation: increases shrink with size\n",
-                devices, runs);
+    std::printf("expectation: increases shrink with payload size\n");
     bench::print_table(table);
     return 0;
 }

@@ -1,38 +1,60 @@
 // Reproduces Fig. 7: average number of DR-SC multicast transmissions needed
 // to update all devices, for 100..1000 devices, averaged over 100 runs.
 //
+// Scenario shell: the `fig7` preset (or --scenario FILE / --preset NAME)
+// provides profile, campaign config, runs, seed and threads, and the
+// scenario's device count is the grid's end point: the sweep runs
+// 100, 200, ... in steps of 100 up to and always including it (the preset's
+// 1000 reproduces the paper's grid; --devices shrinks or extends it).
+//
 // Paper's reported shape: ~50% of the device count at small n, falling to
 // ~40% at n = 1000 (figure caption; see EXPERIMENTS.md for the text/caption
 // discrepancy note).
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_util.hpp"
 #include "core/analysis.hpp"
-#include "core/experiment.hpp"
-#include "traffic/population.hpp"
+#include "scenario/run.hpp"
 
 int main(int argc, char** argv) {
     using namespace nbmg;
 
-    const std::size_t runs = bench::flag_value(argc, argv, "--runs", 100);
-    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
-    const std::size_t threads = bench::flag_threads(argc, argv);
-
-    core::CampaignConfig config;  // paper defaults: TI = 20 s
-    const traffic::PopulationProfile profile = traffic::massive_iot_city();
+    // Fig. 7 only plans (no payload is ever transmitted).
+    bench::reject_flags(argc, argv, {"--payload-kb"},
+                        "has no effect here: fig7 counts planned DR-SC "
+                        "transmissions, no payload is delivered");
+    const scenario::ScenarioSpec spec = bench::require_single_cell(
+        bench::spec_from_args(argc, argv, "fig7"), "fig7_transmissions");
 
     bench::print_header("Fig. 7", "DR-SC multicast transmissions vs device count");
-    std::printf("profile=%s TI=%.2fs runs=%zu seed=%llu\n", profile.name.c_str(),
-                static_cast<double>(config.inactivity_timer.count()) / 1000.0, runs,
-                static_cast<unsigned long long>(seed));
+    bench::print_scenario_line(spec);
+    std::printf("TI=%.2fs\n",
+                static_cast<double>(spec.config.inactivity_timer.count()) / 1000.0);
 
+    // 100-step grid ending exactly at the scenario's device count, which is
+    // always simulated even off the step (the preset's 1000 gives the
+    // paper's 100..1000 grid).
     std::vector<std::size_t> device_counts;
-    for (std::size_t n = 100; n <= 1000; n += 100) device_counts.push_back(n);
+    for (std::size_t n = 100; n <= spec.device_count; n += 100) {
+        device_counts.push_back(n);
+    }
+    if (device_counts.empty() || device_counts.back() != spec.device_count) {
+        device_counts.push_back(spec.device_count);
+    }
+    if (device_counts.size() == 1) {
+        std::printf("device grid: %zu only\n", spec.device_count);
+    } else if (device_counts.back() % 100 == 0) {
+        std::printf("device grid: 100..%zu step 100\n", spec.device_count);
+    } else {
+        std::printf("device grid: 100..%zu step 100, plus %zu\n",
+                    device_counts[device_counts.size() - 2], spec.device_count);
+    }
     // The full devices x runs grid fans across the worker pool at once.
     const std::vector<core::TransmissionSweepPoint> points =
-        core::drsc_transmission_sweep(profile, device_counts, config, runs, seed,
-                                      threads);
+        core::drsc_transmission_sweep(spec.profile, device_counts, spec.config,
+                                      spec.runs, spec.base_seed, spec.threads);
 
     stats::Table table({"devices", "mean transmissions", "ci95", "tx/device",
                         "slot-model bound", "savings vs unicast",
@@ -46,8 +68,8 @@ int main(int argc, char** argv) {
                        stats::Table::cell(point.transmissions.ci95_half_width(), 1),
                        stats::Table::cell(point.transmissions_per_device.mean(), 3),
                        stats::Table::cell(
-                           core::analysis::slot_model_transmission_ratio(profile, n,
-                                                                         config),
+                           core::analysis::slot_model_transmission_ratio(
+                               spec.profile, n, spec.config),
                            3),
                        stats::Table::cell_percent(
                            1.0 - point.transmissions_per_device.mean()),

@@ -7,48 +7,38 @@
 // by every sweep point, and aggregates stay bit-identical for any
 // --threads.
 //
+// Scenario shell: the `multicell-scaling` preset (or --scenario/--preset)
+// provides the fleet; --cells sets the sweep's end point.
+//
 //   $ fig_multicell_scaling --devices 100000 --cells 64 --runs 1 --threads 8
 #include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.hpp"
-#include "multicell/deployment.hpp"
-#include "traffic/population.hpp"
+#include "scenario/run.hpp"
 
 int main(int argc, char** argv) {
     using namespace nbmg;
 
-    const std::size_t devices = bench::flag_value(argc, argv, "--devices", 20'000);
-    const std::size_t max_cells = bench::flag_cells(argc, argv, 64);
-    const std::size_t runs = bench::flag_value(argc, argv, "--runs", 2);
-    const std::uint64_t seed = bench::flag_u64(argc, argv, "--seed", 42);
-    const std::size_t threads = bench::flag_threads(argc, argv);
-    const multicell::AssignmentPolicy policy = bench::flag_assignment(argc, argv);
-
-    multicell::DeploymentSetup setup;
-    setup.profile = traffic::massive_iot_city();
-    setup.device_count = devices;
-    setup.runs = runs;
-    setup.base_seed = seed;
-    setup.threads = threads;
-    setup.assignment = policy;
-    // DR-SC is the planning-heavy mechanism and the interesting scaling
-    // case; the unicast reference runs implicitly at every point.
-    setup.mechanisms = {core::MechanismKind::dr_sc};
+    scenario::ScenarioSpec base =
+        bench::spec_from_args(argc, argv, "multicell-scaling");
+    const std::size_t max_cells = base.cell_count();
 
     bench::print_header("Multicell scaling",
                         "fleet campaign sharded across independent cells");
-    std::printf("profile=%s fleet=%zu runs=%zu assignment=%s threads=%zu\n",
-                setup.profile.name.c_str(), devices, runs,
-                multicell::to_string(policy), threads);
+    bench::print_scenario_line(base);
 
     // One fleet, every sweep point: population generation is paid once.
-    setup.populations = core::generate_comparison_populations(
-        setup.profile, setup.device_count, setup.runs, setup.base_seed);
+    base.with_populations(core::generate_comparison_populations(
+        base.profile, base.device_count, base.runs, base.base_seed));
 
+    // The per-mechanism columns report the scenario's *first* mechanism
+    // (DR-SC in the preset); label them accordingly.
+    const std::string first_mechanism{core::to_string(base.mechanisms.front())};
     stats::Table table({"cells", "wall-clock (s)", "speedup vs 1 cell",
                         "max cell load", "empty cell-runs",
-                        "DR-SC tx (fleet)", "light-sleep incr",
+                        first_mechanism + " tx (fleet)", "light-sleep incr",
                         "RACH collision p50", "p95 across cells"});
     // Sweep 1, 4, 16, ... and always finish at the requested --cells value,
     // whether or not it is a power of 4.
@@ -60,10 +50,13 @@ int main(int argc, char** argv) {
 
     double serial_seconds = 0.0;
     for (const std::size_t cells : cell_counts) {
-        setup.topology = multicell::CellTopology::uniform(cells);
+        scenario::ScenarioSpec point = base;
+        // Count-only change: a hotspot scenario sweeps as a hotspot.
+        point.with_cell_count(cells);
 
         const auto started = std::chrono::steady_clock::now();
-        const multicell::DeploymentResult result = multicell::run_deployment(setup);
+        const scenario::ScenarioResult scenario_result = scenario::run_scenario(point);
+        const multicell::DeploymentResult& result = scenario_result.deployment();
         const double seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
                 .count();

@@ -1,12 +1,23 @@
 // M1: google-benchmark microbenchmarks of the computational kernels —
 // paging-occasion arithmetic, the DR-SC window-cover greedy, the event
 // queue, and a full small campaign.
+//
+// Scenario shell: --scenario FILE / --preset NAME (with the classic flag
+// overrides) swap the population profile and campaign config the
+// campaign-shaped cases (BM_DrScPlan, BM_MulticellCampaign,
+// BM_FullCampaign) run on; without them the defaults are byte-identical to
+// the pre-scenario binary, so BENCH_pr*.json baselines stay comparable.
+// The scenario flags are stripped before google-benchmark parses argv.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
 
 #include "core/campaign.hpp"
 #include "core/planners.hpp"
 #include "multicell/deployment.hpp"
 #include "nbiot/paging.hpp"
+#include "scenario/cli.hpp"
 #include "setcover/solvers.hpp"
 #include "setcover/window_cover.hpp"
 #include "sim/event_queue.hpp"
@@ -15,6 +26,13 @@
 namespace {
 
 using namespace nbmg;
+
+/// Base workload of the campaign-shaped cases; main() overwrites it from
+/// --scenario/--preset before any benchmark runs.
+scenario::ScenarioSpec& bench_base_spec() {
+    static scenario::ScenarioSpec spec;
+    return spec;
+}
 
 void BM_PagingFirstPoAtOrAfter(benchmark::State& state) {
     const nbiot::PagingSchedule paging;
@@ -125,9 +143,9 @@ BENCHMARK(BM_GreedyCover)
 void BM_DrScPlan(benchmark::State& state) {
     sim::RandomStream pop_rng{1};
     const auto specs = traffic::to_specs(traffic::generate_population(
-        traffic::massive_iot_city(), static_cast<std::size_t>(state.range(0)),
+        bench_base_spec().profile, static_cast<std::size_t>(state.range(0)),
         pop_rng));
-    const core::CampaignConfig config;
+    const core::CampaignConfig config = bench_base_spec().config;
     const core::DrScMechanism mechanism;
     for (auto _ : state) {
         sim::RandomStream rng{7};
@@ -142,7 +160,9 @@ void BM_MulticellCampaign(benchmark::State& state) {
     // case.  The population is generated once outside the timed region and
     // shared, exactly as fig_multicell_scaling shares it across points.
     multicell::DeploymentSetup setup;
-    setup.profile = traffic::massive_iot_city();
+    setup.profile = bench_base_spec().profile;
+    setup.config = bench_base_spec().config;
+    setup.payload_bytes = bench_base_spec().payload_bytes;
     setup.device_count = static_cast<std::size_t>(state.range(0));
     setup.runs = 1;
     setup.base_seed = 42;
@@ -167,17 +187,60 @@ BENCHMARK(BM_MulticellCampaign)
 void BM_FullCampaign(benchmark::State& state) {
     sim::RandomStream pop_rng{1};
     const auto specs = traffic::to_specs(traffic::generate_population(
-        traffic::massive_iot_city(), static_cast<std::size_t>(state.range(0)),
+        bench_base_spec().profile, static_cast<std::size_t>(state.range(0)),
         pop_rng));
-    const core::CampaignConfig config;
+    const core::CampaignConfig config = bench_base_spec().config;
     const core::DrSiMechanism mechanism;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            core::plan_and_run(mechanism, specs, config, 100 * 1024, 7));
+        benchmark::DoNotOptimize(core::plan_and_run(
+            mechanism, specs, config, bench_base_spec().payload_bytes, 7));
     }
 }
 BENCHMARK(BM_FullCampaign)->Arg(100)->Arg(400)->Arg(10'000)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    using namespace nbmg;
+
+    // The kernel cases fix their own sizes and seeds (Arg() grids, pinned
+    // RNG streams) so the BENCH_pr*.json trajectory stays comparable; only
+    // profile/config/payload from the scenario take effect.  Reject the
+    // overrides that would be silently ignored.
+    scenario::reject_flags(
+        argc, argv,
+        {"--runs", "--devices", "--seed", "--threads", "--cells",
+         "--assignment"},
+        "has no effect on the kernel microbenchmarks (cases fix their own "
+        "sizes and seeds); use --scenario/--preset/--payload-kb/--ti-ms or "
+        "the --benchmark_* flags");
+    // Resolve the scenario flags first, then hide them from
+    // google-benchmark's own strict argv parsing.
+    scenario::ShellFlags shell;
+    shell.prefixes = {"--benchmark_"};
+    // google-benchmark's own discovery flags pass through to Initialize.
+    shell.bare_flags = {"--help", "--version"};
+    bench_base_spec() = scenario::require_single_cell(
+        scenario::spec_from_args(
+            argc, argv, scenario::ScenarioSpec{}.with_name("microbench"),
+            shell),
+        "microbench_kernels");
+    std::vector<char*> remaining;
+    remaining.reserve(static_cast<std::size_t>(argc));
+    remaining.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (scenario::is_scenario_flag(argv[i])) {
+            ++i;  // the flag's value
+            continue;
+        }
+        remaining.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(remaining.size());
+    benchmark::Initialize(&bench_argc, remaining.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, remaining.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

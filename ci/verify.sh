@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Single verification entry point (CI and local): configure Debug and
 # Release with warnings-as-errors, build everything, run the full CTest
-# suite in both configurations.  The Release leg builds with NBMG_ENABLE_LTO
-# (so the option cannot rot) and finishes with a short microbenchmark smoke
-# — one pass over the small kernel cases, asserting they run clean.
+# suite in both configurations.  Every configuration then runs a
+# scenario-file smoke (a checked-in examples/scenarios/*.scenario through
+# the unified --scenario entry point, plus a --preset resolution), and the
+# Release leg additionally builds with NBMG_ENABLE_LTO (so the option
+# cannot rot) and finishes with a short microbenchmark smoke — one pass
+# over the small kernel cases, asserting they run clean.
 #
 #   $ ci/verify.sh            # both configurations
 #   $ ci/verify.sh Release    # just one
@@ -28,6 +31,19 @@ for config in "${configs[@]}"; do
         -DNBMG_ENABLE_LTO="${lto}"
   cmake --build "${build_dir}" -j"${jobs}"
   ctest --test-dir "${build_dir}" --output-on-failure -j"${jobs}"
+
+  echo "=== ${config}: scenario-file smoke (--scenario / --preset) ==="
+  "${build_dir}/bench/fig6a_light_sleep_uptime" \
+    --scenario examples/scenarios/smoke.scenario --threads 2
+  "${build_dir}/examples/run_scenario" \
+    --scenario examples/scenarios/smoke.scenario --threads 2
+  "${build_dir}/examples/run_scenario" \
+    --scenario examples/scenarios/citywide_16cells.scenario \
+    --devices 800 --cells 8 --csv
+  "${build_dir}/examples/citywide_rollout" \
+    --scenario examples/scenarios/citywide_16cells.scenario 800 8 42
+  "${build_dir}/bench/ablation_scptm" --preset ablation-scptm \
+    --devices 50 --runs 2 --threads 2
 
   if [[ "${config}" == "Release" ]]; then
     if [[ -x "${build_dir}/bench/microbench_kernels" ]]; then

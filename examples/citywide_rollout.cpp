@@ -9,37 +9,46 @@
 // to DR-SC's grouping opportunities.
 //
 //   $ ./citywide_rollout [devices] [cells] [seed]
+//   $ ./citywide_rollout --preset citywide --cells 64
+//   $ ./citywide_rollout --scenario examples/scenarios/citywide_16cells.scenario
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 
-#include "multicell/deployment.hpp"
+#include "bench/bench_util.hpp"
+#include "scenario/run.hpp"
 #include "stats/table.hpp"
-#include "traffic/population.hpp"
 
 int main(int argc, char** argv) {
     using namespace nbmg;
 
-    const std::size_t devices =
-        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6'000;
-    const std::size_t cells = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 16;
-    const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
-
-    multicell::DeploymentSetup setup;
-    setup.profile = traffic::massive_iot_city();
-    setup.device_count = devices;
-    setup.runs = 2;
-    setup.base_seed = seed;
+    scenario::ScenarioSpec base = bench::spec_from_args(argc, argv, "citywide");
+    base.with_devices(bench::positional_value(argc, argv, 0, base.device_count));
+    base.with_cell_count(bench::positional_value(argc, argv, 1, base.cell_count()));
+    base.with_seed(bench::positional_u64(argc, argv, 2, base.base_seed));
+    const std::size_t devices = base.device_count;
+    const std::size_t cells = base.cell_count();
 
     std::printf(
         "citywide rollout: %zu devices over %zu cells, %zu runs, seed %llu\n"
-        "payload 100KB, mechanisms DR-SC / DA-SC / DR-SI vs per-cell unicast\n",
-        devices, cells, setup.runs,
-        static_cast<unsigned long long>(seed));
+        "payload %.0fKB, mechanisms DR-SC / DA-SC / DR-SI vs per-cell unicast\n",
+        devices, cells, base.runs,
+        static_cast<unsigned long long>(base.base_seed),
+        static_cast<double>(base.payload_bytes) / 1024.0);
 
     // The fleet is the same under every scenario: generate it once.
-    setup.populations = core::generate_comparison_populations(
-        setup.profile, setup.device_count, setup.runs, setup.base_seed);
+    base.with_populations(core::generate_comparison_populations(
+        base.profile, base.device_count, base.runs, base.base_seed));
+
+    // The DR-SC/DA-SC columns follow the scenario's mechanism list; a list
+    // without one of them shows "-" instead of indexing out of bounds.
+    const auto mechanism_index = [&](core::MechanismKind kind) -> std::ptrdiff_t {
+        for (std::size_t m = 0; m < base.mechanisms.size(); ++m) {
+            if (base.mechanisms[m] == kind) return static_cast<std::ptrdiff_t>(m);
+        }
+        return -1;
+    };
+    const std::ptrdiff_t dr_sc_index = mechanism_index(core::MechanismKind::dr_sc);
+    const std::ptrdiff_t da_sc_index = mechanism_index(core::MechanismKind::da_sc);
 
     stats::Table table({"assignment", "max/min cell load", "DR-SC tx (fleet)",
                         "DR-SC connected incr", "DA-SC light-sleep incr",
@@ -48,13 +57,24 @@ int main(int argc, char** argv) {
          {multicell::AssignmentPolicy::uniform_hash,
           multicell::AssignmentPolicy::hotspot,
           multicell::AssignmentPolicy::class_affinity}) {
-        setup.assignment = policy;
-        setup.topology =
-            policy == multicell::AssignmentPolicy::hotspot
-                ? multicell::CellTopology::hotspot(cells, 1.0)
-                : multicell::CellTopology::uniform(cells);
+        scenario::ScenarioSpec point = base;
+        point.with_assignment(policy);
+        if (policy == multicell::AssignmentPolicy::hotspot) {
+            // Keep a scenario-provided Zipf exponent; default to the classic
+            // downtown gradient otherwise.
+            const double exponent =
+                base.topology &&
+                        base.topology->kind == scenario::TopologySpec::Kind::hotspot
+                    ? base.topology->hotspot_exponent
+                    : 1.0;
+            point.with_hotspot(cells, exponent);
+        } else {
+            point.with_cells(cells);
+        }
 
-        const multicell::DeploymentResult result = multicell::run_deployment(setup);
+        const scenario::ScenarioResult scenario_result =
+            scenario::run_scenario(point);
+        const multicell::DeploymentResult& result = scenario_result.deployment();
 
         double min_load = static_cast<double>(devices);
         double max_load = 0.0;
@@ -65,13 +85,27 @@ int main(int argc, char** argv) {
         char load[64];
         std::snprintf(load, sizeof load, "%.0f / %.0f", max_load, min_load);
 
+        const auto& mechanisms = result.mechanisms;
         table.add_row(
             {multicell::to_string(policy), load,
-             stats::Table::cell(result.mechanisms[0].stats.transmissions.mean(), 1),
-             stats::Table::cell_percent(
-                 result.mechanisms[0].stats.connected_increase.mean(), 1),
-             stats::Table::cell_percent(
-                 result.mechanisms[1].stats.light_sleep_increase.mean(), 2),
+             dr_sc_index >= 0
+                 ? stats::Table::cell(
+                       mechanisms[static_cast<std::size_t>(dr_sc_index)]
+                           .stats.transmissions.mean(),
+                       1)
+                 : "-",
+             dr_sc_index >= 0
+                 ? stats::Table::cell_percent(
+                       mechanisms[static_cast<std::size_t>(dr_sc_index)]
+                           .stats.connected_increase.mean(),
+                       1)
+                 : "-",
+             da_sc_index >= 0
+                 ? stats::Table::cell_percent(
+                       mechanisms[static_cast<std::size_t>(da_sc_index)]
+                           .stats.light_sleep_increase.mean(),
+                       2)
+                 : "-",
              stats::Table::cell(result.rach_collision_across_cells.quantile(0.95),
                                 4)});
     }

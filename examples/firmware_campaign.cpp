@@ -3,39 +3,67 @@
 // it, and report per-class energy impact and delivery statistics.
 //
 //   $ ./firmware_campaign [devices] [payload_kb] [seed]
+//   $ ./firmware_campaign --preset firmware-campaign --payload-kb 512
 #include <cstdio>
-#include <cstdlib>
 #include <map>
+#include <vector>
 
+#include "bench/bench_util.hpp"
 #include "core/campaign.hpp"
 #include "core/planners.hpp"
 #include "core/report.hpp"
 #include "stats/summary.hpp"
 #include "stats/table.hpp"
-#include "traffic/firmware.hpp"
-#include "traffic/population.hpp"
 
 int main(int argc, char** argv) {
     using namespace nbmg;
 
-    const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2'000;
-    const std::int64_t payload_kb =
-        argc > 2 ? std::strtol(argv[2], nullptr, 10) : 1024;
-    const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
-    const std::int64_t payload = payload_kb * 1024;
+    // One narrated DA-SC rollout (plan inspection + execution), on the
+    // calling thread.
+    bench::reject_flags(argc, argv, {"--runs", "--threads"},
+                        "has no effect here: firmware_campaign narrates a "
+                        "single campaign on the calling thread");
+    scenario::ScenarioSpec spec = bench::require_single_cell(
+        bench::spec_from_args(argc, argv, "firmware-campaign"),
+        "firmware_campaign");
+    if (spec.runs != 1) {
+        std::fprintf(stderr,
+                     "note: scenario runs=%zu ignored — firmware_campaign "
+                     "narrates a single campaign\n",
+                     spec.runs);
+        spec.with_runs(1);
+    }
+    if (spec.mechanisms !=
+        std::vector<core::MechanismKind>{core::MechanismKind::da_sc}) {
+        std::fprintf(stderr,
+                     "note: scenario mechanisms ignored — firmware_campaign "
+                     "narrates the DA-SC rollout (its plan-inspection "
+                     "sections are DA-SC specific)\n");
+    }
+    spec.with_devices(bench::positional_value(argc, argv, 0, spec.device_count));
+    // Only an actually-given positional converts KB -> bytes; the fallback
+    // keeps the spec's payload untouched (it need not be KiB-aligned).
+    if (const char* payload_kb = bench::positional_text(argc, argv, 1);
+        payload_kb != nullptr) {
+        spec.with_payload_bytes(scenario::payload_kb_to_bytes(
+            bench::positional_value(argc, argv, 1, 1), "positional #2",
+            payload_kb));
+    }
+    spec.with_seed(bench::positional_u64(argc, argv, 2, spec.base_seed));
+    const std::size_t n = spec.device_count;
 
-    const traffic::PopulationProfile profile = traffic::massive_iot_city();
-    sim::RandomStream pop_rng{sim::derive_seed(seed, "population")};
-    const auto population = traffic::generate_population(profile, n, pop_rng);
+    sim::RandomStream pop_rng{sim::derive_seed(spec.base_seed, "population")};
+    const auto population =
+        traffic::generate_population(spec.profile, n, pop_rng);
     const auto specs = traffic::to_specs(population);
 
-    const core::CampaignConfig config;
-    std::printf("firmware_campaign: %zu devices, %lld KB image, DA-SC grouping\n\n",
-                n, static_cast<long long>(payload_kb));
+    const core::CampaignConfig& config = spec.config;
+    std::printf("firmware_campaign: %zu devices, %.0f KB image, DA-SC grouping\n\n",
+                n, static_cast<double>(spec.payload_bytes) / 1024.0);
 
     // --- plan ---
     const core::DaScMechanism mechanism;
-    sim::RandomStream plan_rng{sim::derive_seed(seed, "planner")};
+    sim::RandomStream plan_rng{sim::derive_seed(spec.base_seed, "planner")};
     const core::MulticastPlan plan = mechanism.plan(specs, config, plan_rng);
     core::validate_plan(plan, specs);
 
@@ -59,13 +87,14 @@ int main(int argc, char** argv) {
 
     // --- execute ---
     const core::CampaignRunner runner(config);
-    const nbiot::SimTime horizon = core::recommended_horizon(specs, config, payload);
+    const nbiot::SimTime horizon =
+        core::recommended_horizon(specs, config, spec.payload_bytes);
     const core::CampaignResult result =
-        runner.run(plan, specs, payload, horizon, seed);
+        runner.run(plan, specs, spec.payload_bytes, horizon, spec.base_seed);
     const core::MulticastPlan unicast_plan =
         core::UnicastBaseline{}.plan(specs, config, plan_rng);
     const core::CampaignResult reference =
-        runner.run(unicast_plan, specs, payload, horizon, seed);
+        runner.run(unicast_plan, specs, spec.payload_bytes, horizon, spec.base_seed);
 
     std::printf("\nexecution: %zu/%zu delivered, %zu transmissions (%zu recovery), "
                 "%.2f MB on air vs %.2f MB unicast\n",
@@ -77,7 +106,7 @@ int main(int argc, char** argv) {
     // --- per-class impact ---
     stats::Table table({"device class", "devices", "connected s/device",
                         "light-sleep s/device", "light-sleep vs unicast"});
-    for (std::size_t c = 0; c < profile.classes.size(); ++c) {
+    for (std::size_t c = 0; c < spec.profile.classes.size(); ++c) {
         stats::Summary connected;
         stats::Summary light;
         stats::Summary base_light;
@@ -94,7 +123,7 @@ int main(int argc, char** argv) {
                            1000.0);
         }
         if (connected.count() == 0) continue;
-        table.add_row({profile.classes[c].name,
+        table.add_row({spec.profile.classes[c].name,
                        stats::Table::cell(static_cast<std::int64_t>(connected.count())),
                        stats::Table::cell(connected.mean(), 1),
                        stats::Table::cell(light.mean(), 2),

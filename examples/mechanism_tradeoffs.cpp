@@ -4,14 +4,14 @@
 // paper's conclusions.
 //
 //   $ ./mechanism_tradeoffs [devices] [seed]
+//   $ ./mechanism_tradeoffs --preset mechanism-tradeoffs --runs 10
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
-#include "core/experiment.hpp"
+#include "bench/bench_util.hpp"
+#include "scenario/run.hpp"
 #include "stats/table.hpp"
 #include "traffic/firmware.hpp"
-#include "traffic/population.hpp"
 
 namespace {
 
@@ -40,25 +40,29 @@ const char* recommend(const Scorecard& dr_sc, const Scorecard& da_sc,
 int main(int argc, char** argv) {
     using namespace nbmg;
 
-    const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 200;
-    const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+    // Payload and TI are the two swept axes of the recommendation table.
+    bench::reject_flags(argc, argv, {"--payload-kb", "--ti-ms"},
+                        "has no effect here: the trade-off table sweeps "
+                        "payload x TI itself");
+    scenario::ScenarioSpec base = bench::require_single_cell(
+        bench::spec_from_args(argc, argv, "mechanism-tradeoffs"),
+        "mechanism_tradeoffs");
+    base.with_devices(bench::positional_value(argc, argv, 0, base.device_count));
+    base.with_seed(bench::positional_u64(argc, argv, 1, base.base_seed));
 
-    std::printf("mechanism_tradeoffs: n=%zu, profile=massive_iot_city\n", n);
+    std::printf("mechanism_tradeoffs: n=%zu, profile=%s\n", base.device_count,
+                base.profile.name.c_str());
 
     stats::Table table({"payload", "TI (s)", "DR-SC tx/dev", "DR-SC conn",
                         "DA-SC conn", "DA-SC light", "DR-SI conn",
                         "pick (compliant)", "pick (any)"});
     for (const auto& payload : traffic::paper_payloads()) {
         for (const std::int64_t ti : {10'000, 30'000}) {
-            core::ComparisonSetup setup;
-            setup.profile = traffic::massive_iot_city();
-            setup.device_count = n;
-            setup.payload_bytes = payload.bytes;
-            setup.runs = 5;
-            setup.base_seed = seed;
-            setup.config.inactivity_timer = nbiot::SimTime{ti};
+            scenario::ScenarioSpec point = base;
+            point.with_payload_bytes(payload.bytes).with_inactivity_timer_ms(ti);
 
-            const core::ComparisonOutcome outcome = core::run_comparison(setup);
+            const core::ComparisonOutcome outcome =
+                scenario::run_scenario(point).comparison();
             Scorecard dr_sc;
             Scorecard da_sc;
             Scorecard dr_si;

@@ -4,9 +4,13 @@
 // the grouping mechanisms behave the way they do.
 //
 //   $ ./paging_explorer [imsi] [ti_ms]
+//   $ ./paging_explorer --scenario examples/scenarios/smoke.scenario
+// A scenario (--scenario/--preset) supplies the campaign config whose
+// inactivity timer (TI) frames the DA-SC window; the positionals override.
 #include <cstdio>
-#include <cstdlib>
+#include <limits>
 
+#include "bench/bench_util.hpp"
 #include "nbiot/drx.hpp"
 #include "nbiot/frames.hpp"
 #include "nbiot/paging.hpp"
@@ -16,11 +20,31 @@ int main(int argc, char** argv) {
     using namespace nbmg;
     using nbiot::SimTime;
 
+    // Pure paging geometry: only the scenario's paging config and TI are
+    // consulted — reject the overrides that could not matter.
+    bench::reject_flags(
+        argc, argv,
+        {"--runs", "--devices", "--seed", "--threads", "--payload-kb"},
+        "has no effect here: paging_explorer only reads the scenario's "
+        "paging config and TI");
+    const scenario::ScenarioSpec spec = bench::require_single_cell(
+        bench::spec_from_args(
+            argc, argv, scenario::ScenarioSpec{}.with_name("paging-explorer")),
+        "paging_explorer");
     const std::uint64_t imsi_value =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 262'042'000'012'345ULL;
-    const std::int64_t ti_ms = argc > 2 ? std::strtol(argv[2], nullptr, 10) : 10'000;
+        bench::positional_u64(argc, argv, 0, 262'042'000'012'345ULL);
+    const std::uint64_t ti_raw = bench::positional_u64(
+        argc, argv, 1,
+        static_cast<std::uint64_t>(spec.config.inactivity_timer.count()));
+    // Same no-silent-wrap rule as the --ti-ms flag path.
+    if (ti_raw > static_cast<std::uint64_t>(
+                     std::numeric_limits<std::int64_t>::max())) {
+        bench::flag_error("positional #2", bench::positional_text(argc, argv, 1),
+                          "value out of range");
+    }
+    const std::int64_t ti_ms = static_cast<std::int64_t>(ti_raw);
 
-    const nbiot::PagingSchedule paging;
+    const nbiot::PagingSchedule paging(spec.config.paging);
     const nbiot::Imsi imsi{imsi_value};
 
     std::printf("paging_explorer: IMSI=%llu  UE_ID=%llu (mod 2^20)  TI=%.1fs\n\n",

@@ -2,42 +2,55 @@
 // mechanism on a small city population and compare the paper's metrics.
 //
 //   $ ./quickstart [devices] [seed]
+//   $ ./quickstart --preset quickstart --devices 500
+//   $ ./quickstart --scenario examples/scenarios/smoke.scenario
 #include <cstdio>
-#include <cstdlib>
 
+#include "bench/bench_util.hpp"
 #include "core/campaign.hpp"
 #include "core/planners.hpp"
 #include "core/report.hpp"
 #include "stats/table.hpp"
-#include "traffic/firmware.hpp"
-#include "traffic/population.hpp"
 
 int main(int argc, char** argv) {
     using namespace nbmg;
 
-    const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 200;
-    const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+    // One narrated campaign per mechanism, on the calling thread.
+    bench::reject_flags(argc, argv, {"--runs", "--threads"},
+                        "has no effect here: quickstart runs one campaign "
+                        "per mechanism on the calling thread");
+    scenario::ScenarioSpec spec = bench::require_single_cell(
+        bench::spec_from_args(argc, argv, "quickstart"), "quickstart");
+    if (spec.runs != 1) {
+        std::fprintf(stderr,
+                     "note: scenario runs=%zu ignored — quickstart runs one "
+                     "campaign per mechanism\n",
+                     spec.runs);
+        spec.with_runs(1);
+    }
+    spec.with_devices(bench::positional_value(argc, argv, 0, spec.device_count));
+    spec.with_seed(bench::positional_u64(argc, argv, 1, spec.base_seed));
 
-    // 1. A device population: the calibrated "Massive IoT in the City" mix.
-    const traffic::PopulationProfile profile = traffic::massive_iot_city();
-    sim::RandomStream pop_rng{sim::derive_seed(seed, "population")};
-    const auto population = traffic::generate_population(profile, n, pop_rng);
+    // 1. The device population from the scenario's profile (default: the
+    //    calibrated "Massive IoT in the City" mix).
+    sim::RandomStream pop_rng{sim::derive_seed(spec.base_seed, "population")};
+    const auto population =
+        traffic::generate_population(spec.profile, spec.device_count, pop_rng);
     const auto specs = traffic::to_specs(population);
 
-    // 2. Campaign configuration (defaults follow the paper's setting) and
-    //    the payload: a 100 KB firmware image.
-    const core::CampaignConfig config;
-    const traffic::PayloadSpec payload = traffic::firmware_100kb();
+    // 2. Campaign configuration and payload, also from the scenario.
+    const core::CampaignConfig& config = spec.config;
 
-    std::printf("nbmg quickstart: %zu devices, payload %s, TI=%.1fs, seed %llu\n",
-                n, payload.name.c_str(),
+    std::printf("nbmg quickstart: %zu devices, payload %.0f KB, TI=%.1fs, seed %llu\n",
+                spec.device_count,
+                static_cast<double>(spec.payload_bytes) / 1024.0,
                 static_cast<double>(config.inactivity_timer.count()) / 1000.0,
-                static_cast<unsigned long long>(seed));
+                static_cast<unsigned long long>(spec.base_seed));
 
     // 3. Run the unicast reference, then each grouping mechanism.
     const core::UnicastBaseline unicast;
-    const core::CampaignResult reference =
-        core::plan_and_run(unicast, specs, config, payload.bytes, seed);
+    const core::CampaignResult reference = core::plan_and_run(
+        unicast, specs, config, spec.payload_bytes, spec.base_seed);
 
     stats::Table table({"mechanism", "standards", "DRX", "transmissions",
                         "light-sleep uptime vs unicast", "connected uptime vs unicast",
@@ -47,12 +60,10 @@ int main(int argc, char** argv) {
                        reference.total_transmissions())),
                    "-", "-", reference.all_received() ? "yes" : "NO"});
 
-    for (const core::MechanismKind kind :
-         {core::MechanismKind::dr_sc, core::MechanismKind::da_sc,
-          core::MechanismKind::dr_si}) {
+    for (const core::MechanismKind kind : spec.mechanisms) {
         const auto mechanism = core::make_mechanism(kind);
-        const core::CampaignResult result =
-            core::plan_and_run(*mechanism, specs, config, payload.bytes, seed);
+        const core::CampaignResult result = core::plan_and_run(
+            *mechanism, specs, config, spec.payload_bytes, spec.base_seed);
         const core::RelativeUptime rel = core::relative_uptime(result, reference);
         table.add_row(
             {std::string{core::to_string(kind)},

@@ -47,6 +47,12 @@ using SharedPopulations = std::shared_ptr<const ComparisonPopulations>;
     const traffic::PopulationProfile& profile, std::size_t device_count,
     std::size_t runs, std::uint64_t base_seed);
 
+/// Engine-level setup of the single-cell comparison.  Deprecated as a
+/// front door: new callers should describe the workload declaratively with
+/// scenario::ScenarioSpec and call scenario::run_scenario, which converts
+/// through scenario::to_comparison_setup (the only adapter) and reaches
+/// run_comparison with bit-identical aggregates.  Kept because it is the
+/// struct the engine itself consumes and out-of-tree callers may hold.
 struct ComparisonSetup {
     traffic::PopulationProfile profile;
     std::size_t device_count = 500;

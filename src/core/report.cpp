@@ -1,6 +1,9 @@
 #include "core/report.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "core/experiment.hpp"
 
 namespace nbmg::core {
 namespace {
@@ -94,6 +97,32 @@ BandwidthComparison bandwidth_comparison(const CampaignResult& mechanism,
                                  static_cast<double>(unicast_reference.bytes_on_air);
     }
     return out;
+}
+
+stats::Table mechanism_summary_table(
+    const MechanismStats& unicast,
+    std::span<const MechanismStats* const> mechanisms) {
+    stats::Table table({"mechanism", "transmissions", "tx/device",
+                        "light-sleep vs unicast", "connected vs unicast",
+                        "bytes vs unicast", "recovery tx", "unreceived"});
+    table.add_row({std::string{to_string(unicast.kind)},
+                   stats::Table::cell(unicast.transmissions.mean(), 1),
+                   stats::Table::cell(unicast.transmissions_per_device.mean(), 3),
+                   "-", "-", "-",
+                   stats::Table::cell(unicast.recovery_transmissions.mean(), 1),
+                   stats::Table::cell(unicast.unreceived_devices.mean(), 1)});
+    for (const MechanismStats* mech : mechanisms) {
+        table.add_row(
+            {std::string{to_string(mech->kind)},
+             stats::Table::cell(mech->transmissions.mean(), 1),
+             stats::Table::cell(mech->transmissions_per_device.mean(), 3),
+             stats::Table::cell_percent(mech->light_sleep_increase.mean(), 2),
+             stats::Table::cell_percent(mech->connected_increase.mean(), 2),
+             stats::Table::cell(mech->bytes_ratio.mean(), 3),
+             stats::Table::cell(mech->recovery_transmissions.mean(), 1),
+             stats::Table::cell(mech->unreceived_devices.mean(), 1)});
+    }
+    return table;
 }
 
 }  // namespace nbmg::core

@@ -1,10 +1,17 @@
 // Derived metrics: the paper's relative-uptime comparison (mechanism vs
-// unicast reference) and aggregate accessors used by benches and tests.
+// unicast reference) and aggregate accessors used by benches and tests —
+// plus the shared report surface the scenario layer renders both engines'
+// aggregates through.
 #pragma once
 
+#include <span>
+
 #include "core/campaign.hpp"
+#include "stats/table.hpp"
 
 namespace nbmg::core {
+
+struct MechanismStats;  // core/experiment.hpp
 
 /// Sum of per-device light-sleep uptime (ms).
 [[nodiscard]] double total_light_sleep_ms(const CampaignResult& result) noexcept;
@@ -45,5 +52,18 @@ struct BandwidthComparison {
 
 [[nodiscard]] BandwidthComparison bandwidth_comparison(
     const CampaignResult& mechanism, const CampaignResult& unicast_reference);
+
+/// The common report surface of scenario::ScenarioResult: one row per
+/// mechanism (unicast reference first) with the paper's headline aggregates.
+/// Both engines feed it — the single-cell outcome directly, the deployment
+/// result through its embedded per-mechanism MechanismStats — so any
+/// scenario renders to the same table/CSV shape regardless of engine; the
+/// generic shell (examples/run_scenario.cpp, incl. --csv) prints it, while
+/// the figure shells keep their figure-specific columns.  `mechanisms` is
+/// a span of pointers because callers hold the stats inside
+/// engine-specific wrappers.
+[[nodiscard]] stats::Table mechanism_summary_table(
+    const MechanismStats& unicast,
+    std::span<const MechanismStats* const> mechanisms);
 
 }  // namespace nbmg::core

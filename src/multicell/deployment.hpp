@@ -27,6 +27,13 @@
 
 namespace nbmg::multicell {
 
+/// Engine-level setup of the multicell deployment.  Deprecated as a front
+/// door: new callers should describe the workload declaratively with
+/// scenario::ScenarioSpec (topology engaged) and call
+/// scenario::run_scenario, which converts through
+/// scenario::to_deployment_setup (the only adapter) and reaches
+/// run_deployment with bit-identical aggregates.  Kept because it is the
+/// struct the engine itself consumes and out-of-tree callers may hold.
 struct DeploymentSetup {
     traffic::PopulationProfile profile;
     /// Fleet-wide device count, before sharding.

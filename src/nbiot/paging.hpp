@@ -51,6 +51,8 @@ struct PagingConfig {
     [[nodiscard]] bool valid() const noexcept {
         return nb_num > 0 && nb_den > 0 && ue_id_modulus > 0 && max_page_records > 0;
     }
+
+    friend bool operator==(const PagingConfig&, const PagingConfig&) = default;
 };
 
 /// Computes paging occasions for (IMSI, DRX cycle) pairs.

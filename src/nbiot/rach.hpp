@@ -41,6 +41,8 @@ struct RachConfig {
     [[nodiscard]] bool valid() const noexcept {
         return window_period.count() > 0 && num_preambles > 0 && max_attempts > 0;
     }
+
+    friend bool operator==(const RachConfig&, const RachConfig&) = default;
 };
 
 struct RachOutcome {

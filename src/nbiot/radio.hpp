@@ -55,6 +55,8 @@ struct RadioConfig {
                per_block_overhead.count() >= 0 && repetitions[0] >= 1 &&
                repetitions[1] >= 1 && repetitions[2] >= 1;
     }
+
+    friend bool operator==(const RadioConfig&, const RadioConfig&) = default;
 };
 
 /// Computes downlink airtime for payloads.

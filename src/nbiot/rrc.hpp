@@ -76,6 +76,8 @@ struct TimingModel {
                rrc_setup.count() >= 0 && rrc_reconfiguration.count() >= 0 &&
                rrc_release.count() >= 0;
     }
+
+    friend bool operator==(const TimingModel&, const TimingModel&) = default;
 };
 
 /// Approximate over-the-air message sizes (bytes) for the secondary
@@ -89,6 +91,8 @@ struct SignalingSizes {
     std::int64_t rrc_setup_exchange = 120;
     std::int64_t rrc_reconfiguration = 40;
     std::int64_t rrc_release = 16;
+
+    friend bool operator==(const SignalingSizes&, const SignalingSizes&) = default;
 };
 
 }  // namespace nbmg::nbiot

@@ -1,0 +1,170 @@
+#include "scenario/cli.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "scenario/parser.hpp"
+#include "scenario/registry.hpp"
+
+namespace nbmg::scenario {
+namespace {
+
+/// Strict numeric parse of a positional token (same rules as flag_u64,
+/// shared mechanics in parse_util.hpp).
+std::uint64_t parse_positional(const char* text, std::size_t index,
+                               std::uint64_t min_value) {
+    char flag_name[32];
+    std::snprintf(flag_name, sizeof flag_name, "positional #%zu", index + 1);
+    std::uint64_t parsed = 0;
+    switch (parse_strict_u64(text, parsed)) {
+        case U64ParseError::none: break;
+        case U64ParseError::empty: flag_error(flag_name, text, "empty value");
+        case U64ParseError::negative:
+            flag_error(flag_name, text, "value must be non-negative");
+        case U64ParseError::not_decimal:
+            flag_error(flag_name, text, "not a decimal integer");
+        case U64ParseError::out_of_range:
+            flag_error(flag_name, text, "value out of range");
+    }
+    if (parsed < min_value) {
+        char reason[64];
+        std::snprintf(reason, sizeof reason, "value must be >= %" PRIu64,
+                      min_value);
+        flag_error(flag_name, text, reason);
+    }
+    return parsed;
+}
+
+}  // namespace
+
+std::size_t positional_value(int argc, char** argv, std::size_t index,
+                             std::size_t fallback, std::size_t min_value) {
+    const char* text = positional_text(argc, argv, index);
+    if (text == nullptr) return fallback;
+    return static_cast<std::size_t>(parse_positional(text, index, min_value));
+}
+
+std::uint64_t positional_u64(int argc, char** argv, std::size_t index,
+                             std::uint64_t fallback) {
+    const char* text = positional_text(argc, argv, index);
+    if (text == nullptr) return fallback;
+    return parse_positional(text, index, 0);
+}
+
+void reject_unknown_flags(int argc, char** argv, const ShellFlags& shell) {
+    const auto matches = [](const std::vector<const char*>& names,
+                            const char* token) {
+        for (const char* name : names) {
+            if (std::strcmp(token, name) == 0) return true;
+        }
+        return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char* token = argv[i];
+        if (std::strncmp(token, "--", 2) != 0) continue;  // positional
+        if (is_scenario_flag(token) || matches(shell.value_flags, token)) {
+            ++i;  // the flag's value
+            continue;
+        }
+        if (matches(shell.bare_flags, token)) continue;
+        bool delegated = false;
+        for (const char* prefix : shell.prefixes) {
+            if (std::strncmp(token, prefix, std::strlen(prefix)) == 0) {
+                delegated = true;
+                break;
+            }
+        }
+        if (delegated) continue;
+        unknown_flag_error(token);
+    }
+}
+
+ScenarioSpec spec_from_args(int argc, char** argv, const char* default_preset,
+                            const ShellFlags& shell) {
+    return spec_from_args(argc, argv,
+                          Registry::instance().preset(default_preset), shell);
+}
+
+ScenarioSpec spec_from_args(int argc, char** argv, ScenarioSpec fallback,
+                            const ShellFlags& shell) {
+    reject_unknown_flags(argc, argv, shell);
+    const char* scenario_path = flag_text(argc, argv, "--scenario");
+    const char* preset_name = flag_text(argc, argv, "--preset");
+    if (scenario_path != nullptr && preset_name != nullptr) {
+        flag_error("--scenario", scenario_path,
+                   "--scenario and --preset are mutually exclusive",
+                   "FILE (without --preset)");
+    }
+
+    ScenarioSpec spec = std::move(fallback);
+    if (scenario_path != nullptr) {
+        try {
+            spec = load_scenario_file(scenario_path);
+        } catch (const ScenarioError& error) {
+            std::fprintf(stderr, "error: %s\n", error.what());
+            std::exit(2);
+        }
+    } else if (preset_name != nullptr) {
+        if (!Registry::instance().has_preset(preset_name)) {
+            std::string names;
+            for (const std::string& name : Registry::instance().preset_names()) {
+                if (!names.empty()) names += " | ";
+                names += name;
+            }
+            flag_error("--preset", preset_name, "unknown preset", names.c_str());
+        }
+        spec = Registry::instance().preset(preset_name);
+    }
+
+    apply_spec_overrides(spec, argc, argv);
+    // Validate here so every shell — including the ones that drive the
+    // engines directly instead of through run_scenario — fails with a
+    // usage error rather than deep in the library.
+    try {
+        spec.validate();
+    } catch (const std::invalid_argument& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        std::exit(2);
+    }
+    return spec;
+}
+
+void apply_spec_overrides(ScenarioSpec& spec, int argc, char** argv) {
+    spec.runs = flag_value(argc, argv, "--runs", spec.runs);
+    spec.device_count = flag_value(argc, argv, "--devices", spec.device_count);
+    spec.base_seed = flag_u64(argc, argv, "--seed", spec.base_seed);
+    spec.threads =
+        static_cast<std::size_t>(flag_u64(argc, argv, "--threads", spec.threads));
+    if (const char* payload = flag_text(argc, argv, "--payload-kb");
+        payload != nullptr) {
+        spec.payload_bytes = payload_kb_to_bytes(
+            flag_u64(argc, argv, "--payload-kb", 0, 1), "--payload-kb", payload);
+    }
+    if (const char* ti = flag_text(argc, argv, "--ti-ms"); ti != nullptr) {
+        const std::uint64_t ti_ms = flag_u64(argc, argv, "--ti-ms", 0, 1);
+        if (ti_ms > static_cast<std::uint64_t>(
+                        std::numeric_limits<std::int64_t>::max())) {
+            flag_error("--ti-ms", ti, "value out of range");
+        }
+        spec.config.inactivity_timer =
+            nbiot::SimTime{static_cast<std::int64_t>(ti_ms)};
+    }
+    if (const char* cells = flag_text(argc, argv, "--cells"); cells != nullptr) {
+        // Override the count only: a hotspot scenario stays a hotspot.
+        spec.with_cell_count(flag_cells(argc, argv, spec.cell_count()));
+    }
+    if (const char* assignment = flag_text(argc, argv, "--assignment");
+        assignment != nullptr) {
+        // Mirror the file parser: assignment without a multicell grid is a
+        // dead knob, not a silent no-op.
+        if (!spec.is_multicell()) {
+            flag_error("--assignment", assignment,
+                       "requires a multicell scenario (--cells or a 'cells' "
+                       "key)");
+        }
+        spec.assignment = flag_assignment(argc, argv, spec.assignment);
+    }
+}
+
+}  // namespace nbmg::scenario

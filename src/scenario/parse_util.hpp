@@ -1,0 +1,43 @@
+// The one strict non-negative-decimal parser behind every scenario-layer
+// number: command-line flags (cli.hpp), positionals (cli.cpp) and
+// scenario-file values (parser.cpp) all share these mechanics and differ
+// only in how they report the error, so a rule change (e.g. rejecting a
+// new edge) cannot silently miss one entry point.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+
+namespace nbmg::scenario {
+
+enum class U64ParseError : std::uint8_t {
+    none,
+    empty,         // ""
+    negative,      // leading '-'
+    not_decimal,   // non-digit lead (catches ' 5', '+7') or trailing junk
+    out_of_range,  // > UINT64_MAX
+};
+
+/// Parses `text` as a non-negative decimal integer into `out`.  The whole
+/// string must be digits: no sign, no whitespace, no trailing junk.
+[[nodiscard]] inline U64ParseError parse_strict_u64(const char* text,
+                                                    std::uint64_t& out) noexcept {
+    if (*text == '\0') return U64ParseError::empty;
+    if (*text == '-') return U64ParseError::negative;
+    // strtoull itself skips whitespace and accepts a sign; insist the value
+    // starts with a digit so ' -5' or '+7' cannot sneak past.
+    if (std::isdigit(static_cast<unsigned char>(*text)) == 0) {
+        return U64ParseError::not_decimal;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(text, &end, 10);
+    if (errno == ERANGE) return U64ParseError::out_of_range;
+    if (end == text || *end != '\0') return U64ParseError::not_decimal;
+    out = static_cast<std::uint64_t>(parsed);
+    return U64ParseError::none;
+}
+
+}  // namespace nbmg::scenario

@@ -1,0 +1,361 @@
+#include "scenario/parser.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "scenario/parse_util.hpp"
+#include "scenario/registry.hpp"
+
+namespace nbmg::scenario {
+namespace {
+
+struct LineContext {
+    std::string_view source;
+    std::size_t line = 0;
+
+    [[noreturn]] void fail(const std::string& reason) const {
+        std::ostringstream out;
+        out << source << ":" << line << ": " << reason;
+        throw ScenarioError(out.str());
+    }
+};
+
+std::string_view trim(std::string_view text) {
+    while (!text.empty() &&
+           std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+        text.remove_prefix(1);
+    }
+    while (!text.empty() &&
+           std::isspace(static_cast<unsigned char>(text.back())) != 0) {
+        text.remove_suffix(1);
+    }
+    return text;
+}
+
+std::uint64_t parse_u64(const LineContext& ctx, std::string_view key,
+                        const std::string& value) {
+    std::uint64_t parsed = 0;
+    switch (parse_strict_u64(value.c_str(), parsed)) {
+        case U64ParseError::none: return parsed;
+        case U64ParseError::out_of_range:
+            ctx.fail("bad value '" + value + "' for key '" + std::string(key) +
+                     "': out of range");
+        case U64ParseError::empty:
+        case U64ParseError::negative:
+        case U64ParseError::not_decimal:
+            break;
+    }
+    ctx.fail("bad value '" + value + "' for key '" + std::string(key) +
+             "': not a non-negative decimal integer");
+}
+
+std::uint64_t parse_positive_u64(const LineContext& ctx, std::string_view key,
+                                 const std::string& value) {
+    const std::uint64_t parsed = parse_u64(ctx, key, value);
+    if (parsed == 0) {
+        ctx.fail("bad value '" + value + "' for key '" + std::string(key) +
+                 "': must be >= 1");
+    }
+    return parsed;
+}
+
+/// parse_positive_u64 with an inclusive upper bound, for values that are
+/// narrowed (int fields) or multiplied (payload_kb) downstream — an
+/// overflow must fail at file:line, not wrap silently.
+std::uint64_t parse_bounded_u64(const LineContext& ctx, std::string_view key,
+                                const std::string& value, std::uint64_t max_value) {
+    const std::uint64_t parsed = parse_positive_u64(ctx, key, value);
+    if (parsed > max_value) {
+        ctx.fail("bad value '" + value + "' for key '" + std::string(key) +
+                 "': out of range");
+    }
+    return parsed;
+}
+
+double parse_double(const LineContext& ctx, std::string_view key,
+                    const std::string& value) {
+    if (value.empty()) {
+        ctx.fail("bad value '' for key '" + std::string(key) +
+                 "': not a number");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (errno == ERANGE || end == value.c_str() || *end != '\0' ||
+        !std::isfinite(parsed)) {
+        // strtod accepts 'inf'/'nan'; a non-finite knob would sail through
+        // range checks (NaN compares false) and blow up deep in the library.
+        ctx.fail("bad value '" + value + "' for key '" + std::string(key) +
+                 "': not a finite number");
+    }
+    return parsed;
+}
+
+bool parse_bool(const LineContext& ctx, std::string_view key,
+                const std::string& value) {
+    if (value == "true" || value == "1") return true;
+    if (value == "false" || value == "0") return false;
+    ctx.fail("bad value '" + value + "' for key '" + std::string(key) +
+             "': expected true | false");
+}
+
+std::vector<core::MechanismKind> parse_mechanisms(const LineContext& ctx,
+                                                  const std::string& value) {
+    std::vector<core::MechanismKind> kinds;
+    std::string_view remaining = value;
+    while (true) {
+        const std::size_t comma = remaining.find(',');
+        const std::string_view token = trim(remaining.substr(0, comma));
+        if (token.empty()) {
+            ctx.fail("bad value '" + value +
+                     "' for key 'mechanisms': empty mechanism name");
+        }
+        const auto kind = Registry::instance().find_mechanism(token);
+        if (!kind) {
+            std::string names;
+            for (const std::string& name :
+                 Registry::instance().mechanism_names()) {
+                if (!names.empty()) names += " | ";
+                names += name;
+            }
+            ctx.fail("unknown mechanism '" + std::string(token) +
+                     "' for key 'mechanisms'; expected " + names);
+        }
+        kinds.push_back(*kind);
+        if (comma == std::string_view::npos) break;
+        remaining.remove_prefix(comma + 1);
+    }
+    return kinds;
+}
+
+/// Declarative multicell fields, assembled after all lines are read so key
+/// order does not matter.
+struct MulticellFields {
+    std::optional<std::size_t> cells;
+    std::optional<TopologySpec::Kind> kind;
+    std::optional<double> hotspot_exponent;
+    std::optional<multicell::AssignmentPolicy> assignment;
+    std::size_t first_multicell_line = 0;
+};
+
+}  // namespace
+
+ScenarioSpec parse_scenario_text(std::string_view text,
+                                 std::string_view source_name) {
+    ScenarioSpec spec;
+    spec.name = "custom";
+    MulticellFields multicell_fields;
+    std::optional<double> batch_mean;
+    // key -> line it was first set on, for duplicate diagnostics.  The
+    // payload keys alias each other, so both map to the same slot.
+    std::map<std::string, std::size_t, std::less<>> seen;
+
+    LineContext ctx{source_name, 0};
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t newline = text.find('\n', start);
+        const std::string_view raw =
+            text.substr(start, newline == std::string_view::npos
+                                   ? std::string_view::npos
+                                   : newline - start);
+        start = newline == std::string_view::npos ? text.size() + 1 : newline + 1;
+        ++ctx.line;
+
+        const std::string_view line = trim(raw);
+        if (line.empty() || line.front() == '#') continue;
+
+        const std::size_t equals = line.find('=');
+        if (equals == std::string_view::npos) {
+            ctx.fail("expected 'key = value', got '" + std::string(line) + "'");
+        }
+        const std::string key{trim(line.substr(0, equals))};
+        const std::string value{trim(line.substr(equals + 1))};
+        if (key.empty()) ctx.fail("missing key before '='");
+
+        // The payload spellings share one logical key.
+        const std::string dedup_key =
+            (key == "payload_kb" || key == "payload_bytes") ? "payload" : key;
+        if (const auto it = seen.find(dedup_key); it != seen.end()) {
+            std::ostringstream reason;
+            reason << "duplicate key '" << key << "' (first set on line "
+                   << it->second << ")";
+            ctx.fail(reason.str());
+        }
+        seen.emplace(dedup_key, ctx.line);
+
+        if (key == "name") {
+            spec.name = value;
+        } else if (key == "description") {
+            spec.description = value;
+        } else if (key == "profile") {
+            if (!Registry::instance().has_profile(value)) {
+                std::string names;
+                for (const std::string& name :
+                     Registry::instance().profile_names()) {
+                    if (!names.empty()) names += " | ";
+                    names += name;
+                }
+                ctx.fail("unknown profile '" + value + "'; expected " + names);
+            }
+            spec.profile = Registry::instance().profile(value);
+        } else if (key == "batch_mean") {
+            batch_mean = parse_double(ctx, key, value);
+            if (*batch_mean < 1.0) {
+                ctx.fail("bad value '" + value +
+                         "' for key 'batch_mean': must be >= 1");
+            }
+        } else if (key == "devices") {
+            spec.device_count =
+                static_cast<std::size_t>(parse_positive_u64(ctx, key, value));
+        } else if (key == "payload_bytes") {
+            spec.payload_bytes = static_cast<std::int64_t>(parse_bounded_u64(
+                ctx, key, value,
+                std::numeric_limits<std::int64_t>::max()));
+        } else if (key == "payload_kb") {
+            spec.payload_bytes =
+                static_cast<std::int64_t>(parse_bounded_u64(
+                    ctx, key, value,
+                    std::numeric_limits<std::int64_t>::max() / 1024)) *
+                1024;
+        } else if (key == "runs") {
+            spec.runs =
+                static_cast<std::size_t>(parse_positive_u64(ctx, key, value));
+        } else if (key == "seed") {
+            spec.base_seed = parse_u64(ctx, key, value);
+        } else if (key == "threads") {
+            spec.threads = static_cast<std::size_t>(parse_u64(ctx, key, value));
+        } else if (key == "mechanisms") {
+            spec.mechanisms = parse_mechanisms(ctx, value);
+        } else if (key == "ti_ms") {
+            spec.config.inactivity_timer =
+                nbiot::SimTime{static_cast<std::int64_t>(parse_bounded_u64(
+                    ctx, key, value,
+                    std::numeric_limits<std::int64_t>::max()))};
+        } else if (key == "ra_guard_ms") {
+            const std::uint64_t parsed = parse_u64(ctx, key, value);
+            if (parsed > static_cast<std::uint64_t>(
+                             std::numeric_limits<std::int64_t>::max())) {
+                ctx.fail("bad value '" + value + "' for key '" + key +
+                         "': out of range");
+            }
+            spec.config.ra_guard =
+                nbiot::SimTime{static_cast<std::int64_t>(parsed)};
+        } else if (key == "include_inactivity_tail") {
+            spec.config.include_inactivity_tail = parse_bool(ctx, key, value);
+        } else if (key == "page_miss_prob") {
+            const double parsed = parse_double(ctx, key, value);
+            if (parsed < 0.0 || parsed >= 1.0) {
+                ctx.fail("bad value '" + value +
+                         "' for key 'page_miss_prob': must be in [0, 1)");
+            }
+            spec.config.page_miss_prob = parsed;
+        } else if (key == "max_page_attempts") {
+            spec.config.max_page_attempts = static_cast<int>(parse_bounded_u64(
+                ctx, key, value,
+                static_cast<std::uint64_t>(std::numeric_limits<int>::max())));
+        } else if (key == "background_ra_per_second") {
+            const double parsed = parse_double(ctx, key, value);
+            if (parsed < 0.0) {
+                ctx.fail("bad value '" + value +
+                         "' for key 'background_ra_per_second': must be >= 0");
+            }
+            spec.config.background_ra_per_second = parsed;
+        } else if (key == "max_page_records") {
+            spec.config.paging.max_page_records = static_cast<int>(parse_bounded_u64(
+                ctx, key, value,
+                static_cast<std::uint64_t>(std::numeric_limits<int>::max())));
+        } else if (key == "sc_ptm_mcch_period_ms") {
+            spec.config.sc_ptm_mcch_period =
+                nbiot::SimTime{static_cast<std::int64_t>(parse_bounded_u64(
+                    ctx, key, value,
+                    std::numeric_limits<std::int64_t>::max()))};
+        } else if (key == "cells") {
+            multicell_fields.cells =
+                static_cast<std::size_t>(parse_positive_u64(ctx, key, value));
+            if (multicell_fields.first_multicell_line == 0) {
+                multicell_fields.first_multicell_line = ctx.line;
+            }
+        } else if (key == "topology") {
+            if (value == "uniform") {
+                multicell_fields.kind = TopologySpec::Kind::uniform;
+            } else if (value == "hotspot") {
+                multicell_fields.kind = TopologySpec::Kind::hotspot;
+            } else {
+                ctx.fail("bad value '" + value +
+                         "' for key 'topology': expected uniform | hotspot");
+            }
+            if (multicell_fields.first_multicell_line == 0) {
+                multicell_fields.first_multicell_line = ctx.line;
+            }
+        } else if (key == "hotspot_exponent") {
+            const double parsed = parse_double(ctx, key, value);
+            if (parsed < 0.0) {
+                ctx.fail("bad value '" + value +
+                         "' for key 'hotspot_exponent': must be >= 0");
+            }
+            multicell_fields.hotspot_exponent = parsed;
+            if (multicell_fields.first_multicell_line == 0) {
+                multicell_fields.first_multicell_line = ctx.line;
+            }
+        } else if (key == "assignment") {
+            const auto parsed = multicell::parse_assignment_policy(value);
+            if (!parsed) {
+                ctx.fail("bad value '" + value +
+                         "' for key 'assignment': expected uniform | hotspot | "
+                         "class-affinity");
+            }
+            multicell_fields.assignment = *parsed;
+            if (multicell_fields.first_multicell_line == 0) {
+                multicell_fields.first_multicell_line = ctx.line;
+            }
+        } else {
+            ctx.fail("unknown key '" + key + "'");
+        }
+    }
+
+    if (batch_mean) spec.profile.batch_mean = *batch_mean;
+
+    if (multicell_fields.kind || multicell_fields.hotspot_exponent ||
+        multicell_fields.assignment || multicell_fields.cells) {
+        if (!multicell_fields.cells) {
+            ctx.line = multicell_fields.first_multicell_line;
+            ctx.fail(
+                "multicell keys (topology, hotspot_exponent, assignment) "
+                "require 'cells'");
+        }
+        TopologySpec topo;
+        topo.cells = *multicell_fields.cells;
+        topo.kind =
+            multicell_fields.kind.value_or(TopologySpec::Kind::uniform);
+        topo.hotspot_exponent = multicell_fields.hotspot_exponent.value_or(1.0);
+        spec.topology = topo;
+        if (multicell_fields.assignment) {
+            spec.assignment = *multicell_fields.assignment;
+        }
+    }
+
+    try {
+        spec.validate();
+    } catch (const std::invalid_argument& error) {
+        throw ScenarioError(std::string(source_name) + ": " + error.what());
+    }
+    return spec;
+}
+
+ScenarioSpec load_scenario_file(const std::string& path) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+        throw ScenarioError("cannot read scenario file '" + path + "'");
+    }
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    return parse_scenario_text(contents.str(), path);
+}
+
+}  // namespace nbmg::scenario

@@ -1,0 +1,263 @@
+#include "scenario/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "traffic/firmware.hpp"
+
+namespace nbmg::scenario {
+namespace {
+
+[[noreturn]] void throw_unknown(const char* what, std::string_view name,
+                                const std::vector<std::string>& available) {
+    std::string message = std::string("unknown ") + what + " '" +
+                          std::string(name) + "'; available: ";
+    for (std::size_t i = 0; i < available.size(); ++i) {
+        if (i != 0) message += ", ";
+        message += available[i];
+    }
+    throw std::invalid_argument(message);
+}
+
+using core::MechanismKind;
+
+/// One preset per shipped bench/example workload, frozen at the defaults
+/// the pre-redesign binaries hand-assembled (the golden equivalence tests
+/// in tests/scenario/ compare against exactly these).
+void register_builtin_presets(Registry& registry) {
+    registry.register_preset(
+        "fig6a", "Fig. 6(a): relative light-sleep uptime increase vs unicast",
+        ScenarioSpec{}.with_name("fig6a").with_devices(300).with_runs(50));
+
+    registry.register_preset(
+        "fig6b",
+        "Fig. 6(b): relative connected-mode uptime increase (payload sweep base)",
+        ScenarioSpec{}.with_name("fig6b").with_devices(300).with_runs(30));
+
+    registry.register_preset(
+        "fig7", "Fig. 7: DR-SC multicast transmissions vs device count",
+        ScenarioSpec{}.with_name("fig7").with_devices(1000).with_runs(100).with_mechanisms(
+            {MechanismKind::dr_sc}));
+
+    registry.register_preset(
+        "ablation-setcover",
+        "A1: greedy vs first-fit/random/exact on DR-SC window instances",
+        ScenarioSpec{}.with_name("ablation-setcover").with_devices(24).with_runs(40).with_mechanisms(
+            {MechanismKind::dr_sc}));
+
+    registry.register_preset(
+        "ablation-ti", "A2: inactivity-timer (TI) sweep base point",
+        ScenarioSpec{}.with_name("ablation-ti").with_devices(300).with_runs(20));
+
+    registry.register_preset(
+        "ablation-drx-mix", "A3: DRX-mix sensitivity of DR-SC transmissions",
+        ScenarioSpec{}.with_name("ablation-drx-mix").with_devices(500).with_runs(30).with_mechanisms(
+            {MechanismKind::dr_sc}));
+
+    registry.register_preset(
+        "ablation-contention",
+        "A4: paging capacity, RACH load and page-loss stress (DR-SI)",
+        ScenarioSpec{}.with_name("ablation-contention").with_devices(400).with_runs(10).with_mechanisms(
+            {MechanismKind::dr_si}));
+
+    registry.register_preset(
+        "ablation-scptm", "A5: SC-PTM standing-cost baseline vs on-demand",
+        ScenarioSpec{}
+            .with_name("ablation-scptm")
+            .with_devices(200)
+            .with_runs(15)
+            .with_mechanisms({MechanismKind::dr_sc, MechanismKind::da_sc,
+                              MechanismKind::dr_si, MechanismKind::sc_ptm}));
+
+    registry.register_preset(
+        "ablation-battery", "A6: battery-life projection per mechanism",
+        ScenarioSpec{}
+            .with_name("ablation-battery")
+            .with_devices(150)
+            .with_runs(1)
+            .with_payload_bytes(traffic::firmware_1mb().bytes)
+            .with_mechanisms({MechanismKind::dr_sc, MechanismKind::da_sc,
+                              MechanismKind::dr_si, MechanismKind::sc_ptm}));
+
+    registry.register_preset(
+        "quickstart", "one small campaign per mechanism, narrated",
+        ScenarioSpec{}.with_name("quickstart").with_devices(200).with_runs(1).with_seed(1));
+
+    registry.register_preset(
+        "firmware-campaign", "DA-SC firmware rollout for a metering fleet",
+        ScenarioSpec{}
+            .with_name("firmware-campaign")
+            .with_devices(2'000)
+            .with_runs(1)
+            .with_seed(7)
+            .with_payload_bytes(traffic::firmware_1mb().bytes)
+            .with_mechanisms({MechanismKind::da_sc}));
+
+    registry.register_preset(
+        "mechanism-tradeoffs", "payload x TI recommendation sweep base point",
+        ScenarioSpec{}.with_name("mechanism-tradeoffs").with_devices(200).with_runs(5));
+
+    registry.register_preset(
+        "citywide", "one fleet campaign sharded over a 16-cell city grid",
+        ScenarioSpec{}.with_name("citywide").with_devices(6'000).with_runs(2).with_cells(16));
+
+    registry.register_preset(
+        "multicell-scaling",
+        "fixed fleet sharded over up to 64 cells (scaling sweep base)",
+        ScenarioSpec{}
+            .with_name("multicell-scaling")
+            .with_devices(20'000)
+            .with_runs(2)
+            .with_cells(64)
+            .with_mechanisms({MechanismKind::dr_sc}));
+}
+
+}  // namespace
+
+Registry::Registry() {
+    mechanisms_ = {
+        {"dr-sc", MechanismKind::dr_sc,
+         "DRX respecting, standards compliant (greedy window cover)"},
+        {"da-sc", MechanismKind::da_sc,
+         "DRX adjusting, standards compliant (single transmission)"},
+        {"dr-si", MechanismKind::dr_si,
+         "DRX respecting, standards incompliant (paging extension)"},
+        {"unicast", MechanismKind::unicast,
+         "per-device delivery; the paper's energy reference"},
+        {"sc-ptm", MechanismKind::sc_ptm,
+         "SC-PTM-style periodic monitoring (extension baseline)"},
+    };
+    profiles_ = traffic::builtin_profiles();
+    register_builtin_presets(*this);
+}
+
+Registry& Registry::instance() {
+    static Registry registry;
+    return registry;
+}
+
+void Registry::register_mechanism(MechanismEntry entry) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const MechanismEntry& existing : mechanisms_) {
+        if (existing.name == entry.name) {
+            throw std::invalid_argument("mechanism '" + entry.name +
+                                        "' is already registered");
+        }
+    }
+    mechanisms_.push_back(std::move(entry));
+}
+
+core::MechanismKind Registry::mechanism(std::string_view name) const {
+    if (const auto kind = find_mechanism(name)) return *kind;
+    throw_unknown("mechanism", name, mechanism_names());
+}
+
+std::optional<core::MechanismKind> Registry::find_mechanism(
+    std::string_view name) const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const MechanismEntry& entry : mechanisms_) {
+        if (entry.name == name) return entry.kind;
+    }
+    return std::nullopt;
+}
+
+std::string Registry::mechanism_name(core::MechanismKind kind) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const MechanismEntry& entry : mechanisms_) {
+        if (entry.kind == kind) return entry.name;
+    }
+    return core::to_string(kind);
+}
+
+std::vector<std::string> Registry::mechanism_names() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(mechanisms_.size());
+    for (const MechanismEntry& entry : mechanisms_) names.push_back(entry.name);
+    return names;
+}
+
+void Registry::register_profile(traffic::PopulationProfile profile) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const traffic::PopulationProfile& existing : profiles_) {
+        if (existing.name == profile.name) {
+            throw std::invalid_argument("profile '" + profile.name +
+                                        "' is already registered");
+        }
+    }
+    profiles_.push_back(std::move(profile));
+}
+
+traffic::PopulationProfile Registry::profile(std::string_view name) const {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (const traffic::PopulationProfile& entry : profiles_) {
+            if (entry.name == name) return entry;
+        }
+    }
+    throw_unknown("profile", name, profile_names());
+}
+
+bool Registry::has_profile(std::string_view name) const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const traffic::PopulationProfile& entry : profiles_) {
+        if (entry.name == name) return true;
+    }
+    return false;
+}
+
+std::vector<std::string> Registry::profile_names() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(profiles_.size());
+    for (const traffic::PopulationProfile& entry : profiles_) {
+        names.push_back(entry.name);
+    }
+    return names;
+}
+
+void Registry::register_preset(std::string name, std::string description,
+                               ScenarioSpec spec) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const PresetEntry& existing : presets_) {
+        if (existing.name == name) {
+            throw std::invalid_argument("preset '" + name +
+                                        "' is already registered");
+        }
+    }
+    presets_.push_back(
+        PresetEntry{std::move(name), std::move(description), std::move(spec)});
+}
+
+ScenarioSpec Registry::preset(std::string_view name) const {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (const PresetEntry& entry : presets_) {
+            if (entry.name == name) return entry.spec;
+        }
+    }
+    throw_unknown("preset", name, preset_names());
+}
+
+bool Registry::has_preset(std::string_view name) const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const PresetEntry& entry : presets_) {
+        if (entry.name == name) return true;
+    }
+    return false;
+}
+
+std::vector<std::string> Registry::preset_names() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(presets_.size());
+    for (const PresetEntry& entry : presets_) names.push_back(entry.name);
+    return names;
+}
+
+std::vector<Registry::PresetEntry> Registry::presets() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return presets_;
+}
+
+}  // namespace nbmg::scenario

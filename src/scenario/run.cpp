@@ -1,0 +1,57 @@
+#include "scenario/run.hpp"
+
+#include <vector>
+
+#include "core/report.hpp"
+
+namespace nbmg::scenario {
+
+const core::MechanismStats& ScenarioResult::unicast_stats() const noexcept {
+    if (const auto* comparison_outcome =
+            std::get_if<core::ComparisonOutcome>(&outcome)) {
+        return comparison_outcome->unicast;
+    }
+    return std::get<multicell::DeploymentResult>(outcome).unicast.stats;
+}
+
+const core::MechanismStats& ScenarioResult::mechanism_stats(
+    std::size_t index) const {
+    if (const auto* comparison_outcome =
+            std::get_if<core::ComparisonOutcome>(&outcome)) {
+        return comparison_outcome->mechanisms.at(index);
+    }
+    return std::get<multicell::DeploymentResult>(outcome).mechanisms.at(index).stats;
+}
+
+std::size_t ScenarioResult::mechanism_count() const noexcept {
+    if (const auto* comparison_outcome =
+            std::get_if<core::ComparisonOutcome>(&outcome)) {
+        return comparison_outcome->mechanisms.size();
+    }
+    return std::get<multicell::DeploymentResult>(outcome).mechanisms.size();
+}
+
+stats::Table ScenarioResult::summary_table() const {
+    std::vector<const core::MechanismStats*> mechanisms;
+    mechanisms.reserve(mechanism_count());
+    for (std::size_t m = 0; m < mechanism_count(); ++m) {
+        mechanisms.push_back(&mechanism_stats(m));
+    }
+    return core::mechanism_summary_table(unicast_stats(), mechanisms);
+}
+
+std::string ScenarioResult::summary_csv() const { return summary_table().to_csv(); }
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+    spec.validate();
+    ScenarioResult result;
+    result.spec = spec;
+    if (spec.is_multicell()) {
+        result.outcome = multicell::run_deployment(to_deployment_setup(spec));
+    } else {
+        result.outcome = core::run_comparison(to_comparison_setup(spec));
+    }
+    return result;
+}
+
+}  // namespace nbmg::scenario

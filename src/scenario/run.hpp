@@ -1,0 +1,53 @@
+// The single entry point of the scenario API: run_scenario(spec) validates
+// the spec, dispatches to the single-cell comparison engine or the
+// multicell deployment engine, and returns a unified ScenarioResult.
+//
+// Determinism: the dispatch is a pure re-plumbing of the pre-redesign
+// drivers — a single-cell spec reaches core::run_comparison and a
+// multicell spec reaches multicell::run_deployment with field-for-field
+// identical setups, so aggregates are bit-identical to calling the engines
+// directly, at any --threads (tests/scenario/scenario_golden_test.cpp).
+#pragma once
+
+#include <variant>
+
+#include "scenario/spec.hpp"
+#include "stats/table.hpp"
+
+namespace nbmg::scenario {
+
+/// Tagged union of the two engines' results with a common report surface.
+struct ScenarioResult {
+    ScenarioSpec spec;
+    std::variant<core::ComparisonOutcome, multicell::DeploymentResult> outcome;
+
+    [[nodiscard]] bool is_multicell() const noexcept {
+        return std::holds_alternative<multicell::DeploymentResult>(outcome);
+    }
+    /// Engine-specific views; throw std::bad_variant_access on the wrong tag.
+    [[nodiscard]] const core::ComparisonOutcome& comparison() const {
+        return std::get<core::ComparisonOutcome>(outcome);
+    }
+    [[nodiscard]] const multicell::DeploymentResult& deployment() const {
+        return std::get<multicell::DeploymentResult>(outcome);
+    }
+
+    // --- common surface (works for both engines) ---
+    /// Per-run aggregate stats of the unicast reference.
+    [[nodiscard]] const core::MechanismStats& unicast_stats() const noexcept;
+    /// Aggregates of spec.mechanisms[index] (same order).
+    [[nodiscard]] const core::MechanismStats& mechanism_stats(
+        std::size_t index) const;
+    [[nodiscard]] std::size_t mechanism_count() const noexcept;
+
+    /// The paper's headline aggregates, one row per mechanism
+    /// (core::mechanism_summary_table); summary_csv() is its CSV rendering.
+    [[nodiscard]] stats::Table summary_table() const;
+    [[nodiscard]] std::string summary_csv() const;
+};
+
+/// Validates and runs `spec`.  Throws std::invalid_argument on an invalid
+/// spec (see ScenarioSpec::validate).
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+}  // namespace nbmg::scenario

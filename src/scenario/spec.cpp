@@ -1,0 +1,342 @@
+#include "scenario/spec.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "scenario/registry.hpp"
+
+namespace nbmg::scenario {
+
+multicell::CellTopology TopologySpec::realize() const {
+    if (custom) return *custom;
+    switch (kind) {
+        case Kind::uniform: return multicell::CellTopology::uniform(cells);
+        case Kind::hotspot:
+            return multicell::CellTopology::hotspot(cells, hotspot_exponent);
+    }
+    return multicell::CellTopology::uniform(cells);
+}
+
+ScenarioSpec::ScenarioSpec() : profile(traffic::massive_iot_city()) {}
+
+ScenarioSpec& ScenarioSpec::with_name(std::string value) {
+    name = std::move(value);
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_description(std::string value) {
+    description = std::move(value);
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_profile(traffic::PopulationProfile value) {
+    profile = std::move(value);
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_devices(std::size_t value) {
+    device_count = value;
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_payload_bytes(std::int64_t value) {
+    payload_bytes = value;
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_runs(std::size_t value) {
+    runs = value;
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_seed(std::uint64_t value) {
+    base_seed = value;
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_threads(std::size_t value) {
+    threads = value;
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_mechanisms(std::vector<core::MechanismKind> value) {
+    mechanisms = std::move(value);
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_config(core::CampaignConfig value) {
+    config = value;
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_inactivity_timer_ms(std::int64_t value) {
+    config.inactivity_timer = nbiot::SimTime{value};
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_cells(std::size_t cells) {
+    TopologySpec topo;  // fresh uniform grid, as documented
+    topo.cells = cells;
+    topology = topo;
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_cell_count(std::size_t cells) {
+    TopologySpec topo = topology.value_or(TopologySpec{});
+    topo.cells = cells;
+    topo.custom.reset();
+    topology = topo;
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_topology(TopologySpec value) {
+    topology = std::move(value);
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_hotspot(std::size_t cells, double exponent) {
+    TopologySpec topo;
+    topo.cells = cells;
+    topo.kind = TopologySpec::Kind::hotspot;
+    topo.hotspot_exponent = exponent;
+    topology = topo;
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_assignment(multicell::AssignmentPolicy value) {
+    assignment = value;
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_populations(core::SharedPopulations value) {
+    populations = std::move(value);
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::single_cell() {
+    topology.reset();
+    return *this;
+}
+
+void ScenarioSpec::validate() const {
+    if (device_count == 0) {
+        throw std::invalid_argument("scenario '" + name + "': devices must be >= 1");
+    }
+    if (runs == 0) {
+        throw std::invalid_argument("scenario '" + name + "': runs must be >= 1");
+    }
+    if (payload_bytes <= 0) {
+        throw std::invalid_argument("scenario '" + name +
+                                    "': payload must be >= 1 byte");
+    }
+    if (!profile.valid()) {
+        throw std::invalid_argument("scenario '" + name +
+                                    "': invalid population profile '" +
+                                    profile.name + "'");
+    }
+    if (!std::isfinite(profile.batch_mean) || profile.batch_mean < 1.0) {
+        throw std::invalid_argument("scenario '" + name +
+                                    "': batch_mean must be finite and >= 1");
+    }
+    if (!std::isfinite(config.page_miss_prob) ||
+        !std::isfinite(config.background_ra_per_second)) {
+        throw std::invalid_argument(
+            "scenario '" + name +
+            "': campaign config rates must be finite");
+    }
+    if (!config.valid()) {
+        throw std::invalid_argument("scenario '" + name +
+                                    "': invalid campaign config");
+    }
+    if (mechanisms.empty()) {
+        throw std::invalid_argument("scenario '" + name +
+                                    "': mechanism list must not be empty");
+    }
+    if (topology) {
+        if (topology->cells == 0) {
+            throw std::invalid_argument("scenario '" + name +
+                                        "': cells must be >= 1");
+        }
+        if (!(topology->hotspot_exponent >= 0.0) ||
+            !std::isfinite(topology->hotspot_exponent)) {
+            throw std::invalid_argument(
+                "scenario '" + name +
+                "': hotspot_exponent must be finite and >= 0");
+        }
+        if (!topology->realize().valid()) {
+            throw std::invalid_argument("scenario '" + name +
+                                        "': invalid cell topology");
+        }
+    }
+    if (populations) {
+        if (populations->profile_name != profile.name ||
+            populations->device_count != device_count ||
+            populations->base_seed != base_seed) {
+            throw std::invalid_argument(
+                "scenario '" + name +
+                "': shared populations were generated for a different "
+                "(profile, device_count, base_seed)");
+        }
+        if (populations->runs.size() < runs) {
+            throw std::invalid_argument(
+                "scenario '" + name +
+                "': shared populations cover fewer runs than the scenario");
+        }
+    }
+}
+
+std::string ScenarioSpec::to_file_text() const {
+    if (!Registry::instance().has_profile(profile.name)) {
+        throw std::invalid_argument(
+            "scenario '" + name + "': profile '" + profile.name +
+            "' is not a registered builtin; the scenario-file format stores "
+            "profiles by name");
+    }
+    // Profiles travel by name (+ batch_mean): any deeper edit under a
+    // registered name would silently reload as the builtin.
+    traffic::PopulationProfile builtin = Registry::instance().profile(profile.name);
+    builtin.batch_mean = profile.batch_mean;
+    if (!(profile == builtin)) {
+        throw std::invalid_argument(
+            "scenario '" + name + "': profile '" + profile.name +
+            "' was modified beyond batch_mean; the scenario-file format "
+            "cannot express per-class edits");
+    }
+    if (topology && !topology->file_expressible()) {
+        throw std::invalid_argument(
+            "scenario '" + name +
+            "': custom cell topologies (per-cell weights/capacity overrides) "
+            "cannot be expressed in a scenario file");
+    }
+    // Deep config (timing/RACH/radio/signaling models, the paging geometry
+    // beyond max_page_records) has no file keys; refuse to serialize specs
+    // that changed it rather than silently reloading defaults.
+    const core::CampaignConfig defaults{};
+    const bool deep_config_default =
+        config.timing == defaults.timing && config.rach == defaults.rach &&
+        config.radio == defaults.radio && config.sizes == defaults.sizes &&
+        config.paging.nb_num == defaults.paging.nb_num &&
+        config.paging.nb_den == defaults.paging.nb_den &&
+        config.paging.ue_id_modulus == defaults.paging.ue_id_modulus;
+    if (!deep_config_default) {
+        throw std::invalid_argument(
+            "scenario '" + name +
+            "': deep campaign config (timing/rach/radio/signaling/paging "
+            "geometry) differs from the defaults and has no scenario-file "
+            "keys; keep such specs programmatic");
+    }
+
+    std::ostringstream out;
+    // Full round-trip precision: a saved-and-reloaded spec must run the
+    // same experiment, so doubles may not lose digits on the way out.
+    out.precision(std::numeric_limits<double>::max_digits10);
+    out << "# nbmg scenario file (key = value; '#' starts a comment)\n";
+    out << "name = " << name << "\n";
+    if (!description.empty()) out << "description = " << description << "\n";
+    out << "profile = " << profile.name << "\n";
+    const double builtin_batch_mean =
+        Registry::instance().profile(profile.name).batch_mean;
+    if (profile.batch_mean != builtin_batch_mean) {
+        out << "batch_mean = " << profile.batch_mean << "\n";
+    }
+    out << "devices = " << device_count << "\n";
+    out << "payload_bytes = " << payload_bytes << "\n";
+    out << "runs = " << runs << "\n";
+    out << "seed = " << base_seed << "\n";
+    if (threads != 0) out << "threads = " << threads << "\n";
+    out << "mechanisms = ";
+    for (std::size_t m = 0; m < mechanisms.size(); ++m) {
+        if (m != 0) out << ",";
+        out << Registry::instance().mechanism_name(mechanisms[m]);
+    }
+    out << "\n";
+    out << "ti_ms = " << config.inactivity_timer.count() << "\n";
+    out << "ra_guard_ms = " << config.ra_guard.count() << "\n";
+    out << "include_inactivity_tail = "
+        << (config.include_inactivity_tail ? "true" : "false") << "\n";
+    out << "page_miss_prob = " << config.page_miss_prob << "\n";
+    out << "max_page_attempts = " << config.max_page_attempts << "\n";
+    out << "background_ra_per_second = " << config.background_ra_per_second << "\n";
+    out << "max_page_records = " << config.paging.max_page_records << "\n";
+    out << "sc_ptm_mcch_period_ms = " << config.sc_ptm_mcch_period.count() << "\n";
+    if (topology) {
+        out << "cells = " << topology->cells << "\n";
+        out << "topology = " << to_string(topology->kind) << "\n";
+        if (topology->kind == TopologySpec::Kind::hotspot) {
+            out << "hotspot_exponent = " << topology->hotspot_exponent << "\n";
+        }
+        out << "assignment = " << multicell::to_string(assignment) << "\n";
+    }
+    return out.str();
+}
+
+ScenarioSpec from_setup(const core::ComparisonSetup& setup) {
+    ScenarioSpec spec;
+    spec.name = "comparison-setup";
+    spec.profile = setup.profile;
+    spec.device_count = setup.device_count;
+    spec.payload_bytes = setup.payload_bytes;
+    spec.config = setup.config;
+    spec.runs = setup.runs;
+    spec.base_seed = setup.base_seed;
+    spec.threads = setup.threads;
+    spec.mechanisms = setup.mechanisms;
+    spec.populations = setup.populations;
+    spec.topology.reset();
+    return spec;
+}
+
+ScenarioSpec from_setup(const multicell::DeploymentSetup& setup) {
+    ScenarioSpec spec;
+    spec.name = "deployment-setup";
+    spec.profile = setup.profile;
+    spec.device_count = setup.device_count;
+    spec.payload_bytes = setup.payload_bytes;
+    spec.config = setup.config;
+    spec.runs = setup.runs;
+    spec.base_seed = setup.base_seed;
+    spec.threads = setup.threads;
+    spec.mechanisms = setup.mechanisms;
+    spec.populations = setup.populations;
+    spec.assignment = setup.assignment;
+
+    TopologySpec topo;
+    topo.cells = setup.topology.cell_count();
+    // A plain uniform grid stays declarative (and therefore serializable);
+    // anything else travels verbatim through `custom`.
+    bool uniform = true;
+    for (const multicell::CellSite& site : setup.topology.cells) {
+        if (site.weight != 1.0 || site.max_page_records_override != 0) {
+            uniform = false;
+            break;
+        }
+    }
+    if (!uniform) topo.custom = setup.topology;
+    spec.topology = topo;
+    return spec;
+}
+
+core::ComparisonSetup to_comparison_setup(const ScenarioSpec& spec) {
+    if (spec.is_multicell()) {
+        throw std::invalid_argument(
+            "scenario '" + spec.name +
+            "': multicell scenarios run the deployment engine, not "
+            "run_comparison");
+    }
+    core::ComparisonSetup setup;
+    setup.profile = spec.profile;
+    setup.device_count = spec.device_count;
+    setup.payload_bytes = spec.payload_bytes;
+    setup.config = spec.config;
+    setup.runs = spec.runs;
+    setup.base_seed = spec.base_seed;
+    setup.threads = spec.threads;
+    setup.mechanisms = spec.mechanisms;
+    setup.populations = spec.populations;
+    return setup;
+}
+
+multicell::DeploymentSetup to_deployment_setup(const ScenarioSpec& spec) {
+    multicell::DeploymentSetup setup;
+    setup.profile = spec.profile;
+    setup.device_count = spec.device_count;
+    setup.payload_bytes = spec.payload_bytes;
+    setup.config = spec.config;
+    setup.runs = spec.runs;
+    setup.base_seed = spec.base_seed;
+    setup.threads = spec.threads;
+    setup.mechanisms = spec.mechanisms;
+    setup.populations = spec.populations;
+    setup.assignment = spec.assignment;
+    setup.topology = spec.topology ? spec.topology->realize()
+                                   : multicell::CellTopology::uniform(1);
+    return setup;
+}
+
+}  // namespace nbmg::scenario

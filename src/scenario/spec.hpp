@@ -1,0 +1,152 @@
+// Unified scenario API: one declarative spec for every experiment driver.
+//
+// A ScenarioSpec describes a complete workload — population, device count,
+// payload, campaign configuration, runs/seed/threads, the mechanism list
+// and (optionally) a multicell topology + assignment policy — and
+// run_scenario (scenario/run.hpp) dispatches it to the single-cell
+// comparison engine or the multicell deployment engine.  The spec is
+// builder-style (chained with_* setters), validated, and serializable
+// to/from the simple `key = value` scenario-file format (scenario/
+// parser.hpp); named presets live in scenario::Registry.
+//
+// The pre-redesign front doors — core::ComparisonSetup/run_comparison and
+// multicell::DeploymentSetup/run_deployment — remain as the engine layer
+// the scenario layer drives; the conversion functions below are the single
+// adapters between the two, and tests/scenario/ pins that they round-trip
+// and that run_scenario aggregates are bit-identical to the engines called
+// directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "multicell/deployment.hpp"
+
+namespace nbmg::scenario {
+
+/// Declarative multicell grid: how many cells and how load skews across
+/// them.  `realize()` builds the multicell::CellTopology the deployment
+/// engine consumes; a topology injected by from_setup (which may carry
+/// per-cell weights/capacity overrides no file key can express) is kept
+/// verbatim in `custom` and wins.
+struct TopologySpec {
+    enum class Kind : std::uint8_t { uniform, hotspot };
+
+    std::size_t cells = 1;
+    Kind kind = Kind::uniform;
+    /// Zipf exponent of the hotspot gradient (CellTopology::hotspot).
+    double hotspot_exponent = 1.0;
+    /// Adapter-injected exact topology; overrides the declarative fields.
+    std::optional<multicell::CellTopology> custom;
+
+    [[nodiscard]] multicell::CellTopology realize() const;
+    /// True when the declarative fields fully describe the topology (no
+    /// custom grid), i.e. it survives a scenario-file round trip.
+    [[nodiscard]] bool file_expressible() const noexcept { return !custom.has_value(); }
+};
+
+[[nodiscard]] constexpr const char* to_string(TopologySpec::Kind kind) noexcept {
+    switch (kind) {
+        case TopologySpec::Kind::uniform: return "uniform";
+        case TopologySpec::Kind::hotspot: return "hotspot";
+    }
+    return "?";
+}
+
+/// The one declarative description every driver (bench shells, examples,
+/// tests, CI smokes) builds its workload from.
+struct ScenarioSpec {
+    /// Display/preset name; purely informational.
+    std::string name = "custom";
+    std::string description;
+
+    traffic::PopulationProfile profile;
+    std::size_t device_count = 500;
+    std::int64_t payload_bytes = 100 * 1024;
+    core::CampaignConfig config{};
+    std::size_t runs = 100;
+    std::uint64_t base_seed = 42;
+    /// Worker threads for the sweep fan-out; 0 = one per hardware thread.
+    /// Results never depend on this value.
+    std::size_t threads = 0;
+    std::vector<core::MechanismKind> mechanisms{core::MechanismKind::dr_sc,
+                                                core::MechanismKind::da_sc,
+                                                core::MechanismKind::dr_si};
+    /// Engaged => run_scenario dispatches to the multicell deployment
+    /// engine; absent => the single-cell comparison engine.
+    std::optional<TopologySpec> topology;
+    multicell::AssignmentPolicy assignment = multicell::AssignmentPolicy::uniform_hash;
+    /// Optional precomputed per-run populations (see
+    /// core::generate_comparison_populations); shared across sweep points
+    /// by the shells.  Never serialized.
+    core::SharedPopulations populations;
+
+    ScenarioSpec();
+
+    // --- builder-style setters (each returns *this for chaining) ---
+    ScenarioSpec& with_name(std::string value);
+    ScenarioSpec& with_description(std::string value);
+    ScenarioSpec& with_profile(traffic::PopulationProfile value);
+    ScenarioSpec& with_devices(std::size_t value);
+    ScenarioSpec& with_payload_bytes(std::int64_t value);
+    ScenarioSpec& with_runs(std::size_t value);
+    ScenarioSpec& with_seed(std::uint64_t value);
+    ScenarioSpec& with_threads(std::size_t value);
+    ScenarioSpec& with_mechanisms(std::vector<core::MechanismKind> value);
+    ScenarioSpec& with_config(core::CampaignConfig value);
+    ScenarioSpec& with_inactivity_timer_ms(std::int64_t value);
+    /// Engages the multicell engine on a uniform grid of `cells` cells
+    /// (any previous topology — kind, exponent, custom grid — is replaced).
+    ScenarioSpec& with_cells(std::size_t cells);
+    /// Changes only the grid's cell count, preserving the declarative
+    /// topology kind and exponent (a custom grid, whose per-cell data is
+    /// count-specific, is dropped).  Engages a uniform grid when the spec
+    /// was single-cell.  This is what the --cells override uses.
+    ScenarioSpec& with_cell_count(std::size_t cells);
+    ScenarioSpec& with_topology(TopologySpec value);
+    /// Engages the multicell engine on a Zipf-skewed hotspot grid.
+    ScenarioSpec& with_hotspot(std::size_t cells, double exponent);
+    ScenarioSpec& with_assignment(multicell::AssignmentPolicy value);
+    ScenarioSpec& with_populations(core::SharedPopulations value);
+    /// Clears the topology: back to the single-cell comparison engine.
+    ScenarioSpec& single_cell();
+
+    [[nodiscard]] bool is_multicell() const noexcept { return topology.has_value(); }
+    [[nodiscard]] std::size_t cell_count() const noexcept {
+        return topology ? topology->cells : 1;
+    }
+
+    /// Throws std::invalid_argument (message names the offending field) when
+    /// the spec cannot run.
+    void validate() const;
+
+    /// Serializes the declarative subset to the scenario-file format, one
+    /// `key = value` per line (parse_scenario_text inverts it).  Throws
+    /// std::invalid_argument for specs the format cannot express: a profile
+    /// that is not a registered builtin, or an adapter-injected custom
+    /// topology.
+    [[nodiscard]] std::string to_file_text() const;
+};
+
+// --- adapters over the pre-redesign setups -------------------------------
+//
+// core::ComparisonSetup and multicell::DeploymentSetup are deprecated as
+// front doors but kept as the engine-level structs; these four functions
+// are the only conversions, and round-tripping through them is pinned by
+// tests/scenario/spec_test.cpp.
+
+[[nodiscard]] ScenarioSpec from_setup(const core::ComparisonSetup& setup);
+[[nodiscard]] ScenarioSpec from_setup(const multicell::DeploymentSetup& setup);
+
+/// Throws std::invalid_argument when the spec is multicell (the single-cell
+/// engine cannot honor a topology).
+[[nodiscard]] core::ComparisonSetup to_comparison_setup(const ScenarioSpec& spec);
+
+/// A single-cell spec maps to a 1-cell uniform deployment (which the
+/// determinism contract makes bit-identical to run_comparison).
+[[nodiscard]] multicell::DeploymentSetup to_deployment_setup(const ScenarioSpec& spec);
+
+}  // namespace nbmg::scenario

@@ -24,6 +24,11 @@ public:
     /// Half-width of the normal-approximation 95% CI of the mean.
     [[nodiscard]] double ci95_half_width() const noexcept;
 
+    /// Bit-exact state equality: two summaries compare equal only when they
+    /// accumulated the same samples in the same merge order.  This is what
+    /// the determinism/golden tests assert ("aggregates are bit-identical").
+    [[nodiscard]] bool operator==(const Summary& other) const noexcept = default;
+
 private:
     std::uint64_t count_ = 0;
     double mean_ = 0.0;

@@ -29,6 +29,8 @@ struct DeviceClassSpec {
     std::vector<std::pair<nbiot::DrxCycle, double>> cycle_weights;
     /// CE-level mix (CE0, CE1, CE2); defaults to normal coverage only.
     std::array<double, 3> ce_weights{1.0, 0.0, 0.0};
+
+    friend bool operator==(const DeviceClassSpec&, const DeviceClassSpec&) = default;
 };
 
 struct PopulationProfile {
@@ -42,6 +44,8 @@ struct PopulationProfile {
     double batch_mean = 1.0;
 
     [[nodiscard]] bool valid() const noexcept;
+
+    friend bool operator==(const PopulationProfile&, const PopulationProfile&) = default;
 };
 
 /// A generated device: its network-visible spec plus the class it came from.

@@ -70,6 +70,130 @@ TEST(BenchFlagDeathTest, MalformedCellCountsRejected) {
                 ::testing::ExitedWithCode(2), "missing value");
 }
 
+TEST(BenchFlagDeathTest, ScenarioAndPresetResolutionRejected) {
+    // Unknown preset: exits with the usage status and lists the registered
+    // names so a typo is self-diagnosing.
+    Args<2> unknown({"--preset", "figure-8"});
+    EXPECT_EXIT((void)spec_from_args(unknown.argc, unknown.argv(), "fig6a"),
+                ::testing::ExitedWithCode(2), "unknown preset");
+    EXPECT_EXIT((void)spec_from_args(unknown.argc, unknown.argv(), "fig6a"),
+                ::testing::ExitedWithCode(2), "fig6a | fig6b");
+    // Unreadable scenario file.
+    Args<2> missing_file({"--scenario", "/no/such/file.scenario"});
+    EXPECT_EXIT(
+        (void)spec_from_args(missing_file.argc, missing_file.argv(), "fig6a"),
+        ::testing::ExitedWithCode(2), "cannot read scenario file");
+    // The two sources are mutually exclusive.
+    Args<4> both({"--scenario", "x.scenario", "--preset", "fig6a"});
+    EXPECT_EXIT((void)spec_from_args(both.argc, both.argv(), "fig6a"),
+                ::testing::ExitedWithCode(2), "mutually exclusive");
+    // Malformed override values still die strictly after resolution.
+    Args<4> bad_override({"--preset", "fig6a", "--runs", "many"});
+    EXPECT_EXIT(
+        (void)spec_from_args(bad_override.argc, bad_override.argv(), "fig6a"),
+        ::testing::ExitedWithCode(2), "not a decimal integer");
+}
+
+TEST(BenchFlagTest, SpecFromArgsAppliesOverrides) {
+    Args<8> args({"--preset", "fig6b", "--runs", "7", "--devices", "44",
+                  "--payload-kb", "2048"});
+    const scenario::ScenarioSpec spec =
+        spec_from_args(args.argc, args.argv(), "fig6a");
+    EXPECT_EQ(spec.name, "fig6b");
+    EXPECT_EQ(spec.runs, 7u);
+    EXPECT_EQ(spec.device_count, 44u);
+    EXPECT_EQ(spec.payload_bytes, 2048 * 1024);
+
+    Args<4> multicell_args({"--cells", "5", "--assignment", "hotspot"});
+    const scenario::ScenarioSpec multicell_spec =
+        spec_from_args(multicell_args.argc, multicell_args.argv(), "citywide");
+    EXPECT_EQ(multicell_spec.cell_count(), 5u);
+    EXPECT_EQ(multicell_spec.assignment,
+              nbmg::multicell::AssignmentPolicy::hotspot);
+}
+
+TEST(BenchFlagTest, PositionalsSkipFlagValuePairs) {
+    Args<5> args({"--preset", "quickstart", "123", "--seed", "9"});
+    EXPECT_STREQ(positional_text(args.argc, args.argv(), 0), "123");
+    EXPECT_EQ(positional_value(args.argc, args.argv(), 0, 1), 123u);
+    EXPECT_EQ(positional_u64(args.argc, args.argv(), 1, 77), 77u);
+}
+
+TEST(BenchFlagDeathTest, MalformedPositionalsRejected) {
+    Args<1> junk({"12x"});
+    EXPECT_EXIT((void)positional_value(junk.argc, junk.argv(), 0, 1),
+                ::testing::ExitedWithCode(2), "not a decimal integer");
+}
+
+TEST(BenchFlagDeathTest, UnknownFlagCannotSwallowAPositional) {
+    // '--bogus 800 8' must not silently shift the positionals.
+    Args<3> args({"--bogus", "800", "8"});
+    EXPECT_EXIT((void)positional_value(args.argc, args.argv(), 0, 1),
+                ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(BenchFlagDeathTest, SingleCellShellsRejectMulticellScenarios) {
+    // A multicell spec reaching a single-cell shell is a usage error (exit
+    // 2 naming the binary), never a std::bad_variant_access abort or a
+    // silently ignored topology.
+    EXPECT_EXIT((void)require_single_cell(
+                    scenario::ScenarioSpec{}.with_cells(4), "fig6a_test"),
+                ::testing::ExitedWithCode(2),
+                "fig6a_test drives the single-cell engine");
+}
+
+TEST(BenchFlagTest, RequireSingleCellPassesThroughSingleCellSpecs) {
+    const scenario::ScenarioSpec spec = scenario::ScenarioSpec{}.with_devices(7);
+    EXPECT_EQ(require_single_cell(spec, "test").device_count, 7u);
+}
+
+TEST(BenchFlagDeathTest, MisspelledFlagsRejectedBySpecResolution) {
+    // A typoed override must not silently run the default experiment.
+    Args<2> typo({"--devces", "5"});
+    EXPECT_EXIT((void)spec_from_args(typo.argc, typo.argv(), "fig6a"),
+                ::testing::ExitedWithCode(2), "unknown flag");
+    // Shell-declared extra flags pass the scan.
+    scenario::ShellFlags shell;
+    shell.value_flags = {"--updates-per-year"};
+    shell.bare_flags = {"--csv"};
+    shell.prefixes = {"--benchmark_"};
+    Args<5> extras({"--updates-per-year", "6", "--csv", "--benchmark_filter",
+                    "foo"});
+    EXPECT_EQ(spec_from_args(extras.argc, extras.argv(), "fig6a", shell).name,
+              "fig6a");
+}
+
+TEST(BenchFlagDeathTest, PayloadKbOverrideCannotWrapInt64) {
+    Args<4> args({"--preset", "fig6a", "--payload-kb", "18014398509481985"});
+    EXPECT_EXIT((void)spec_from_args(args.argc, args.argv(), "fig6a"),
+                ::testing::ExitedWithCode(2), "value out of range");
+}
+
+TEST(BenchFlagDeathTest, SpecFromArgsValidatesTheFinalSpec) {
+    // Overrides are applied before validation, so an impossible resolved
+    // spec dies with a usage error instead of deep in the engine.
+    Args<4> args({"--preset", "fig6a", "--payload-kb", "0"});
+    EXPECT_EXIT((void)spec_from_args(args.argc, args.argv(), "fig6a"),
+                ::testing::ExitedWithCode(2), "value must be >= 1");
+}
+
+TEST(BenchFlagDeathTest, AssignmentOverrideRequiresMulticell) {
+    // Mirrors the file parser's "multicell keys require 'cells'" rule.
+    Args<4> args({"--preset", "fig6a", "--assignment", "hotspot"});
+    EXPECT_EXIT((void)spec_from_args(args.argc, args.argv(), "fig6a"),
+                ::testing::ExitedWithCode(2), "requires a multicell scenario");
+}
+
+TEST(BenchFlagTest, CellsOverridePreservesTopologyKind) {
+    Args<2> args({"--cells", "9"});
+    scenario::ScenarioSpec spec =
+        scenario::ScenarioSpec{}.with_hotspot(4, 1.5);
+    apply_spec_overrides(spec, args.argc, args.argv());
+    EXPECT_EQ(spec.cell_count(), 9u);
+    EXPECT_EQ(spec.topology->kind, scenario::TopologySpec::Kind::hotspot);
+    EXPECT_EQ(spec.topology->hotspot_exponent, 1.5);
+}
+
 TEST(BenchFlagDeathTest, MalformedAssignmentsRejected) {
     Args<2> unknown({"--assignment", "zipf"});
     EXPECT_EXIT((void)flag_assignment(unknown.argc, unknown.argv()),

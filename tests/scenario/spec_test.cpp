@@ -1,0 +1,290 @@
+// ScenarioSpec: builder semantics, validation, scenario-file serialization
+// round trips, and the adapter round trips over the deprecated engine
+// setups (ComparisonSetup/DeploymentSetup) — one conversion function each,
+// and nothing may be lost on the way there and back.
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "scenario/parser.hpp"
+#include "scenario/registry.hpp"
+#include "traffic/firmware.hpp"
+
+namespace nbmg::scenario {
+namespace {
+
+ScenarioSpec small_spec() {
+    return ScenarioSpec{}
+        .with_name("unit")
+        .with_devices(40)
+        .with_runs(3)
+        .with_seed(7)
+        .with_threads(2)
+        .with_payload_bytes(20 * 1024);
+}
+
+TEST(ScenarioSpecTest, BuilderChainsAndDefaults) {
+    const ScenarioSpec spec = small_spec();
+    EXPECT_EQ(spec.name, "unit");
+    EXPECT_EQ(spec.device_count, 40u);
+    EXPECT_EQ(spec.runs, 3u);
+    EXPECT_EQ(spec.base_seed, 7u);
+    EXPECT_EQ(spec.threads, 2u);
+    EXPECT_EQ(spec.payload_bytes, 20 * 1024);
+    EXPECT_EQ(spec.profile.name, "massive_iot_city");
+    EXPECT_FALSE(spec.is_multicell());
+    EXPECT_EQ(spec.cell_count(), 1u);
+    const std::vector<core::MechanismKind> expected{core::MechanismKind::dr_sc,
+                                                    core::MechanismKind::da_sc,
+                                                    core::MechanismKind::dr_si};
+    EXPECT_EQ(spec.mechanisms, expected);
+    EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(ScenarioSpecTest, WithCellsEngagesMulticellAndSingleCellClearsIt) {
+    ScenarioSpec spec = small_spec().with_cells(16);
+    EXPECT_TRUE(spec.is_multicell());
+    EXPECT_EQ(spec.cell_count(), 16u);
+    EXPECT_EQ(spec.topology->kind, TopologySpec::Kind::uniform);
+    spec.single_cell();
+    EXPECT_FALSE(spec.is_multicell());
+}
+
+TEST(ScenarioSpecTest, WithCellsResetsToUniformButCellCountPreservesKind) {
+    // with_cells is documented as a fresh uniform grid...
+    ScenarioSpec spec = small_spec().with_hotspot(8, 1.5).with_cells(4);
+    EXPECT_EQ(spec.topology->kind, TopologySpec::Kind::uniform);
+    EXPECT_EQ(spec.cell_count(), 4u);
+    // ...while with_cell_count (the --cells override) keeps the shape.
+    spec = small_spec().with_hotspot(8, 1.5).with_cell_count(32);
+    EXPECT_EQ(spec.topology->kind, TopologySpec::Kind::hotspot);
+    EXPECT_EQ(spec.topology->hotspot_exponent, 1.5);
+    EXPECT_EQ(spec.cell_count(), 32u);
+    // A count change invalidates a custom per-cell grid.
+    TopologySpec custom;
+    custom.cells = 4;
+    custom.custom = multicell::CellTopology::hotspot(4, 2.0);
+    spec = small_spec().with_topology(custom).with_cell_count(8);
+    EXPECT_FALSE(spec.topology->custom.has_value());
+    EXPECT_EQ(spec.cell_count(), 8u);
+}
+
+TEST(ScenarioSpecTest, FileTextKeepsFullDoublePrecision) {
+    ScenarioSpec spec = small_spec();
+    spec.config.page_miss_prob = 0.0123456789;
+    spec.config.background_ra_per_second = 1.0 / 3.0;
+    spec.with_hotspot(4, 0.1234567890123);
+    const ScenarioSpec parsed =
+        parse_scenario_text(spec.to_file_text(), "precision");
+    EXPECT_EQ(parsed.config.page_miss_prob, spec.config.page_miss_prob);
+    EXPECT_EQ(parsed.config.background_ra_per_second,
+              spec.config.background_ra_per_second);
+    EXPECT_EQ(parsed.topology->hotspot_exponent,
+              spec.topology->hotspot_exponent);
+}
+
+TEST(ScenarioSpecTest, WithHotspotRealizesZipfTopology) {
+    const ScenarioSpec spec = small_spec().with_hotspot(8, 1.0);
+    ASSERT_TRUE(spec.is_multicell());
+    const multicell::CellTopology topology = spec.topology->realize();
+    ASSERT_EQ(topology.cell_count(), 8u);
+    EXPECT_GT(topology.cells.front().weight, topology.cells.back().weight);
+}
+
+TEST(ScenarioSpecTest, ValidationNamesTheOffendingField) {
+    EXPECT_THROW(
+        {
+            try {
+                ScenarioSpec{}.with_devices(0).validate();
+            } catch (const std::invalid_argument& error) {
+                EXPECT_NE(std::string(error.what()).find("devices"),
+                          std::string::npos);
+                throw;
+            }
+        },
+        std::invalid_argument);
+    EXPECT_THROW(ScenarioSpec{}.with_runs(0).validate(), std::invalid_argument);
+    EXPECT_THROW(ScenarioSpec{}.with_payload_bytes(0).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(ScenarioSpec{}.with_mechanisms({}).validate(),
+                 std::invalid_argument);
+    EXPECT_THROW(ScenarioSpec{}.with_hotspot(4, -1.0).validate(),
+                 std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, MismatchedSharedPopulationsRejected) {
+    ScenarioSpec spec = small_spec();
+    spec.with_populations(core::generate_comparison_populations(
+        spec.profile, spec.device_count, spec.runs, spec.base_seed + 1));
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, FileTextRoundTripsDeclarativeSpecs) {
+    ScenarioSpec spec = small_spec();
+    spec.with_inactivity_timer_ms(20'000);
+    spec.config.page_miss_prob = 0.25;
+    spec.config.paging.max_page_records = 4;
+    spec.with_hotspot(12, 0.8).with_assignment(
+        multicell::AssignmentPolicy::class_affinity);
+
+    const ScenarioSpec parsed =
+        parse_scenario_text(spec.to_file_text(), "round-trip");
+    EXPECT_EQ(parsed.name, spec.name);
+    EXPECT_EQ(parsed.profile.name, spec.profile.name);
+    EXPECT_EQ(parsed.device_count, spec.device_count);
+    EXPECT_EQ(parsed.payload_bytes, spec.payload_bytes);
+    EXPECT_EQ(parsed.runs, spec.runs);
+    EXPECT_EQ(parsed.base_seed, spec.base_seed);
+    EXPECT_EQ(parsed.threads, spec.threads);
+    EXPECT_EQ(parsed.mechanisms, spec.mechanisms);
+    EXPECT_EQ(parsed.config.inactivity_timer, spec.config.inactivity_timer);
+    EXPECT_EQ(parsed.config.page_miss_prob, spec.config.page_miss_prob);
+    EXPECT_EQ(parsed.config.paging.max_page_records,
+              spec.config.paging.max_page_records);
+    ASSERT_TRUE(parsed.is_multicell());
+    EXPECT_EQ(parsed.topology->cells, 12u);
+    EXPECT_EQ(parsed.topology->kind, TopologySpec::Kind::hotspot);
+    EXPECT_EQ(parsed.topology->hotspot_exponent, 0.8);
+    EXPECT_EQ(parsed.assignment, multicell::AssignmentPolicy::class_affinity);
+}
+
+TEST(ScenarioSpecTest, FileTextRejectsSilentlyDroppableState) {
+    // Deep config structs have no file keys; serializing a spec that
+    // changed them would reload a different experiment.
+    ScenarioSpec deep_config = small_spec();
+    deep_config.config.rach.num_preambles = 12;
+    EXPECT_THROW((void)deep_config.to_file_text(), std::invalid_argument);
+
+    // Same for per-class profile edits hiding under a builtin name.
+    ScenarioSpec edited_profile = small_spec();
+    edited_profile.profile.classes.front().share *= 2.0;
+    EXPECT_THROW((void)edited_profile.to_file_text(), std::invalid_argument);
+
+    // batch_mean alone is expressible and must stay serializable.
+    ScenarioSpec batched = small_spec();
+    batched.profile.batch_mean = 3.5;
+    const ScenarioSpec parsed =
+        parse_scenario_text(batched.to_file_text(), "batch");
+    EXPECT_EQ(parsed.profile.batch_mean, 3.5);
+}
+
+TEST(ScenarioSpecTest, ValidationRejectsNonFiniteKnobs) {
+    const double nan = std::nan("");
+    ScenarioSpec spec = small_spec();
+    spec.profile.batch_mean = nan;
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+    spec = small_spec();
+    spec.config.background_ra_per_second =
+        std::numeric_limits<double>::infinity();
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, FileTextRejectsUnregisteredProfileAndCustomTopology) {
+    ScenarioSpec custom_profile = small_spec();
+    custom_profile.profile.name = "bespoke";
+    EXPECT_THROW((void)custom_profile.to_file_text(), std::invalid_argument);
+
+    ScenarioSpec custom_topology = small_spec();
+    TopologySpec topo;
+    topo.cells = 4;
+    topo.custom = multicell::CellTopology::hotspot(4, 2.0);
+    custom_topology.with_topology(topo);
+    EXPECT_THROW((void)custom_topology.to_file_text(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, EveryShippedPresetSerializesAndReparses) {
+    for (const std::string& name : Registry::instance().preset_names()) {
+        const ScenarioSpec preset = Registry::instance().preset(name);
+        const ScenarioSpec parsed =
+            parse_scenario_text(preset.to_file_text(), name);
+        EXPECT_EQ(parsed.device_count, preset.device_count) << name;
+        EXPECT_EQ(parsed.runs, preset.runs) << name;
+        EXPECT_EQ(parsed.mechanisms, preset.mechanisms) << name;
+        EXPECT_EQ(parsed.is_multicell(), preset.is_multicell()) << name;
+    }
+}
+
+TEST(ScenarioAdapterTest, ComparisonSetupRoundTrips) {
+    core::ComparisonSetup setup;
+    setup.profile = traffic::meter_heavy();
+    setup.device_count = 123;
+    setup.payload_bytes = traffic::firmware_1mb().bytes;
+    setup.runs = 9;
+    setup.base_seed = 17;
+    setup.threads = 3;
+    setup.mechanisms = {core::MechanismKind::dr_si, core::MechanismKind::sc_ptm};
+    setup.config.inactivity_timer = nbiot::SimTime{25'000};
+    setup.populations = core::generate_comparison_populations(
+        setup.profile, setup.device_count, setup.runs, setup.base_seed);
+
+    const ScenarioSpec spec = from_setup(setup);
+    EXPECT_FALSE(spec.is_multicell());
+    const core::ComparisonSetup back = to_comparison_setup(spec);
+
+    EXPECT_EQ(back.profile.name, setup.profile.name);
+    EXPECT_EQ(back.device_count, setup.device_count);
+    EXPECT_EQ(back.payload_bytes, setup.payload_bytes);
+    EXPECT_EQ(back.runs, setup.runs);
+    EXPECT_EQ(back.base_seed, setup.base_seed);
+    EXPECT_EQ(back.threads, setup.threads);
+    EXPECT_EQ(back.mechanisms, setup.mechanisms);
+    EXPECT_EQ(back.config.inactivity_timer, setup.config.inactivity_timer);
+    EXPECT_EQ(back.populations.get(), setup.populations.get());
+}
+
+TEST(ScenarioAdapterTest, DeploymentSetupRoundTripsIncludingCustomTopology) {
+    multicell::DeploymentSetup setup;
+    setup.profile = traffic::alarm_heavy();
+    setup.device_count = 456;
+    setup.runs = 4;
+    setup.base_seed = 99;
+    setup.assignment = multicell::AssignmentPolicy::hotspot;
+    setup.topology = multicell::CellTopology::hotspot(6, 1.5);
+    setup.topology.cells[2].max_page_records_override = 2;
+
+    const ScenarioSpec spec = from_setup(setup);
+    ASSERT_TRUE(spec.is_multicell());
+    // The skewed grid is not declaratively expressible; it must travel
+    // verbatim through the custom slot.
+    ASSERT_FALSE(spec.topology->file_expressible());
+    const multicell::DeploymentSetup back = to_deployment_setup(spec);
+
+    EXPECT_EQ(back.profile.name, setup.profile.name);
+    EXPECT_EQ(back.device_count, setup.device_count);
+    EXPECT_EQ(back.runs, setup.runs);
+    EXPECT_EQ(back.base_seed, setup.base_seed);
+    EXPECT_EQ(back.assignment, setup.assignment);
+    ASSERT_EQ(back.topology.cell_count(), setup.topology.cell_count());
+    for (std::size_t c = 0; c < setup.topology.cell_count(); ++c) {
+        EXPECT_EQ(back.topology.cells[c].id, setup.topology.cells[c].id);
+        EXPECT_EQ(back.topology.cells[c].weight, setup.topology.cells[c].weight);
+        EXPECT_EQ(back.topology.cells[c].max_page_records_override,
+                  setup.topology.cells[c].max_page_records_override);
+    }
+}
+
+TEST(ScenarioAdapterTest, UniformDeploymentSetupStaysDeclarative) {
+    multicell::DeploymentSetup setup;
+    setup.topology = multicell::CellTopology::uniform(16);
+    const ScenarioSpec spec = from_setup(setup);
+    ASSERT_TRUE(spec.is_multicell());
+    EXPECT_TRUE(spec.topology->file_expressible());
+    EXPECT_EQ(spec.topology->cells, 16u);
+    EXPECT_EQ(to_deployment_setup(spec).topology.cell_count(), 16u);
+}
+
+TEST(ScenarioAdapterTest, MulticellSpecRefusesComparisonSetup) {
+    EXPECT_THROW((void)to_comparison_setup(small_spec().with_cells(4)),
+                 std::invalid_argument);
+}
+
+TEST(ScenarioAdapterTest, SingleCellSpecMapsToOneCellDeployment) {
+    const multicell::DeploymentSetup setup = to_deployment_setup(small_spec());
+    EXPECT_EQ(setup.topology.cell_count(), 1u);
+}
+
+}  // namespace
+}  // namespace nbmg::scenario
