@@ -47,6 +47,16 @@ inline void print_scenario_line(const scenario::ScenarioSpec& spec) {
         std::printf(" cells=%zu assignment=%s", spec.cell_count(),
                     multicell::to_string(spec.assignment));
     }
+    if (spec.coordinator) {
+        std::printf(" coordinator=%s", multicell::to_string(spec.coordinator->policy));
+        if (spec.coordinator->policy == multicell::StartPolicy::fixed_stagger) {
+            std::printf(" stagger=%lldms",
+                        static_cast<long long>(spec.coordinator->stagger_ms));
+        }
+        if (spec.coordinator->policy == multicell::StartPolicy::backhaul_budgeted) {
+            std::printf(" backhaul=%.3gKB/s", spec.coordinator->backhaul_kbps);
+        }
+    }
     std::printf("\n");
 }
 

@@ -8,11 +8,18 @@
 // --threads.
 //
 // Scenario shell: the `multicell-scaling` preset (or --scenario/--preset)
-// provides the fleet; --cells sets the sweep's end point.
+// provides the fleet; --cells sets the sweep's end point.  With a
+// wall-clock coordinator engaged (--coordinator fixed-stagger/backhaul or
+// the coordinator.* scenario keys) three city time-axis columns are
+// appended — completion, peak concurrently-active cells, backhaul
+// utilization.
 //
 //   $ fig_multicell_scaling --devices 100000 --cells 64 --runs 1 --threads 8
+//   $ fig_multicell_scaling --cells 16 --coordinator fixed-stagger --stagger-ms 30000
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.hpp"
@@ -36,10 +43,17 @@ int main(int argc, char** argv) {
     // The per-mechanism columns report the scenario's *first* mechanism
     // (DR-SC in the preset); label them accordingly.
     const std::string first_mechanism{core::to_string(base.mechanisms.front())};
-    stats::Table table({"cells", "wall-clock (s)", "speedup vs 1 cell",
-                        "max cell load", "empty cell-runs",
-                        first_mechanism + " tx (fleet)", "light-sleep incr",
-                        "RACH collision p50", "p95 across cells"});
+    std::vector<std::string> columns{"cells", "wall-clock (s)", "speedup vs 1 cell",
+                                     "max cell load", "empty cell-runs",
+                                     first_mechanism + " tx (fleet)",
+                                     "light-sleep incr", "RACH collision p50",
+                                     "p95 across cells"};
+    // A coordinated sweep additionally reports the city time axis.
+    if (base.is_coordinated()) {
+        columns.insert(columns.end(),
+                       {"city completion (s)", "peak cells", "backhaul util"});
+    }
+    stats::Table table(columns);
     // Sweep 1, 4, 16, ... and always finish at the requested --cells value,
     // whether or not it is a power of 4.
     std::vector<std::size_t> cell_counts;
@@ -63,17 +77,26 @@ int main(int argc, char** argv) {
         if (cells == 1) serial_seconds = seconds;
 
         const auto& dr_sc = result.mechanisms.front();
-        table.add_row(
-            {stats::Table::cell(static_cast<std::int64_t>(cells)),
-             stats::Table::cell(seconds, 2),
-             stats::Table::cell(serial_seconds / seconds, 2),
-             stats::Table::cell(result.cell_load.max(), 0),
-             stats::Table::cell(static_cast<std::int64_t>(result.empty_cell_runs)),
-             stats::Table::cell(dr_sc.stats.transmissions.mean(), 1),
-             stats::Table::cell_percent(dr_sc.stats.light_sleep_increase.mean(), 2),
-             stats::Table::cell(result.rach_collision_across_cells.quantile(0.5), 4),
-             stats::Table::cell(result.rach_collision_across_cells.quantile(0.95),
-                                4)});
+        std::vector<std::string> row{
+            stats::Table::cell(static_cast<std::int64_t>(cells)),
+            stats::Table::cell(seconds, 2),
+            stats::Table::cell(serial_seconds / seconds, 2),
+            stats::Table::cell(result.cell_load.max(), 0),
+            stats::Table::cell(static_cast<std::int64_t>(result.empty_cell_runs)),
+            stats::Table::cell(dr_sc.stats.transmissions.mean(), 1),
+            stats::Table::cell_percent(dr_sc.stats.light_sleep_increase.mean(), 2),
+            stats::Table::cell(result.rach_collision_across_cells.quantile(0.5), 4),
+            stats::Table::cell(result.rach_collision_across_cells.quantile(0.95),
+                               4)};
+        if (scenario_result.is_coordinated()) {
+            const multicell::CoordinationAggregates& city =
+                *scenario_result.coordination;
+            row.insert(row.end(),
+                       {stats::Table::cell(city.completion_ms.mean() / 1000.0, 1),
+                        stats::Table::cell(city.peak_concurrent_cells.mean(), 1),
+                        stats::Table::cell(city.backhaul_utilization.mean(), 3)});
+        }
+        table.add_row(std::move(row));
     }
     bench::print_table(table);
     std::printf(

@@ -2,8 +2,8 @@
 # Records the kernel microbenchmarks as google-benchmark JSON at the repo
 # root — the perf trajectory file future PRs regress against.
 #
-#   $ ci/bench.sh                  # writes BENCH_pr4.json
-#   $ ci/bench.sh BENCH_pr5.json   # explicit output name
+#   $ ci/bench.sh                  # writes BENCH_pr5.json
+#   $ ci/bench.sh BENCH_pr6.json   # explicit output name
 #
 # The suite includes the large-n cases (event queue at 10^6 events, greedy
 # cover at 10^4 sets x 10^5 elements, full campaign at 10^4 devices, and
@@ -13,7 +13,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr4.json}"
+out="${1:-BENCH_pr5.json}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 build_dir=build-release
 

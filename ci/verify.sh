@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Single verification entry point (CI and local): configure Debug and
-# Release with warnings-as-errors, build everything, run the full CTest
-# suite in both configurations.  Every configuration then runs a
-# scenario-file smoke (a checked-in examples/scenarios/*.scenario through
-# the unified --scenario entry point, plus a --preset resolution), and the
-# Release leg additionally builds with NBMG_ENABLE_LTO (so the option
-# cannot rot) and finishes with a short microbenchmark smoke — one pass
-# over the small kernel cases, asserting they run clean.
+# Release with warnings-as-errors and build everything.  The Debug leg
+# runs the fast tier-1 CTest subset (ctest -L tier1); the Release leg runs
+# the full suite — tier 1 plus the randomized property batteries
+# (ctest -L property covers them alone) — builds with NBMG_ENABLE_LTO (so
+# the option cannot rot) and finishes with a short microbenchmark smoke.
+# Every configuration then runs a scenario-file smoke (checked-in
+# examples/scenarios/*.scenario through the unified --scenario entry
+# point, a --preset resolution, and the two coordinated citywide presets).
 #
 #   $ ci/verify.sh            # both configurations
 #   $ ci/verify.sh Release    # just one
@@ -30,7 +31,12 @@ for config in "${configs[@]}"; do
   cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE="${config}" -DNBMG_WERROR=ON \
         -DNBMG_ENABLE_LTO="${lto}"
   cmake --build "${build_dir}" -j"${jobs}"
-  ctest --test-dir "${build_dir}" --output-on-failure -j"${jobs}"
+  if [[ "${config}" == "Release" ]]; then
+    # Full suite: tier 1 plus the property batteries.
+    ctest --test-dir "${build_dir}" --output-on-failure -j"${jobs}"
+  else
+    ctest --test-dir "${build_dir}" --output-on-failure -j"${jobs}" -L tier1
+  fi
 
   echo "=== ${config}: scenario-file smoke (--scenario / --preset) ==="
   "${build_dir}/bench/fig6a_light_sleep_uptime" \
@@ -44,6 +50,18 @@ for config in "${configs[@]}"; do
     --scenario examples/scenarios/citywide_16cells.scenario 800 8 42
   "${build_dir}/bench/ablation_scptm" --preset ablation-scptm \
     --devices 50 --runs 2 --threads 2
+
+  echo "=== ${config}: wall-clock coordinator smoke (staggered + backhaul) ==="
+  "${build_dir}/examples/run_scenario" --preset citywide-staggered \
+    --devices 400 --runs 1 --threads 2
+  "${build_dir}/examples/run_scenario" --preset citywide-backhaul \
+    --devices 400 --runs 1 --threads 2 --csv
+  "${build_dir}/examples/citywide_rollout" \
+    --scenario examples/scenarios/citywide_staggered.scenario \
+    --devices 800 --cells 8
+  "${build_dir}/examples/run_scenario" \
+    --scenario examples/scenarios/citywide_backhaul.scenario \
+    --devices 400 --runs 1
 
   if [[ "${config}" == "Release" ]]; then
     if [[ -x "${build_dir}/bench/microbench_kernels" ]]; then

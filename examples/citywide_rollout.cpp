@@ -8,11 +8,20 @@
 // skewed per-cell load, per-cell RACH contention, and what clustering does
 // to DR-SC's grouping opportunities.
 //
+// With a wall-clock coordinator engaged (--coordinator / the coordinator.*
+// scenario keys, e.g. the citywide-staggered and citywide-backhaul
+// presets) every row also reports the city time axis: completion time and
+// peak concurrently-active cells under that camping scenario.
+//
 //   $ ./citywide_rollout [devices] [cells] [seed]
 //   $ ./citywide_rollout --preset citywide --cells 64
+//   $ ./citywide_rollout --preset citywide-backhaul
 //   $ ./citywide_rollout --scenario examples/scenarios/citywide_16cells.scenario
 #include <algorithm>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "scenario/run.hpp"
@@ -50,9 +59,14 @@ int main(int argc, char** argv) {
     const std::ptrdiff_t dr_sc_index = mechanism_index(core::MechanismKind::dr_sc);
     const std::ptrdiff_t da_sc_index = mechanism_index(core::MechanismKind::da_sc);
 
-    stats::Table table({"assignment", "max/min cell load", "DR-SC tx (fleet)",
-                        "DR-SC connected incr", "DA-SC light-sleep incr",
-                        "RACH collision p95 across cells"});
+    std::vector<std::string> columns{"assignment", "max/min cell load",
+                                     "DR-SC tx (fleet)", "DR-SC connected incr",
+                                     "DA-SC light-sleep incr",
+                                     "RACH collision p95 across cells"};
+    if (base.is_coordinated()) {
+        columns.insert(columns.end(), {"city completion (s)", "peak cells"});
+    }
+    stats::Table table(columns);
     for (const multicell::AssignmentPolicy policy :
          {multicell::AssignmentPolicy::uniform_hash,
           multicell::AssignmentPolicy::hotspot,
@@ -86,28 +100,36 @@ int main(int argc, char** argv) {
         std::snprintf(load, sizeof load, "%.0f / %.0f", max_load, min_load);
 
         const auto& mechanisms = result.mechanisms;
-        table.add_row(
-            {multicell::to_string(policy), load,
-             dr_sc_index >= 0
-                 ? stats::Table::cell(
-                       mechanisms[static_cast<std::size_t>(dr_sc_index)]
-                           .stats.transmissions.mean(),
-                       1)
-                 : "-",
-             dr_sc_index >= 0
-                 ? stats::Table::cell_percent(
-                       mechanisms[static_cast<std::size_t>(dr_sc_index)]
-                           .stats.connected_increase.mean(),
-                       1)
-                 : "-",
-             da_sc_index >= 0
-                 ? stats::Table::cell_percent(
-                       mechanisms[static_cast<std::size_t>(da_sc_index)]
-                           .stats.light_sleep_increase.mean(),
-                       2)
-                 : "-",
-             stats::Table::cell(result.rach_collision_across_cells.quantile(0.95),
-                                4)});
+        std::vector<std::string> row{
+            multicell::to_string(policy), load,
+            dr_sc_index >= 0
+                ? stats::Table::cell(
+                      mechanisms[static_cast<std::size_t>(dr_sc_index)]
+                          .stats.transmissions.mean(),
+                      1)
+                : "-",
+            dr_sc_index >= 0
+                ? stats::Table::cell_percent(
+                      mechanisms[static_cast<std::size_t>(dr_sc_index)]
+                          .stats.connected_increase.mean(),
+                      1)
+                : "-",
+            da_sc_index >= 0
+                ? stats::Table::cell_percent(
+                      mechanisms[static_cast<std::size_t>(da_sc_index)]
+                          .stats.light_sleep_increase.mean(),
+                      2)
+                : "-",
+            stats::Table::cell(result.rach_collision_across_cells.quantile(0.95),
+                               4)};
+        if (scenario_result.is_coordinated()) {
+            const multicell::CoordinationAggregates& city =
+                *scenario_result.coordination;
+            row.insert(row.end(),
+                       {stats::Table::cell(city.completion_ms.mean() / 1000.0, 1),
+                        stats::Table::cell(city.peak_concurrent_cells.mean(), 1)});
+        }
+        table.add_row(std::move(row));
     }
     std::fputs(table.to_markdown().c_str(), stdout);
 

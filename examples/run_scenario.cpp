@@ -41,6 +41,12 @@ int main(int argc, char** argv) {
 
     if (csv) {
         std::fputs(result.summary_csv().c_str(), stdout);
+        // Coordinated scenarios append the time-axis table as a second CSV
+        // block (own header) after a blank line.
+        if (result.is_coordinated()) {
+            std::fputs("\n", stdout);
+            std::fputs(result.coordination_csv().c_str(), stdout);
+        }
         return 0;
     }
 
@@ -58,6 +64,11 @@ int main(int argc, char** argv) {
             deployment.empty_cell_runs,
             deployment.rach_collision_across_cells.quantile(0.5),
             deployment.rach_collision_across_cells.quantile(0.95));
+    }
+    if (result.is_coordinated()) {
+        std::printf("\ncity wall-clock (%s policy):\n",
+                    multicell::to_string(result.coordination->coordinator.policy));
+        bench::print_table(result.coordination_table());
     }
     return 0;
 }

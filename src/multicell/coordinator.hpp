@@ -1,0 +1,143 @@
+// City-wide wall-clock coordinator: puts every cell's campaign of a
+// deployment onto one shared clock.
+//
+// The deployment layer runs each (run, cell) campaign as an independent
+// event loop in its own local time — cells share no radio state, so
+// shifting a cell's start on the city clock changes nothing inside the
+// cell.  The coordinator exploits exactly that: it runs the deployment
+// engine untouched (run_coordinated's embedded DeploymentResult is
+// bit-identical to calling run_deployment directly, for every policy) and
+// schedules the per-cell campaign spans run_deployment records
+// (DeploymentResult::spans) onto a shared wall-clock with a deterministic
+// start policy:
+//
+//  - simultaneous: every cell starts at t = 0 — the pre-coordinator
+//    behaviour, now with the time axis made explicit.
+//  - fixed_stagger: cell c starts at c * stagger_ms (topology order), the
+//    classic staged rollout that bounds how many eNBs page new firmware at
+//    once.
+//  - backhaul_budgeted: a central eNB feed with a finite KB/s budget pushes
+//    the payload image to each cell over a serial backhaul; a cell's
+//    campaign starts when its delivery completes.  Cells are admitted in
+//    deterministic priority order: most camped devices first, ties by
+//    ascending cell id.
+//
+// Everything is a pure function of (spans, policy knobs): no RNG, no
+// threads, so timelines and the derived fleet time-axis aggregates
+// (city-wide completion, peak concurrently-active cells, backhaul
+// utilization) are bit-identical at any --threads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "multicell/deployment.hpp"
+#include "stats/summary.hpp"
+
+namespace nbmg::multicell {
+
+enum class StartPolicy : std::uint8_t {
+    simultaneous,
+    fixed_stagger,
+    backhaul_budgeted,
+};
+
+[[nodiscard]] constexpr const char* to_string(StartPolicy policy) noexcept {
+    switch (policy) {
+        case StartPolicy::simultaneous: return "simultaneous";
+        case StartPolicy::fixed_stagger: return "fixed-stagger";
+        case StartPolicy::backhaul_budgeted: return "backhaul";
+    }
+    return "?";
+}
+
+/// Parses the scenario-file / --coordinator spelling (the to_string names
+/// above).  Returns nullopt for anything else.
+[[nodiscard]] std::optional<StartPolicy> parse_start_policy(
+    std::string_view text) noexcept;
+
+/// The coordination policy and its knobs.  Policy-scoped: stagger_ms is
+/// only read under fixed_stagger, backhaul_kbps only under
+/// backhaul_budgeted (valid() enforces the pairing).
+struct CoordinatorSpec {
+    StartPolicy policy = StartPolicy::simultaneous;
+    /// fixed_stagger: start offset between consecutive cells (>= 0).
+    std::int64_t stagger_ms = 0;
+    /// backhaul_budgeted: central feed budget in KB/s (> 0, finite).
+    double backhaul_kbps = 0.0;
+
+    [[nodiscard]] bool valid() const noexcept;
+};
+
+/// One cell's slot on the city clock for one run.
+struct CellSchedule {
+    std::uint32_t cell = 0;
+    std::size_t devices = 0;
+    /// True when the cell received devices and therefore runs a campaign;
+    /// empty cells carry no activity and are excluded from every metric.
+    bool active = false;
+    /// Campaign start offset on the city clock (ms).
+    std::int64_t start_ms = 0;
+    /// start_ms + the cell's campaign span (the per-cell horizon).
+    std::int64_t end_ms = 0;
+};
+
+/// The scheduled city clock of one run.
+struct RunTimeline {
+    std::vector<CellSchedule> cells;  // topology order
+    /// When the last active cell's campaign ends (the city-wide completion
+    /// time of the rollout).
+    std::int64_t completion_ms = 0;
+    /// Maximum number of cells whose campaigns overlap at any instant
+    /// (intervals are half-open [start, end)).
+    std::size_t peak_concurrent_cells = 0;
+    /// Last start minus first start among active cells.
+    std::int64_t start_spread_ms = 0;
+    /// Total busy time of the central feed (backhaul policy; 0 otherwise).
+    std::int64_t backhaul_busy_ms = 0;
+    /// backhaul_busy_ms / completion_ms (0 when the feed is unused).
+    double backhaul_utilization = 0.0;
+};
+
+/// Fleet time-axis aggregates across runs (one sample per run each).
+struct CoordinationAggregates {
+    CoordinatorSpec coordinator;
+    std::vector<RunTimeline> timelines;  // run order
+    stats::Summary completion_ms;
+    stats::Summary peak_concurrent_cells;
+    stats::Summary start_spread_ms;
+    stats::Summary backhaul_busy_ms;
+    stats::Summary backhaul_utilization;
+};
+
+struct CoordinatedResult {
+    /// Bit-identical to run_deployment(setup): coordination never reaches
+    /// into the cells' event loops.
+    DeploymentResult deployment;
+    CoordinationAggregates coordination;
+};
+
+/// Schedules one run's cell spans onto the city clock.  Pure and
+/// deterministic; exposed for direct testing.  `payload_bytes` is the
+/// per-cell image size the backhaul policy must deliver.
+[[nodiscard]] RunTimeline schedule_run(const CoordinatorSpec& coordinator,
+                                       std::span<const CellRunSpan> spans,
+                                       std::int64_t payload_bytes);
+
+/// Runs the deployment and coordinates every run's cells on the shared
+/// wall-clock.  Throws std::invalid_argument on an invalid coordinator
+/// spec (see CoordinatorSpec::valid) or deployment setup.
+[[nodiscard]] CoordinatedResult run_coordinated(const DeploymentSetup& setup,
+                                                const CoordinatorSpec& coordinator);
+
+/// Coordinates an already-executed deployment (reuses its recorded spans;
+/// the run count is spans.size() / cell_count).  run_coordinated is this
+/// composed with run_deployment.
+[[nodiscard]] CoordinationAggregates coordinate_deployment(
+    const DeploymentResult& deployment, const CoordinatorSpec& coordinator,
+    std::int64_t payload_bytes);
+
+}  // namespace nbmg::multicell

@@ -57,6 +57,7 @@ CellRunTotals totals_from(const core::CampaignResult& result) {
 /// requested mechanism, executed on this cell's camped devices only.
 struct CellRunOutcome {
     std::size_t devices = 0;  // 0 = empty cell, nothing executed
+    std::int64_t horizon_ms = 0;
     CellRunTotals unicast;
     std::vector<CellRunTotals> mechanisms;
 };
@@ -78,6 +79,7 @@ CellRunOutcome run_cell(const DeploymentSetup& setup,
     const core::CampaignRunner runner(config);
     const nbiot::SimTime horizon =
         core::recommended_horizon(specs, config, setup.payload_bytes);
+    out.horizon_ms = horizon.count();
     const std::uint64_t run_seed = sim::derive_seed(cell_root, "run", run);
 
     sim::RandomStream unicast_rng = rng_factory.stream("plan-unicast", run);
@@ -268,6 +270,11 @@ DeploymentResult run_deployment(const DeploymentSetup& setup) {
         for (std::size_t m = 0; m < setup.mechanisms.size(); ++m) {
             agg.mechanisms[m].stats.kind = setup.mechanisms[m];
         }
+    }
+
+    result.spans.reserve(outcomes.size());
+    for (const CellRunOutcome& outcome : outcomes) {
+        result.spans.push_back(CellRunSpan{outcome.devices, outcome.horizon_ms});
     }
 
     std::vector<CellRunTotals> fleet_mechanisms(setup.mechanisms.size());

@@ -79,6 +79,19 @@ struct CellAggregates {
     std::vector<DeploymentMechanismStats> mechanisms;  // setup.mechanisms order
 };
 
+/// Timing footprint of one (run, cell) campaign on the city wall-clock:
+/// how many devices camped there and how long the cell's event loop spans
+/// in simulated time.  The multicell coordinator (multicell/coordinator.hpp)
+/// schedules these spans onto a shared clock; run_deployment itself never
+/// reads them back, so recording them cannot perturb the aggregates.
+struct CellRunSpan {
+    std::size_t devices = 0;
+    /// Observation horizon of this cell's campaign in simulated ms (shared
+    /// by every mechanism of the run, see recommended_horizon); 0 for an
+    /// empty cell, which executes nothing.
+    std::int64_t horizon_ms = 0;
+};
+
 struct DeploymentResult {
     /// Fleet-wide aggregates: per run, cell totals are summed in cell order
     /// and run through run_comparison's ratio formulas.
@@ -92,8 +105,14 @@ struct DeploymentResult {
     stats::Histogram rach_collision_across_cells{0.0, 1.0, 64};
     /// (run, cell) pairs that received no devices (skipped, no campaign).
     std::size_t empty_cell_runs = 0;
+    /// Per-(run, cell) campaign spans, indexed run * cell_count + cell —
+    /// the raw material of cross-cell wall-clock coordination.
+    std::vector<CellRunSpan> spans;
 
     [[nodiscard]] std::size_t cell_count() const noexcept { return cells.size(); }
+    [[nodiscard]] const CellRunSpan& span(std::size_t run, std::size_t cell) const {
+        return spans.at(run * cells.size() + cell);
+    }
 };
 
 /// Runs the deployment: `runs` campaigns of the full fleet, each sharded

@@ -165,6 +165,96 @@ void apply_spec_overrides(ScenarioSpec& spec, int argc, char** argv) {
         }
         spec.assignment = flag_assignment(argc, argv, spec.assignment);
     }
+    // Set when --coordinator switches to a policy the base spec did not
+    // carry: the fresh policy's knobs start empty and the policy-scoped
+    // flags below (checked at the end) must fill them — mirroring the file
+    // parser's "fixed-stagger requires coordinator.stagger_ms" rule.
+    bool fresh_coordinator_policy = false;
+    if (const char* coordinator = flag_text(argc, argv, "--coordinator");
+        coordinator != nullptr) {
+        if (std::strcmp(coordinator, "none") == 0) {
+            spec.without_coordinator();
+        } else {
+            if (!spec.is_multicell()) {
+                flag_error("--coordinator", coordinator,
+                           "requires a multicell scenario (--cells or a "
+                           "'cells' key)");
+            }
+            const auto policy = multicell::parse_start_policy(coordinator);
+            if (!policy.has_value()) {
+                flag_error("--coordinator", coordinator, "unknown start policy",
+                           "simultaneous | fixed-stagger | backhaul | none");
+            }
+            if (!spec.coordinator || spec.coordinator->policy != *policy) {
+                // A policy switch resets the policy-scoped knobs; the flags
+                // below refill them (and must — see the final checks).
+                multicell::CoordinatorSpec fresh;
+                fresh.policy = *policy;
+                spec.coordinator = fresh;
+                fresh_coordinator_policy = true;
+            }
+        }
+    }
+    if (const char* stagger = flag_text(argc, argv, "--stagger-ms");
+        stagger != nullptr) {
+        if (!spec.coordinator ||
+            spec.coordinator->policy != multicell::StartPolicy::fixed_stagger) {
+            flag_error("--stagger-ms", stagger,
+                       "requires the fixed-stagger policy (--coordinator "
+                       "fixed-stagger or a fixed-stagger scenario)");
+        }
+        const std::uint64_t stagger_ms = flag_u64(argc, argv, "--stagger-ms", 0);
+        if (stagger_ms > static_cast<std::uint64_t>(
+                             std::numeric_limits<std::int64_t>::max())) {
+            flag_error("--stagger-ms", stagger, "value out of range");
+        }
+        spec.coordinator->stagger_ms = static_cast<std::int64_t>(stagger_ms);
+    }
+    if (const char* backhaul = flag_text(argc, argv, "--backhaul-kbps");
+        backhaul != nullptr) {
+        if (!spec.coordinator ||
+            spec.coordinator->policy !=
+                multicell::StartPolicy::backhaul_budgeted) {
+            flag_error("--backhaul-kbps", backhaul,
+                       "requires the backhaul policy (--coordinator backhaul "
+                       "or a backhaul scenario)",
+                       "X where X is a finite number > 0");
+        }
+        double kbps = 0.0;
+        switch (parse_strict_double(backhaul, kbps)) {
+            case DoubleParseError::none: break;
+            case DoubleParseError::empty:
+                flag_error("--backhaul-kbps", backhaul, "empty value",
+                           "X where X is a finite number > 0");
+            case DoubleParseError::not_number:
+                flag_error("--backhaul-kbps", backhaul, "not a number",
+                           "X where X is a finite number > 0");
+            case DoubleParseError::not_finite:
+                flag_error("--backhaul-kbps", backhaul, "not a finite number",
+                           "X where X is a finite number > 0");
+        }
+        if (kbps <= 0.0) {
+            flag_error("--backhaul-kbps", backhaul, "value must be > 0",
+                       "X where X is a finite number > 0");
+        }
+        spec.coordinator->backhaul_kbps = kbps;
+    }
+    if (spec.coordinator &&
+        spec.coordinator->policy == multicell::StartPolicy::backhaul_budgeted &&
+        spec.coordinator->backhaul_kbps <= 0.0) {
+        flag_error("--coordinator", "backhaul",
+                   "the backhaul policy needs a feed budget",
+                   "backhaul --backhaul-kbps X");
+    }
+    if (fresh_coordinator_policy && spec.coordinator &&
+        spec.coordinator->policy == multicell::StartPolicy::fixed_stagger &&
+        flag_text(argc, argv, "--stagger-ms") == nullptr) {
+        // Without this, a forgotten --stagger-ms would silently run a
+        // 0-stagger (simultaneous) schedule.
+        flag_error("--coordinator", "fixed-stagger",
+                   "the fixed-stagger policy needs a stagger",
+                   "fixed-stagger --stagger-ms N");
+    }
 }
 
 }  // namespace nbmg::scenario

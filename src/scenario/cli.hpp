@@ -123,8 +123,10 @@ namespace nbmg::scenario {
 /// positional scanner below and by shells (microbench_kernels) that strip
 /// these flags before handing argv to another parser.
 inline constexpr const char* kScenarioFlags[] = {
-    "--scenario", "--preset",     "--runs",  "--devices",    "--seed",
-    "--threads",  "--payload-kb", "--ti-ms", "--cells",      "--assignment",
+    "--scenario",    "--preset", "--runs",        "--devices",
+    "--seed",        "--threads", "--payload-kb", "--ti-ms",
+    "--cells",       "--assignment", "--coordinator", "--stagger-ms",
+    "--backhaul-kbps",
 };
 
 [[nodiscard]] inline bool is_scenario_flag(const char* token) {
@@ -140,7 +142,8 @@ inline constexpr const char* kScenarioFlags[] = {
     std::fprintf(stderr,
                  "usage: known flags are --scenario FILE, --preset NAME, "
                  "--runs N, --devices N, --seed N, --threads N, "
-                 "--payload-kb N, --ti-ms N, --cells N, --assignment NAME\n");
+                 "--payload-kb N, --ti-ms N, --cells N, --assignment NAME, "
+                 "--coordinator NAME, --stagger-ms N, --backhaul-kbps X\n");
     std::exit(2);
 }
 
@@ -256,7 +259,11 @@ void reject_unknown_flags(int argc, char** argv, const ShellFlags& shell);
 
 /// Applies the classic flags as overrides onto `spec`:
 /// --runs, --devices, --seed, --threads, --payload-kb, --ti-ms,
-/// --cells (engages/updates the multicell grid), --assignment.
+/// --cells (engages/updates the multicell grid), --assignment, and the
+/// wall-clock coordinator set: --coordinator NAME (simultaneous |
+/// fixed-stagger | backhaul | none, requires a multicell scenario),
+/// --stagger-ms N (requires the fixed-stagger policy), --backhaul-kbps X
+/// (requires the backhaul policy).
 void apply_spec_overrides(ScenarioSpec& spec, int argc, char** argv);
 
 }  // namespace nbmg::scenario

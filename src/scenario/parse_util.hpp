@@ -7,6 +7,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 
@@ -38,6 +39,34 @@ enum class U64ParseError : std::uint8_t {
     if (end == text || *end != '\0') return U64ParseError::not_decimal;
     out = static_cast<std::uint64_t>(parsed);
     return U64ParseError::none;
+}
+
+enum class DoubleParseError : std::uint8_t {
+    none,
+    empty,       // ""
+    not_number,  // not a full numeric token
+    not_finite,  // inf/nan/overflow (a non-finite knob would sail through
+                 // range checks — NaN compares false — and blow up deep in
+                 // the library)
+};
+
+/// Parses `text` as a finite double.  The whole string must be the number:
+/// no whitespace, no trailing junk.
+[[nodiscard]] inline DoubleParseError parse_strict_double(const char* text,
+                                                          double& out) noexcept {
+    if (*text == '\0') return DoubleParseError::empty;
+    if (std::isspace(static_cast<unsigned char>(*text)) != 0) {
+        return DoubleParseError::not_number;  // strtod would skip it
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(text, &end);
+    if (end == text || *end != '\0') return DoubleParseError::not_number;
+    if (errno == ERANGE || !std::isfinite(parsed)) {
+        return DoubleParseError::not_finite;
+    }
+    out = parsed;
+    return DoubleParseError::none;
 }
 
 }  // namespace nbmg::scenario

@@ -80,21 +80,18 @@ std::uint64_t parse_bounded_u64(const LineContext& ctx, std::string_view key,
 
 double parse_double(const LineContext& ctx, std::string_view key,
                     const std::string& value) {
-    if (value.empty()) {
-        ctx.fail("bad value '' for key '" + std::string(key) +
-                 "': not a number");
+    double parsed = 0.0;
+    switch (parse_strict_double(value.c_str(), parsed)) {
+        case DoubleParseError::none: return parsed;
+        case DoubleParseError::empty:
+            ctx.fail("bad value '' for key '" + std::string(key) +
+                     "': not a number");
+        case DoubleParseError::not_number:
+        case DoubleParseError::not_finite:
+            break;
     }
-    errno = 0;
-    char* end = nullptr;
-    const double parsed = std::strtod(value.c_str(), &end);
-    if (errno == ERANGE || end == value.c_str() || *end != '\0' ||
-        !std::isfinite(parsed)) {
-        // strtod accepts 'inf'/'nan'; a non-finite knob would sail through
-        // range checks (NaN compares false) and blow up deep in the library.
-        ctx.fail("bad value '" + value + "' for key '" + std::string(key) +
-                 "': not a finite number");
-    }
-    return parsed;
+    ctx.fail("bad value '" + value + "' for key '" + std::string(key) +
+             "': not a finite number");
 }
 
 bool parse_bool(const LineContext& ctx, std::string_view key,
@@ -144,6 +141,16 @@ struct MulticellFields {
     std::size_t first_multicell_line = 0;
 };
 
+/// Wall-clock coordinator fields, assembled after all lines are read so the
+/// policy key and its policy-scoped sub-keys may appear in any order.
+struct CoordinatorFields {
+    std::optional<multicell::StartPolicy> policy;
+    std::optional<std::int64_t> stagger_ms;
+    std::optional<double> backhaul_kbps;
+    std::size_t policy_line = 0;
+    std::size_t first_subkey_line = 0;
+};
+
 }  // namespace
 
 ScenarioSpec parse_scenario_text(std::string_view text,
@@ -151,6 +158,7 @@ ScenarioSpec parse_scenario_text(std::string_view text,
     ScenarioSpec spec;
     spec.name = "custom";
     MulticellFields multicell_fields;
+    CoordinatorFields coordinator_fields;
     std::optional<double> batch_mean;
     // key -> line it was first set on, for duplicate diagnostics.  The
     // payload keys alias each other, so both map to the same slot.
@@ -314,6 +322,37 @@ ScenarioSpec parse_scenario_text(std::string_view text,
             if (multicell_fields.first_multicell_line == 0) {
                 multicell_fields.first_multicell_line = ctx.line;
             }
+        } else if (key == "coordinator") {
+            const auto parsed = multicell::parse_start_policy(value);
+            if (!parsed) {
+                ctx.fail("bad value '" + value +
+                         "' for key 'coordinator': expected simultaneous | "
+                         "fixed-stagger | backhaul");
+            }
+            coordinator_fields.policy = *parsed;
+            coordinator_fields.policy_line = ctx.line;
+        } else if (key == "coordinator.stagger_ms") {
+            // 0 is a valid stagger (degenerates to simultaneous starts).
+            const std::uint64_t parsed = parse_u64(ctx, key, value);
+            if (parsed > static_cast<std::uint64_t>(
+                             std::numeric_limits<std::int64_t>::max())) {
+                ctx.fail("bad value '" + value + "' for key '" + key +
+                         "': out of range");
+            }
+            coordinator_fields.stagger_ms = static_cast<std::int64_t>(parsed);
+            if (coordinator_fields.first_subkey_line == 0) {
+                coordinator_fields.first_subkey_line = ctx.line;
+            }
+        } else if (key == "coordinator.backhaul_kbps") {
+            const double parsed = parse_double(ctx, key, value);
+            if (parsed <= 0.0) {
+                ctx.fail("bad value '" + value +
+                         "' for key 'coordinator.backhaul_kbps': must be > 0");
+            }
+            coordinator_fields.backhaul_kbps = parsed;
+            if (coordinator_fields.first_subkey_line == 0) {
+                coordinator_fields.first_subkey_line = ctx.line;
+            }
         } else {
             ctx.fail("unknown key '" + key + "'");
         }
@@ -338,6 +377,60 @@ ScenarioSpec parse_scenario_text(std::string_view text,
         if (multicell_fields.assignment) {
             spec.assignment = *multicell_fields.assignment;
         }
+    }
+
+    if (coordinator_fields.stagger_ms || coordinator_fields.backhaul_kbps) {
+        if (!coordinator_fields.policy) {
+            ctx.line = coordinator_fields.first_subkey_line;
+            ctx.fail(
+                "coordinator.* sub-keys require a 'coordinator' policy key "
+                "(simultaneous | fixed-stagger | backhaul)");
+        }
+    }
+    if (coordinator_fields.policy) {
+        ctx.line = coordinator_fields.policy_line;
+        if (!multicell_fields.cells) {
+            ctx.fail("'coordinator' requires a multicell grid ('cells')");
+        }
+        multicell::CoordinatorSpec coordinator;
+        coordinator.policy = *coordinator_fields.policy;
+        switch (coordinator.policy) {
+            case multicell::StartPolicy::simultaneous:
+                if (coordinator_fields.stagger_ms ||
+                    coordinator_fields.backhaul_kbps) {
+                    ctx.fail(
+                        "coordinator = simultaneous takes no "
+                        "coordinator.stagger_ms / coordinator.backhaul_kbps");
+                }
+                break;
+            case multicell::StartPolicy::fixed_stagger:
+                if (!coordinator_fields.stagger_ms) {
+                    ctx.fail(
+                        "coordinator = fixed-stagger requires "
+                        "coordinator.stagger_ms");
+                }
+                if (coordinator_fields.backhaul_kbps) {
+                    ctx.fail(
+                        "coordinator.backhaul_kbps belongs to coordinator = "
+                        "backhaul, not fixed-stagger");
+                }
+                coordinator.stagger_ms = *coordinator_fields.stagger_ms;
+                break;
+            case multicell::StartPolicy::backhaul_budgeted:
+                if (!coordinator_fields.backhaul_kbps) {
+                    ctx.fail(
+                        "coordinator = backhaul requires "
+                        "coordinator.backhaul_kbps");
+                }
+                if (coordinator_fields.stagger_ms) {
+                    ctx.fail(
+                        "coordinator.stagger_ms belongs to coordinator = "
+                        "fixed-stagger, not backhaul");
+                }
+                coordinator.backhaul_kbps = *coordinator_fields.backhaul_kbps;
+                break;
+        }
+        spec.coordinator = coordinator;
     }
 
     try {

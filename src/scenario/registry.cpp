@@ -102,6 +102,27 @@ void register_builtin_presets(Registry& registry) {
         ScenarioSpec{}.with_name("citywide").with_devices(6'000).with_runs(2).with_cells(16));
 
     registry.register_preset(
+        "citywide-staggered",
+        "citywide fleet with 30 s staggered per-cell campaign starts",
+        ScenarioSpec{}
+            .with_name("citywide-staggered")
+            .with_devices(6'000)
+            .with_runs(2)
+            .with_cells(16)
+            .with_stagger_ms(30'000));
+
+    registry.register_preset(
+        "citywide-backhaul",
+        "citywide 1 MB rollout gated by a 512 KB/s central eNB feed",
+        ScenarioSpec{}
+            .with_name("citywide-backhaul")
+            .with_devices(6'000)
+            .with_runs(2)
+            .with_cells(16)
+            .with_payload_bytes(traffic::firmware_1mb().bytes)
+            .with_backhaul_kbps(512.0));
+
+    registry.register_preset(
         "multicell-scaling",
         "fixed fleet sharded over up to 64 cells (scaling sweep base)",
         ScenarioSpec{}

@@ -1,5 +1,7 @@
 #include "scenario/run.hpp"
 
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/report.hpp"
@@ -42,12 +44,47 @@ stats::Table ScenarioResult::summary_table() const {
 
 std::string ScenarioResult::summary_csv() const { return summary_table().to_csv(); }
 
+stats::Table ScenarioResult::coordination_table() const {
+    if (!coordination) {
+        throw std::logic_error(
+            "ScenarioResult::coordination_table: scenario ran without a "
+            "coordinator");
+    }
+    const multicell::CoordinationAggregates& agg = *coordination;
+    stats::Table table({"time-axis metric", "mean", "min", "max"});
+    const auto row = [&](const char* metric, const stats::Summary& summary,
+                         double factor, int precision) {
+        table.add_row(
+            {metric, stats::Table::cell(summary.mean() * factor, precision),
+             stats::Table::cell(summary.min() * factor, precision),
+             stats::Table::cell(summary.max() * factor, precision)});
+    };
+    row("city completion (s)", agg.completion_ms, 1e-3, 1);
+    row("start spread (s)", agg.start_spread_ms, 1e-3, 1);
+    row("peak concurrent cells", agg.peak_concurrent_cells, 1.0, 0);
+    row("backhaul busy (s)", agg.backhaul_busy_ms, 1e-3, 1);
+    row("backhaul utilization", agg.backhaul_utilization, 1.0, 3);
+    return table;
+}
+
+std::string ScenarioResult::coordination_csv() const {
+    return coordination_table().to_csv();
+}
+
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
     spec.validate();
     ScenarioResult result;
     result.spec = spec;
     if (spec.is_multicell()) {
-        result.outcome = multicell::run_deployment(to_deployment_setup(spec));
+        if (spec.coordinator) {
+            multicell::CoordinatedResult coordinated =
+                multicell::run_coordinated(to_deployment_setup(spec),
+                                           *spec.coordinator);
+            result.coordination = std::move(coordinated.coordination);
+            result.outcome = std::move(coordinated.deployment);
+        } else {
+            result.outcome = multicell::run_deployment(to_deployment_setup(spec));
+        }
     } else {
         result.outcome = core::run_comparison(to_comparison_setup(spec));
     }

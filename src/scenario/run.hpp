@@ -20,9 +20,17 @@ namespace nbmg::scenario {
 struct ScenarioResult {
     ScenarioSpec spec;
     std::variant<core::ComparisonOutcome, multicell::DeploymentResult> outcome;
+    /// Present when the spec engaged the wall-clock coordinator: the fleet
+    /// time-axis aggregates (city-wide completion, peak concurrent cells,
+    /// backhaul utilization).  The campaign aggregates in `outcome` are
+    /// bit-identical to the coordinator-absent run.
+    std::optional<multicell::CoordinationAggregates> coordination;
 
     [[nodiscard]] bool is_multicell() const noexcept {
         return std::holds_alternative<multicell::DeploymentResult>(outcome);
+    }
+    [[nodiscard]] bool is_coordinated() const noexcept {
+        return coordination.has_value();
     }
     /// Engine-specific views; throw std::bad_variant_access on the wrong tag.
     [[nodiscard]] const core::ComparisonOutcome& comparison() const {
@@ -44,6 +52,13 @@ struct ScenarioResult {
     /// (core::mechanism_summary_table); summary_csv() is its CSV rendering.
     [[nodiscard]] stats::Table summary_table() const;
     [[nodiscard]] std::string summary_csv() const;
+
+    /// Time-axis report of a coordinated scenario: one row per metric
+    /// (city completion, start spread, peak concurrent cells, backhaul
+    /// busy/utilization) with mean/min/max across runs.  Throws
+    /// std::logic_error when no coordinator ran.
+    [[nodiscard]] stats::Table coordination_table() const;
+    [[nodiscard]] std::string coordination_csv() const;
 };
 
 /// Validates and runs `spec`.  Throws std::invalid_argument on an invalid

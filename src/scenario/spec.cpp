@@ -99,8 +99,31 @@ ScenarioSpec& ScenarioSpec::with_populations(core::SharedPopulations value) {
     populations = std::move(value);
     return *this;
 }
+ScenarioSpec& ScenarioSpec::with_coordinator(multicell::CoordinatorSpec value) {
+    coordinator = value;
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_stagger_ms(std::int64_t value) {
+    multicell::CoordinatorSpec spec;
+    spec.policy = multicell::StartPolicy::fixed_stagger;
+    spec.stagger_ms = value;
+    coordinator = spec;
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_backhaul_kbps(double value) {
+    multicell::CoordinatorSpec spec;
+    spec.policy = multicell::StartPolicy::backhaul_budgeted;
+    spec.backhaul_kbps = value;
+    coordinator = spec;
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::without_coordinator() {
+    coordinator.reset();
+    return *this;
+}
 ScenarioSpec& ScenarioSpec::single_cell() {
     topology.reset();
+    coordinator.reset();
     return *this;
 }
 
@@ -154,6 +177,19 @@ void ScenarioSpec::validate() const {
                                         "': invalid cell topology");
         }
     }
+    if (coordinator) {
+        if (!topology) {
+            throw std::invalid_argument(
+                "scenario '" + name +
+                "': coordinator requires a multicell topology (cells)");
+        }
+        if (!coordinator->valid()) {
+            throw std::invalid_argument(
+                "scenario '" + name +
+                "': invalid coordinator (policy-scoped knobs: stagger_ms >= 0 "
+                "needs fixed-stagger, finite backhaul_kbps > 0 needs backhaul)");
+        }
+    }
     if (populations) {
         if (populations->profile_name != profile.name ||
             populations->device_count != device_count ||
@@ -193,6 +229,13 @@ std::string ScenarioSpec::to_file_text() const {
             "scenario '" + name +
             "': custom cell topologies (per-cell weights/capacity overrides) "
             "cannot be expressed in a scenario file");
+    }
+    if (coordinator && !topology) {
+        // Invalid anyway (validate rejects it); refusing here keeps the
+        // serializer from silently dropping the coordinator keys.
+        throw std::invalid_argument(
+            "scenario '" + name +
+            "': coordinator requires a multicell topology (cells)");
     }
     // Deep config (timing/RACH/radio/signaling models, the paging geometry
     // beyond max_page_records) has no file keys; refuse to serialize specs
@@ -252,6 +295,18 @@ std::string ScenarioSpec::to_file_text() const {
             out << "hotspot_exponent = " << topology->hotspot_exponent << "\n";
         }
         out << "assignment = " << multicell::to_string(assignment) << "\n";
+        if (coordinator) {
+            out << "coordinator = " << multicell::to_string(coordinator->policy)
+                << "\n";
+            if (coordinator->policy == multicell::StartPolicy::fixed_stagger) {
+                out << "coordinator.stagger_ms = " << coordinator->stagger_ms
+                    << "\n";
+            }
+            if (coordinator->policy == multicell::StartPolicy::backhaul_budgeted) {
+                out << "coordinator.backhaul_kbps = " << coordinator->backhaul_kbps
+                    << "\n";
+            }
+        }
     }
     return out.str();
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "multicell/coordinator.hpp"
 #include "multicell/deployment.hpp"
 
 namespace nbmg::scenario {
@@ -79,6 +80,12 @@ struct ScenarioSpec {
     /// engine; absent => the single-cell comparison engine.
     std::optional<TopologySpec> topology;
     multicell::AssignmentPolicy assignment = multicell::AssignmentPolicy::uniform_hash;
+    /// Engaged (requires a topology) => the deployment additionally runs
+    /// through the city-wide wall-clock coordinator
+    /// (multicell::run_coordinated): per-cell start offsets by the chosen
+    /// policy plus fleet time-axis aggregates.  The campaign aggregates
+    /// stay bit-identical to the coordinator-absent path for every policy.
+    std::optional<multicell::CoordinatorSpec> coordinator;
     /// Optional precomputed per-run populations (see
     /// core::generate_comparison_populations); shared across sweep points
     /// by the shells.  Never serialized.
@@ -111,10 +118,20 @@ struct ScenarioSpec {
     ScenarioSpec& with_hotspot(std::size_t cells, double exponent);
     ScenarioSpec& with_assignment(multicell::AssignmentPolicy value);
     ScenarioSpec& with_populations(core::SharedPopulations value);
-    /// Clears the topology: back to the single-cell comparison engine.
+    /// Engages the wall-clock coordinator with an explicit spec.
+    ScenarioSpec& with_coordinator(multicell::CoordinatorSpec value);
+    /// Coordinator with fixed per-cell start stagger (policy fixed-stagger).
+    ScenarioSpec& with_stagger_ms(std::int64_t value);
+    /// Coordinator with a finite central-feed budget (policy backhaul).
+    ScenarioSpec& with_backhaul_kbps(double value);
+    /// Clears the coordinator: back to uncoordinated run_deployment.
+    ScenarioSpec& without_coordinator();
+    /// Clears the topology (and any coordinator riding on it): back to the
+    /// single-cell comparison engine.
     ScenarioSpec& single_cell();
 
     [[nodiscard]] bool is_multicell() const noexcept { return topology.has_value(); }
+    [[nodiscard]] bool is_coordinated() const noexcept { return coordinator.has_value(); }
     [[nodiscard]] std::size_t cell_count() const noexcept {
         return topology ? topology->cells : 1;
     }

@@ -194,6 +194,89 @@ TEST(BenchFlagTest, CellsOverridePreservesTopologyKind) {
     EXPECT_EQ(spec.topology->hotspot_exponent, 1.5);
 }
 
+TEST(BenchFlagTest, CoordinatorOverridesApply) {
+    Args<6> staggered({"--cells", "8", "--coordinator", "fixed-stagger",
+                       "--stagger-ms", "45000"});
+    scenario::ScenarioSpec spec;
+    apply_spec_overrides(spec, staggered.argc, staggered.argv());
+    ASSERT_TRUE(spec.is_coordinated());
+    EXPECT_EQ(spec.coordinator->policy, multicell::StartPolicy::fixed_stagger);
+    EXPECT_EQ(spec.coordinator->stagger_ms, 45'000);
+
+    Args<6> budgeted({"--cells", "8", "--coordinator", "backhaul",
+                      "--backhaul-kbps", "128.5"});
+    scenario::ScenarioSpec backhaul;
+    apply_spec_overrides(backhaul, budgeted.argc, budgeted.argv());
+    ASSERT_TRUE(backhaul.is_coordinated());
+    EXPECT_EQ(backhaul.coordinator->policy,
+              multicell::StartPolicy::backhaul_budgeted);
+    EXPECT_EQ(backhaul.coordinator->backhaul_kbps, 128.5);
+
+    // "none" clears a preset's coordinator; the knob flags then have no
+    // policy to attach to (covered by the death tests below).
+    Args<2> cleared({"--coordinator", "none"});
+    scenario::ScenarioSpec preset =
+        scenario::ScenarioSpec{}.with_cells(4).with_stagger_ms(1'000);
+    apply_spec_overrides(preset, cleared.argc, cleared.argv());
+    EXPECT_FALSE(preset.is_coordinated());
+
+    // A same-policy override keeps the scenario's knobs.
+    Args<2> same({"--coordinator", "fixed-stagger"});
+    scenario::ScenarioSpec keep =
+        scenario::ScenarioSpec{}.with_cells(4).with_stagger_ms(7'000);
+    apply_spec_overrides(keep, same.argc, same.argv());
+    EXPECT_EQ(keep.coordinator->stagger_ms, 7'000);
+}
+
+TEST(BenchFlagDeathTest, CoordinatorOverridesValidated) {
+    Args<2> single_cell({"--coordinator", "simultaneous"});
+    EXPECT_EXIT((void)spec_from_args(single_cell.argc, single_cell.argv(),
+                                     "fig6a"),
+                ::testing::ExitedWithCode(2), "requires a multicell scenario");
+
+    Args<4> unknown({"--cells", "4", "--coordinator", "staggered"});
+    EXPECT_EXIT((void)spec_from_args(unknown.argc, unknown.argv(), "fig6a"),
+                ::testing::ExitedWithCode(2), "unknown start policy");
+
+    // Policy-scoped knobs without their policy.
+    Args<4> bare_stagger({"--cells", "4", "--stagger-ms", "1000"});
+    EXPECT_EXIT((void)spec_from_args(bare_stagger.argc, bare_stagger.argv(),
+                                     "fig6a"),
+                ::testing::ExitedWithCode(2), "fixed-stagger");
+    Args<6> wrong_policy({"--cells", "4", "--coordinator", "backhaul",
+                          "--stagger-ms", "1000"});
+    EXPECT_EXIT((void)spec_from_args(wrong_policy.argc, wrong_policy.argv(),
+                                     "fig6a"),
+                ::testing::ExitedWithCode(2), "fixed-stagger");
+
+    // A freshly engaged fixed-stagger needs its stagger (a forgotten
+    // --stagger-ms must not silently run simultaneous starts).
+    Args<4> no_stagger({"--cells", "4", "--coordinator", "fixed-stagger"});
+    EXPECT_EXIT((void)spec_from_args(no_stagger.argc, no_stagger.argv(),
+                                     "fig6a"),
+                ::testing::ExitedWithCode(2), "needs a stagger");
+
+    // backhaul needs a usable budget.
+    Args<4> no_budget({"--cells", "4", "--coordinator", "backhaul"});
+    EXPECT_EXIT((void)spec_from_args(no_budget.argc, no_budget.argv(), "fig6a"),
+                ::testing::ExitedWithCode(2), "feed budget");
+    Args<6> bad_budget({"--cells", "4", "--coordinator", "backhaul",
+                        "--backhaul-kbps", "0"});
+    EXPECT_EXIT((void)spec_from_args(bad_budget.argc, bad_budget.argv(),
+                                     "fig6a"),
+                ::testing::ExitedWithCode(2), "must be > 0");
+    Args<6> junk_budget({"--cells", "4", "--coordinator", "backhaul",
+                         "--backhaul-kbps", "fast"});
+    EXPECT_EXIT((void)spec_from_args(junk_budget.argc, junk_budget.argv(),
+                                     "fig6a"),
+                ::testing::ExitedWithCode(2), "not a number");
+    Args<6> inf_budget({"--cells", "4", "--coordinator", "backhaul",
+                        "--backhaul-kbps", "inf"});
+    EXPECT_EXIT((void)spec_from_args(inf_budget.argc, inf_budget.argv(),
+                                     "fig6a"),
+                ::testing::ExitedWithCode(2), "not a finite number");
+}
+
 TEST(BenchFlagDeathTest, MalformedAssignmentsRejected) {
     Args<2> unknown({"--assignment", "zipf"});
     EXPECT_EXIT((void)flag_assignment(unknown.argc, unknown.argv()),

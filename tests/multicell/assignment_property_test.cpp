@@ -1,0 +1,152 @@
+// Property battery for the device->cell assignment policies
+// (multicell/assignment.hpp), pinning the statistical contracts the
+// deployment layer leans on:
+//  - assignment is a pure function of (topology, devices, policy, seed):
+//    re-running yields the identical map (and a different seed a different
+//    one),
+//  - the realized cell histogram matches the policy's target weights
+//    within binomial-confidence tolerance (uniform: 1/cells each;
+//    hotspot: CellSite::weight-proportional; class-affinity: spill mass
+//    close to kClassAffinitySpill),
+//  - a 1-cell topology degenerates to the identity: every policy camps the
+//    whole fleet on cell 0.
+#include "multicell/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "multicell/topology.hpp"
+#include "traffic/population.hpp"
+
+namespace nbmg::multicell {
+namespace {
+
+struct Fleet {
+    std::vector<nbiot::UeSpec> specs;
+    std::vector<std::uint32_t> classes;
+};
+
+Fleet make_fleet(std::size_t count, std::uint64_t seed) {
+    sim::RandomStream rng{seed};
+    const auto generated =
+        traffic::generate_population(traffic::massive_iot_city(), count, rng);
+    Fleet fleet;
+    fleet.specs = traffic::to_specs(generated);
+    fleet.classes.reserve(generated.size());
+    for (const auto& device : generated) {
+        fleet.classes.push_back(static_cast<std::uint32_t>(device.class_index));
+    }
+    return fleet;
+}
+
+/// 5-sigma binomial tolerance on an observed count of n draws at
+/// probability p — loose enough to never flake on a fixed seed, tight
+/// enough to catch a mis-weighted hash.
+double count_tolerance(std::size_t n, double p) {
+    return 5.0 * std::sqrt(static_cast<double>(n) * p * (1.0 - p));
+}
+
+constexpr std::size_t kFleet = 20'000;
+
+TEST(AssignmentPropertyTest, DeterministicUnderRerunAndSeedSensitive) {
+    const Fleet fleet = make_fleet(2'000, 7);
+    for (const AssignmentPolicy policy :
+         {AssignmentPolicy::uniform_hash, AssignmentPolicy::hotspot,
+          AssignmentPolicy::class_affinity}) {
+        for (const std::uint64_t seed : {0ull, 42ull, 0xdeadbeefull}) {
+            const CellTopology topology = CellTopology::hotspot(12, 0.8);
+            const DeviceAssignment first = assign_devices(
+                topology, fleet.specs, fleet.classes, policy, seed);
+            const DeviceAssignment second = assign_devices(
+                topology, fleet.specs, fleet.classes, policy, seed);
+            EXPECT_EQ(first.cell_of_device, second.cell_of_device)
+                << to_string(policy) << " seed " << seed;
+            EXPECT_EQ(first.cell_sizes, second.cell_sizes);
+
+            const DeviceAssignment reseeded = assign_devices(
+                topology, fleet.specs, fleet.classes, policy, seed + 1);
+            EXPECT_NE(first.cell_of_device, reseeded.cell_of_device)
+                << to_string(policy) << " must depend on the seed";
+        }
+    }
+}
+
+TEST(AssignmentPropertyTest, UniformHistogramMatchesEqualWeights) {
+    const Fleet fleet = make_fleet(kFleet, 11);
+    for (const std::size_t cells : {2ull, 8ull, 32ull}) {
+        const DeviceAssignment assignment =
+            assign_devices(CellTopology::uniform(cells), fleet.specs, {},
+                           AssignmentPolicy::uniform_hash, 42);
+        const double expected = static_cast<double>(kFleet) / static_cast<double>(cells);
+        const double tolerance = count_tolerance(kFleet, 1.0 / static_cast<double>(cells));
+        for (std::size_t c = 0; c < cells; ++c) {
+            EXPECT_NEAR(static_cast<double>(assignment.cell_sizes[c]), expected,
+                        tolerance)
+                << cells << " cells, cell " << c;
+        }
+    }
+}
+
+TEST(AssignmentPropertyTest, HotspotHistogramMatchesZipfWeights) {
+    const Fleet fleet = make_fleet(kFleet, 13);
+    const CellTopology topology = CellTopology::hotspot(10, 1.0);
+    double total_weight = 0.0;
+    for (const CellSite& site : topology.cells) total_weight += site.weight;
+
+    const DeviceAssignment assignment = assign_devices(
+        topology, fleet.specs, {}, AssignmentPolicy::hotspot, 42);
+    for (std::size_t c = 0; c < topology.cell_count(); ++c) {
+        const double p = topology.cells[c].weight / total_weight;
+        EXPECT_NEAR(static_cast<double>(assignment.cell_sizes[c]),
+                    static_cast<double>(kFleet) * p, count_tolerance(kFleet, p))
+            << "cell " << c;
+    }
+    // The gradient itself must be realized: downtown strictly busier than
+    // the suburb tail (weights differ by 10x, far beyond the tolerance).
+    EXPECT_GT(assignment.cell_sizes.front(), assignment.cell_sizes.back());
+}
+
+TEST(AssignmentPropertyTest, ClassAffinitySpillMatchesConfiguredFraction) {
+    const Fleet fleet = make_fleet(kFleet, 17);
+    const CellTopology topology = CellTopology::uniform(16);
+    const DeviceAssignment assignment =
+        assign_devices(topology, fleet.specs, fleet.classes,
+                       AssignmentPolicy::class_affinity, 42);
+
+    // Devices that did not land on their class's home cell are exactly the
+    // spill (modulo the spilled devices that hash back home, a 1/16 sliver
+    // the tolerance absorbs).
+    std::size_t off_home = 0;
+    for (std::size_t d = 0; d < fleet.specs.size(); ++d) {
+        const std::uint32_t home = static_cast<std::uint32_t>(
+            sim::derive_seed(42, "class-home", fleet.classes[d]) %
+            topology.cell_count());
+        if (assignment.cell_of_device[d] != home) ++off_home;
+    }
+    const double expected_off_home =
+        static_cast<double>(kFleet) * kClassAffinitySpill *
+        (1.0 - 1.0 / static_cast<double>(topology.cell_count()));
+    EXPECT_NEAR(static_cast<double>(off_home), expected_off_home,
+                count_tolerance(kFleet, kClassAffinitySpill));
+}
+
+TEST(AssignmentPropertyTest, OneCellDegeneratesToIdentity) {
+    const Fleet fleet = make_fleet(1'000, 19);
+    for (const AssignmentPolicy policy :
+         {AssignmentPolicy::uniform_hash, AssignmentPolicy::hotspot,
+          AssignmentPolicy::class_affinity}) {
+        const DeviceAssignment assignment = assign_devices(
+            CellTopology::uniform(1), fleet.specs, fleet.classes, policy, 42);
+        ASSERT_EQ(assignment.cell_sizes.size(), 1u);
+        EXPECT_EQ(assignment.cell_sizes[0], fleet.specs.size());
+        for (const std::uint32_t cell : assignment.cell_of_device) {
+            EXPECT_EQ(cell, 0u);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace nbmg::multicell

@@ -152,6 +152,74 @@ TEST(ScenarioParserTest, MulticellKeysWithoutCellsRejected) {
                        {"test.scenario:2", "require 'cells'"});
 }
 
+TEST(ScenarioParserTest, ParsesCoordinatorKeysInAnyOrder) {
+    const ScenarioSpec staggered = parse_scenario_text(
+        "coordinator.stagger_ms = 45000\n"
+        "cells = 8\n"
+        "coordinator = fixed-stagger\n",
+        "staggered.scenario");
+    ASSERT_TRUE(staggered.is_coordinated());
+    EXPECT_EQ(staggered.coordinator->policy,
+              multicell::StartPolicy::fixed_stagger);
+    EXPECT_EQ(staggered.coordinator->stagger_ms, 45'000);
+
+    const ScenarioSpec budgeted = parse_scenario_text(
+        "cells = 4\n"
+        "coordinator = backhaul\n"
+        "coordinator.backhaul_kbps = 256.5\n",
+        "backhaul.scenario");
+    ASSERT_TRUE(budgeted.is_coordinated());
+    EXPECT_EQ(budgeted.coordinator->policy,
+              multicell::StartPolicy::backhaul_budgeted);
+    EXPECT_EQ(budgeted.coordinator->backhaul_kbps, 256.5);
+
+    const ScenarioSpec simultaneous = parse_scenario_text(
+        "cells = 4\ncoordinator = simultaneous\n", "simultaneous.scenario");
+    ASSERT_TRUE(simultaneous.is_coordinated());
+    EXPECT_EQ(simultaneous.coordinator->policy,
+              multicell::StartPolicy::simultaneous);
+}
+
+TEST(ScenarioParserTest, CoordinatorKeysValidatedAsAGroup) {
+    // Unknown policy spelling, at its line.
+    expect_parse_error("cells = 4\ncoordinator = staggered\n",
+                       {"test.scenario:2",
+                        "expected simultaneous | fixed-stagger | backhaul"});
+    // Sub-keys without the policy key.
+    expect_parse_error("cells = 4\ncoordinator.stagger_ms = 1000\n",
+                       {"test.scenario:2", "require a 'coordinator' policy"});
+    // The coordinator needs a grid to schedule.
+    expect_parse_error("devices = 10\ncoordinator = simultaneous\n",
+                       {"test.scenario:2", "requires a multicell grid"});
+    // Policy-scoped knobs on the wrong policy.
+    expect_parse_error(
+        "cells = 4\ncoordinator = fixed-stagger\n"
+        "coordinator.stagger_ms = 10\ncoordinator.backhaul_kbps = 8\n",
+        {"test.scenario:2", "belongs to coordinator = backhaul"});
+    expect_parse_error(
+        "cells = 4\ncoordinator = backhaul\n"
+        "coordinator.backhaul_kbps = 8\ncoordinator.stagger_ms = 10\n",
+        {"test.scenario:2", "belongs to coordinator = fixed-stagger"});
+    expect_parse_error("cells = 4\ncoordinator = simultaneous\n"
+                       "coordinator.stagger_ms = 10\n",
+                       {"test.scenario:2", "takes no"});
+    // Required knobs missing.
+    expect_parse_error("cells = 4\ncoordinator = fixed-stagger\n",
+                       {"test.scenario:2", "requires", "stagger_ms"});
+    expect_parse_error("cells = 4\ncoordinator = backhaul\n",
+                       {"test.scenario:2", "requires", "backhaul_kbps"});
+    // Knob values.
+    expect_parse_error("cells = 4\ncoordinator = backhaul\n"
+                       "coordinator.backhaul_kbps = 0\n",
+                       {"test.scenario:3", "must be > 0"});
+    expect_parse_error("cells = 4\ncoordinator = backhaul\n"
+                       "coordinator.backhaul_kbps = inf\n",
+                       {"test.scenario:3", "not a finite number"});
+    expect_parse_error("cells = 4\ncoordinator = fixed-stagger\n"
+                       "coordinator.stagger_ms = 9223372036854775808\n",
+                       {"test.scenario:3", "out of range"});
+}
+
 TEST(ScenarioParserTest, InvalidAssembledSpecRejectedWithSourceName) {
     // Parses line by line but fails whole-spec validation (empty mechanisms
     // cannot be expressed, so use a config contradiction instead).

@@ -16,25 +16,18 @@
 #include "multicell/deployment.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/run.hpp"
+#include "tests/support/deployment_equal.hpp"
 #include "traffic/firmware.hpp"
 
 namespace nbmg::scenario {
 namespace {
 
+using test_support::expect_deployment_results_equal;
+using test_support::expect_mechanism_stats_equal;
+
 void expect_same_stats(const core::MechanismStats& actual,
                        const core::MechanismStats& expected) {
-    EXPECT_EQ(actual.kind, expected.kind);
-    EXPECT_TRUE(actual.light_sleep_increase == expected.light_sleep_increase);
-    EXPECT_TRUE(actual.connected_increase == expected.connected_increase);
-    EXPECT_TRUE(actual.transmissions == expected.transmissions);
-    EXPECT_TRUE(actual.transmissions_per_device ==
-                expected.transmissions_per_device);
-    EXPECT_TRUE(actual.bytes_ratio == expected.bytes_ratio);
-    EXPECT_TRUE(actual.recovery_transmissions == expected.recovery_transmissions);
-    EXPECT_TRUE(actual.unreceived_devices == expected.unreceived_devices);
-    EXPECT_TRUE(actual.mean_connected_seconds == expected.mean_connected_seconds);
-    EXPECT_TRUE(actual.mean_light_sleep_seconds ==
-                expected.mean_light_sleep_seconds);
+    expect_mechanism_stats_equal(actual, expected);
 }
 
 void expect_same_outcome(const core::ComparisonOutcome& actual,
@@ -101,54 +94,75 @@ TEST(ScenarioGoldenTest, Fig7DrScBitIdenticalToRunComparison) {
     }
 }
 
+/// The pre-coordinator 16-cell citywide deployment, hand-assembled as the
+/// PR 3 binary did — the golden reference for the coordinator-absent AND
+/// coordinator=simultaneous scenarios.
+multicell::DeploymentSetup legacy_citywide_setup(std::size_t threads) {
+    multicell::DeploymentSetup legacy;
+    legacy.profile = traffic::massive_iot_city();
+    legacy.device_count = 400;
+    legacy.payload_bytes = traffic::firmware_100kb().bytes;
+    legacy.runs = 2;
+    legacy.base_seed = 42;
+    legacy.threads = threads;
+    legacy.topology = multicell::CellTopology::uniform(16);
+    return legacy;
+}
+
 TEST(ScenarioGoldenTest, Citywide16CellsBitIdenticalToRunDeployment) {
     for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
         ScenarioSpec spec = Registry::instance().preset("citywide");
         spec.with_devices(400).with_runs(2).with_threads(threads);
         ASSERT_EQ(spec.cell_count(), 16u);
 
-        multicell::DeploymentSetup legacy;
-        legacy.profile = traffic::massive_iot_city();
-        legacy.device_count = 400;
-        legacy.payload_bytes = traffic::firmware_100kb().bytes;
-        legacy.runs = 2;
-        legacy.base_seed = 42;
-        legacy.threads = threads;
-        legacy.topology = multicell::CellTopology::uniform(16);
-
         const multicell::DeploymentResult expected =
-            multicell::run_deployment(legacy);
+            multicell::run_deployment(legacy_citywide_setup(threads));
         const ScenarioResult result = run_scenario(spec);
         ASSERT_TRUE(result.is_multicell());
-        const multicell::DeploymentResult& actual = result.deployment();
+        EXPECT_FALSE(result.is_coordinated());
+        expect_deployment_results_equal(result.deployment(), expected);
+    }
+}
 
-        expect_same_stats(actual.unicast.stats, expected.unicast.stats);
-        EXPECT_TRUE(actual.unicast.bytes_on_air == expected.unicast.bytes_on_air);
-        EXPECT_TRUE(actual.unicast.rach_collision_rate ==
-                    expected.unicast.rach_collision_rate);
-        ASSERT_EQ(actual.mechanisms.size(), expected.mechanisms.size());
-        for (std::size_t m = 0; m < actual.mechanisms.size(); ++m) {
-            expect_same_stats(actual.mechanisms[m].stats,
-                              expected.mechanisms[m].stats);
-            EXPECT_TRUE(actual.mechanisms[m].bytes_on_air ==
-                        expected.mechanisms[m].bytes_on_air);
-            EXPECT_TRUE(actual.mechanisms[m].rach_collision_rate ==
-                        expected.mechanisms[m].rach_collision_rate);
-        }
-        ASSERT_EQ(actual.cells.size(), expected.cells.size());
-        for (std::size_t c = 0; c < actual.cells.size(); ++c) {
-            EXPECT_TRUE(actual.cells[c].devices == expected.cells[c].devices);
-            expect_same_stats(actual.cells[c].unicast.stats,
-                              expected.cells[c].unicast.stats);
-        }
-        EXPECT_TRUE(actual.cell_load == expected.cell_load);
-        EXPECT_EQ(actual.empty_cell_runs, expected.empty_cell_runs);
-        EXPECT_EQ(actual.rach_collision_across_cells.count(),
-                  expected.rach_collision_across_cells.count());
-        for (const double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
-            EXPECT_EQ(actual.rach_collision_across_cells.quantile(q),
-                      expected.rach_collision_across_cells.quantile(q));
-        }
+TEST(ScenarioGoldenTest, CoordinatorSimultaneousBitIdenticalToRunDeployment) {
+    // Acceptance pin: a coordinator=simultaneous scenario reproduces the
+    // pre-coordinator run_deployment aggregates bit for bit at threads 1
+    // and 8 — the coordinator adds the time axis without perturbing a
+    // single campaign number.
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+        ScenarioSpec spec = Registry::instance().preset("citywide");
+        spec.with_devices(400).with_runs(2).with_threads(threads);
+        spec.with_coordinator(multicell::CoordinatorSpec{});
+
+        const multicell::DeploymentResult expected =
+            multicell::run_deployment(legacy_citywide_setup(threads));
+        const ScenarioResult result = run_scenario(spec);
+        ASSERT_TRUE(result.is_multicell());
+        ASSERT_TRUE(result.is_coordinated());
+        expect_deployment_results_equal(result.deployment(), expected);
+
+        // The simultaneous time axis: no stagger, no feed, everything
+        // concurrent from t = 0.
+        EXPECT_EQ(result.coordination->completion_ms.count(), 2u);
+        EXPECT_DOUBLE_EQ(result.coordination->start_spread_ms.max(), 0.0);
+        EXPECT_DOUBLE_EQ(result.coordination->backhaul_busy_ms.max(), 0.0);
+        EXPECT_GT(result.coordination->peak_concurrent_cells.min(), 0.0);
+    }
+}
+
+TEST(ScenarioGoldenTest, StaggeredAndBackhaulKeepCampaignAggregatesGolden) {
+    // The stronger form of the same pin: even the non-trivial policies may
+    // only add time-axis data on top of the golden campaign aggregates.
+    const multicell::DeploymentResult expected =
+        multicell::run_deployment(legacy_citywide_setup(1));
+    for (const char* preset : {"citywide-staggered", "citywide-backhaul"}) {
+        ScenarioSpec spec = Registry::instance().preset(preset);
+        spec.with_devices(400).with_runs(2).with_threads(1);
+        spec.with_payload_bytes(traffic::firmware_100kb().bytes);
+
+        const ScenarioResult result = run_scenario(spec);
+        ASSERT_TRUE(result.is_coordinated()) << preset;
+        expect_deployment_results_equal(result.deployment(), expected);
     }
 }
 

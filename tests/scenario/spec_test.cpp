@@ -115,6 +115,57 @@ TEST(ScenarioSpecTest, ValidationNamesTheOffendingField) {
                  std::invalid_argument);
 }
 
+TEST(ScenarioSpecTest, CoordinatorBuildersAndValidation) {
+    // The convenience builders imply their policy.
+    ScenarioSpec staggered = small_spec().with_cells(4).with_stagger_ms(20'000);
+    ASSERT_TRUE(staggered.is_coordinated());
+    EXPECT_EQ(staggered.coordinator->policy,
+              multicell::StartPolicy::fixed_stagger);
+    EXPECT_NO_THROW(staggered.validate());
+
+    ScenarioSpec budgeted = small_spec().with_cells(4).with_backhaul_kbps(64.0);
+    EXPECT_EQ(budgeted.coordinator->policy,
+              multicell::StartPolicy::backhaul_budgeted);
+    EXPECT_NO_THROW(budgeted.validate());
+
+    // A coordinator needs a grid to schedule.
+    EXPECT_THROW(small_spec().with_stagger_ms(1'000).validate(),
+                 std::invalid_argument);
+    // Policy-scoped knobs must be consistent.
+    ScenarioSpec inconsistent = small_spec().with_cells(4);
+    multicell::CoordinatorSpec mixed;
+    mixed.policy = multicell::StartPolicy::backhaul_budgeted;
+    mixed.stagger_ms = 5'000;
+    mixed.backhaul_kbps = 64.0;
+    inconsistent.with_coordinator(mixed);
+    EXPECT_THROW(inconsistent.validate(), std::invalid_argument);
+
+    // single_cell drops the coordinator along with the grid; the spec
+    // stays valid instead of stranding a coordinator without cells.
+    ScenarioSpec cleared = small_spec().with_cells(4).with_stagger_ms(1'000);
+    cleared.single_cell();
+    EXPECT_FALSE(cleared.is_coordinated());
+    EXPECT_NO_THROW(cleared.validate());
+    EXPECT_FALSE(small_spec().with_cells(4).with_stagger_ms(1'000)
+                     .without_coordinator()
+                     .is_coordinated());
+}
+
+TEST(ScenarioSpecTest, CoordinatorKeysSerializeAndReparse) {
+    ScenarioSpec spec = small_spec().with_hotspot(6, 0.5).with_stagger_ms(45'000);
+    ScenarioSpec parsed = parse_scenario_text(spec.to_file_text(), "staggered");
+    ASSERT_TRUE(parsed.is_coordinated());
+    EXPECT_EQ(parsed.coordinator->policy, multicell::StartPolicy::fixed_stagger);
+    EXPECT_EQ(parsed.coordinator->stagger_ms, 45'000);
+
+    spec = small_spec().with_cells(3).with_backhaul_kbps(0.125);
+    parsed = parse_scenario_text(spec.to_file_text(), "backhaul");
+    ASSERT_TRUE(parsed.is_coordinated());
+    EXPECT_EQ(parsed.coordinator->policy,
+              multicell::StartPolicy::backhaul_budgeted);
+    EXPECT_EQ(parsed.coordinator->backhaul_kbps, 0.125);
+}
+
 TEST(ScenarioSpecTest, MismatchedSharedPopulationsRejected) {
     ScenarioSpec spec = small_spec();
     spec.with_populations(core::generate_comparison_populations(
@@ -193,6 +244,11 @@ TEST(ScenarioSpecTest, FileTextRejectsUnregisteredProfileAndCustomTopology) {
     topo.custom = multicell::CellTopology::hotspot(4, 2.0);
     custom_topology.with_topology(topo);
     EXPECT_THROW((void)custom_topology.to_file_text(), std::invalid_argument);
+
+    // A coordinator stranded without a grid must not silently vanish on
+    // the way to a file.
+    ScenarioSpec stranded = small_spec().with_stagger_ms(1'000);
+    EXPECT_THROW((void)stranded.to_file_text(), std::invalid_argument);
 }
 
 TEST(ScenarioSpecTest, EveryShippedPresetSerializesAndReparses) {
