@@ -45,9 +45,9 @@ int main(int argc, char** argv) {
 
     struct Scenario {
         std::string name;
-        int max_page_records;       // < 0: keep the base config's value
-        double background_ra;       // < 0: keep
-        double page_miss;           // < 0: keep
+        int max_page_records = -1;  // < 0: keep the base config's value
+        double background_ra = -1.0;   // < 0: keep
+        double page_miss = -1.0;       // < 0: keep
     };
     // Row 0 is the scenario's own config, untouched — unless it already
     // equals the canonical baseline row, which would just run the most

@@ -2,18 +2,58 @@
 # Records the kernel microbenchmarks as google-benchmark JSON at the repo
 # root — the perf trajectory file future PRs regress against.
 #
-#   $ ci/bench.sh                  # writes BENCH_pr5.json
-#   $ ci/bench.sh BENCH_pr6.json   # explicit output name
+#   $ ci/bench.sh                             # single run -> BENCH_pr6.json
+#   $ ci/bench.sh --repeat 3                  # best-of-3 (recommended)
+#   $ ci/bench.sh --repeat 3 BENCH_pr7.json   # explicit output name
+#
+# --repeat N runs the suite N times and merges with ci/bench_merge.py:
+# the committed file carries the per-benchmark MIN (best-of-N) as
+# real_time/cpu_time plus the median as real_time_median/cpu_time_median.
+# Rationale: this box is single-core shared tenancy, and one-off drift of
+# up to ±15% on a single reading is routine (the "1.16x" event-queue
+# reading in the PR 5 recording re-measured at ~1.1x) — best-of-N keeps
+# such drift out of the committed baseline, and the min/median pair lets
+# reviewers separate noise from real movement.  Treat ratios within ±15%
+# of the previous BENCH_prN.json as noise unless min AND median agree.
 #
 # The suite includes the large-n cases (event queue at 10^6 events, greedy
 # cover at 10^4 sets x 10^5 elements, full campaign at 10^4 devices, and
 # the multicell deployment at 10^5 devices x {1, 16, 64} cells), so a full
-# run takes several minutes.
+# run takes several minutes — times N with --repeat.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr5.json}"
+repeat=1
+out=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --repeat)
+      [[ $# -ge 2 ]] || { echo "error: --repeat needs a value" >&2; exit 2; }
+      repeat="$2"
+      shift 2
+      ;;
+    --repeat=*)
+      repeat="${1#--repeat=}"
+      shift
+      ;;
+    -*)
+      echo "error: unknown flag '$1' (usage: ci/bench.sh [--repeat N] [OUT.json])" >&2
+      exit 2
+      ;;
+    *)
+      [[ -z "${out}" ]] || { echo "error: multiple outputs named" >&2; exit 2; }
+      out="$1"
+      shift
+      ;;
+  esac
+done
+out="${out:-BENCH_pr6.json}"
+if ! [[ "${repeat}" =~ ^[1-9][0-9]*$ ]]; then
+  echo "error: --repeat must be a positive integer, got '${repeat}'" >&2
+  exit 2
+fi
+
 jobs="$(nproc 2>/dev/null || echo 2)"
 build_dir=build-release
 
@@ -26,6 +66,21 @@ if [[ ! -x "${build_dir}/bench/microbench_kernels" ]]; then
   exit 1
 fi
 
-"${build_dir}/bench/microbench_kernels" \
-  --benchmark_out="${out}" --benchmark_out_format=json
-echo "bench: wrote ${out}"
+if [[ "${repeat}" -eq 1 ]]; then
+  "${build_dir}/bench/microbench_kernels" \
+    --benchmark_out="${out}" --benchmark_out_format=json
+  echo "bench: wrote ${out} (single run; prefer --repeat 3 for baselines)"
+else
+  tmp_dir="$(mktemp -d)"
+  trap 'rm -rf "${tmp_dir}"' EXIT
+  raw_files=()
+  for ((i = 1; i <= repeat; i++)); do
+    echo "=== bench: repeat ${i}/${repeat} ==="
+    raw="${tmp_dir}/run${i}.json"
+    "${build_dir}/bench/microbench_kernels" \
+      --benchmark_out="${raw}" --benchmark_out_format=json
+    raw_files+=("${raw}")
+  done
+  python3 ci/bench_merge.py "${out}" "${raw_files[@]}"
+  echo "bench: wrote ${out} (best of ${repeat}, min+median per benchmark)"
+fi

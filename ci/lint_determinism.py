@@ -1,0 +1,321 @@
+#!/usr/bin/env python3
+"""nbmg determinism lint.
+
+Every result this repro reports rests on one invariant: campaigns are
+bit-identical at any --threads and across mechanisms.  This checker scans
+C++ sources for the nondeterminism sources this codebase specifically must
+never grow:
+
+  wall-clock      time(), clock(), std::chrono::system_clock — and
+                  steady_clock outside bench/ (benches time themselves;
+                  simulation code must never read a host clock).
+  raw-rng         std::rand/srand/random_device, or constructing a
+                  std::mt19937* engine outside sim/random.* — every draw
+                  must flow through a derive_seed()-rooted RandomStream.
+  unordered-iter  any use of std::unordered_map/std::unordered_set.
+                  Iteration order is implementation-defined, so an
+                  unordered container that feeds output or RNG draws
+                  breaks bit-identity.  Lookup-only uses are fine but
+                  must be audited by a human and annotated (below).
+  pointer-key     std::map/set/multimap/multiset keyed on a pointer:
+                  iteration follows allocation addresses, which vary
+                  run to run (ASLR, allocator state).
+  uninit-pod      struct members of arithmetic type without an
+                  initializer.  Aggregates flow into Summary::merge and
+                  the bit-exact golden comparisons; an uninitialized
+                  member merges garbage that happens to be zero — until
+                  it is not.
+
+Audited exceptions carry an inline pragma on the flagged line or the line
+directly above:
+
+    // nbmg-lint: allow(<category>) <reason>
+
+The pragma is itself verified: the category must be one of the five
+above, a non-empty reason is mandatory, and a pragma that no longer
+annotates a finding of its category is reported as stale (so allowlist
+entries cannot outlive the code they excused).
+
+Usage:
+    lint_determinism.py [--root DIR] [FILE...]
+
+With no FILE arguments, scans every *.cpp/*.hpp/*.h under DIR/src
+(DIR defaults to the repository root containing this script).  Exits 0
+when clean, 1 with file:line diagnostics when findings remain, 2 on
+usage errors.  stdlib only; runs in both ci/verify.sh sanitizer legs and
+ci/analyze.sh, and under ctest -L analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CATEGORIES = (
+    "wall-clock",
+    "raw-rng",
+    "unordered-iter",
+    "pointer-key",
+    "uninit-pod",
+)
+
+PRAGMA_RE = re.compile(
+    r"//\s*nbmg-lint:\s*allow\(([a-z-]+)\)\s*(.*)$"
+)
+
+# Files whose job is randomness: the one place engine construction and
+# seeding primitives are allowed.
+RNG_HOME_RE = re.compile(r"(^|/)sim/random\.(cpp|hpp|h)$")
+# Benches may read the host clock to time themselves.
+BENCH_DIR_RE = re.compile(r"(^|/)bench/")
+
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono::system_clock"
+    r"|std::chrono::high_resolution_clock"
+    r"|(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0|\)|&)"
+    r"|(?<![\w:])clock\s*\(\s*\)"
+    r"|gettimeofday|clock_gettime|localtime|gmtime"
+)
+STEADY_CLOCK_RE = re.compile(r"std::chrono::steady_clock")
+RAW_RNG_RE = re.compile(
+    r"std::rand\b|(?<![\w:])srand\s*\("
+    r"|std::random_device|(?<![\w:])random_device\b"
+    r"|std::(?:mt19937|mt19937_64|minstd_rand|minstd_rand0|ranlux\w+|"
+    r"knuth_b|default_random_engine)\b"
+)
+UNORDERED_RE = re.compile(r"std::unordered_(?:map|set|multimap|multiset)\b")
+UNORDERED_INCLUDE_RE = re.compile(r'#\s*include\s*<unordered_(?:map|set)>')
+POINTER_KEY_RE = re.compile(
+    r"std::(?:map|set|multimap|multiset)\s*<\s*(?:const\s+)?[\w:]+"
+    r"(?:\s*<[^<>]*>)?\s*(?:const\s*)?\*"
+)
+
+# Arithmetic/POD member declaration with no initializer, e.g.
+#   double mean_;      std::uint64_t count_;      int attempts;
+# but not
+#   double mean_ = 0;  std::uint64_t count_{0};   SimTime t{0};
+ARITH_TYPE = (
+    r"(?:unsigned\s+|signed\s+)?"
+    r"(?:bool|char|short|int|long|long\s+long|float|double|size_t|"
+    r"std::size_t|std::u?int(?:8|16|32|64)_t|std::ptrdiff_t|"
+    r"u?int(?:8|16|32|64)_t)"
+    r"(?:\s+(?:unsigned|signed|int|long))*"
+)
+UNINIT_POD_RE = re.compile(
+    r"^\s*(?:static\s+)?(?:mutable\s+)?" + ARITH_TYPE +
+    r"\s+\w+(?:\s*,\s*\w+)*\s*;\s*$"
+)
+STRUCT_OPEN_RE = re.compile(r"^\s*(?:struct|class)\s+\w+[^;]*$")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, category: str, message: str):
+        self.path = path
+        self.line = line
+        self.category = category
+        self.message = message
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.category}] {self.message}"
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Blanks comment and string-literal text, preserving line structure
+    so diagnostics keep their line numbers.  Pragmas are extracted from
+    the raw lines before this runs."""
+    out = []
+    in_block = False
+    for raw in lines:
+        buf = []
+        i = 0
+        n = len(raw)
+        while i < n:
+            if in_block:
+                end = raw.find("*/", i)
+                if end == -1:
+                    buf.append(" " * (n - i))
+                    i = n
+                else:
+                    buf.append(" " * (end + 2 - i))
+                    i = end + 2
+                    in_block = False
+                continue
+            ch = raw[i]
+            two = raw[i:i + 2]
+            if two == "//":
+                buf.append(" " * (n - i))
+                break
+            if two == "/*":
+                in_block = True
+                i += 2
+                buf.append("  ")
+                continue
+            if ch in "\"'":
+                quote = ch
+                j = i + 1
+                while j < n:
+                    if raw[j] == "\\":
+                        j += 2
+                        continue
+                    if raw[j] == quote:
+                        break
+                    j += 1
+                j = min(j, n - 1)
+                buf.append(quote + " " * (j - i - 1) + quote)
+                i = j + 1
+                continue
+            buf.append(ch)
+            i += 1
+        out.append("".join(buf))
+    return out
+
+
+def scan_file(path: Path, rel: str) -> list[Finding]:
+    raw_lines = path.read_text(encoding="utf-8").splitlines()
+    findings: list[Finding] = []
+    pragma_findings: list[Finding] = []
+
+    # Pass 1: pragmas, from the raw text (they live in comments).
+    # pragmas[line_no] = (category, reason); line numbers are 1-based.
+    pragmas: dict[int, str] = {}
+    for no, line in enumerate(raw_lines, 1):
+        m = PRAGMA_RE.search(line)
+        if not m:
+            continue
+        category, reason = m.group(1), m.group(2).strip()
+        if category not in CATEGORIES:
+            pragma_findings.append(Finding(
+                path, no, "pragma",
+                f"unknown allow() category '{category}' "
+                f"(expected one of: {', '.join(CATEGORIES)})"))
+            continue
+        if not reason:
+            pragma_findings.append(Finding(
+                path, no, "pragma",
+                f"allow({category}) pragma has no reason; write "
+                f"'// nbmg-lint: allow({category}) <why this is safe>'"))
+            continue
+        pragmas[no] = category
+
+    code = strip_comments_and_strings(raw_lines)
+    in_rng_home = bool(RNG_HOME_RE.search(rel))
+    in_bench = bool(BENCH_DIR_RE.search(rel))
+
+    def emit(no: int, category: str, message: str) -> None:
+        findings.append(Finding(path, no, category, message))
+
+    struct_depth = 0
+    brace_depth = 0
+    struct_stack: list[int] = []
+    used_pragmas: set[int] = set()
+
+    def allowed(no: int, category: str) -> bool:
+        for cand in (no, no - 1):
+            if pragmas.get(cand) == category:
+                used_pragmas.add(cand)
+                return True
+        return False
+
+    for no, line in enumerate(code, 1):
+        if STRUCT_OPEN_RE.match(line) and ";" not in line:
+            struct_stack.append(brace_depth)
+            struct_depth += 1
+        opens = line.count("{")
+        closes = line.count("}")
+        brace_depth += opens - closes
+        while struct_stack and brace_depth <= struct_stack[-1] and closes:
+            struct_stack.pop()
+            struct_depth -= 1
+
+        if WALL_CLOCK_RE.search(line):
+            if not allowed(no, "wall-clock"):
+                emit(no, "wall-clock",
+                     "wall-clock source; simulation results must be a pure "
+                     "function of (spec, seed)")
+        if STEADY_CLOCK_RE.search(line) and not in_bench:
+            if not allowed(no, "wall-clock"):
+                emit(no, "wall-clock",
+                     "steady_clock outside bench/; host time must not "
+                     "reach simulation code")
+        if not in_rng_home and RAW_RNG_RE.search(line):
+            if not allowed(no, "raw-rng"):
+                emit(no, "raw-rng",
+                     "raw RNG primitive outside sim/random.*; draw through "
+                     "a derive_seed()-rooted sim::RandomStream")
+        if UNORDERED_RE.search(line) or UNORDERED_INCLUDE_RE.search(line):
+            if not allowed(no, "unordered-iter"):
+                emit(no, "unordered-iter",
+                     "unordered container: iteration order is "
+                     "implementation-defined; prove lookup-only use and "
+                     "annotate, or switch to a sorted/indexed container")
+        if POINTER_KEY_RE.search(line):
+            if not allowed(no, "pointer-key"):
+                emit(no, "pointer-key",
+                     "pointer-keyed ordered container: iteration follows "
+                     "allocation addresses, which vary run to run")
+        if struct_depth > 0 and UNINIT_POD_RE.match(line):
+            if not allowed(no, "uninit-pod"):
+                emit(no, "uninit-pod",
+                     "uninitialized arithmetic struct member; aggregates "
+                     "reach Summary::merge and bit-exact goldens — "
+                     "default-initialize it")
+
+    for no in sorted(set(pragmas) - used_pragmas):
+        pragma_findings.append(Finding(
+            path, no, "pragma",
+            f"stale allow({pragmas[no]}) pragma: no {pragmas[no]} finding "
+            f"on this or the next line — delete it"))
+
+    return findings + pragma_findings
+
+
+def collect_default_files(root: Path) -> list[Path]:
+    src = root / "src"
+    if not src.is_dir():
+        print(f"lint_determinism: no src/ under {root}", file=sys.stderr)
+        sys.exit(2)
+    return sorted(p for p in src.rglob("*")
+                  if p.suffix in (".cpp", ".hpp", ".h") and p.is_file())
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lint_determinism.py",
+        description="nbmg determinism lint (see module docstring)")
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: this script's repo)")
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="explicit files to scan (default: root/src)")
+    args = parser.parse_args(argv)
+
+    files = [f.resolve() for f in args.files] if args.files \
+        else collect_default_files(args.root.resolve())
+    for f in files:
+        if not f.is_file():
+            print(f"lint_determinism: no such file: {f}", file=sys.stderr)
+            return 2
+
+    root = args.root.resolve()
+    all_findings: list[Finding] = []
+    for f in files:
+        try:
+            rel = str(f.relative_to(root))
+        except ValueError:
+            rel = str(f)
+        all_findings.extend(scan_file(f, rel))
+
+    for finding in all_findings:
+        print(finding.render())
+    if all_findings:
+        print(f"lint_determinism: {len(all_findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"lint_determinism: clean ({len(files)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,27 +1,108 @@
 #!/usr/bin/env bash
-# Single verification entry point (CI and local): configure Debug and
-# Release with warnings-as-errors and build everything.  The Debug leg
-# runs the fast tier-1 CTest subset (ctest -L tier1); the Release leg runs
-# the full suite — tier 1 plus the randomized property batteries
-# (ctest -L property covers them alone) — builds with NBMG_ENABLE_LTO (so
-# the option cannot rot) and finishes with a short microbenchmark smoke.
-# Every configuration then runs a scenario-file smoke (checked-in
-# examples/scenarios/*.scenario through the unified --scenario entry
-# point, a --preset resolution, and the two coordinated citywide presets).
+# Single verification entry point (CI and local).
 #
-#   $ ci/verify.sh            # both configurations
-#   $ ci/verify.sh Release    # just one
+# Legs, in default order:
+#   analyze — ci/analyze.sh: determinism lint, clang-tidy gate (skipped
+#             loudly when the binary is absent), -Wshadow -Wconversion
+#             trial build of the nbmg lib.
+#   Debug   — warnings-as-errors build of everything; fast tier-1 CTest
+#             subset (ctest -L tier1, which now includes the analysis
+#             and stress labels); scenario-file + coordinator smokes.
+#   Release — same build with NBMG_ENABLE_LTO (so the option cannot
+#             rot); the full suite including the randomized property
+#             batteries; microbenchmark + multicell smokes.
+#   asan    — NBMG_SANITIZE=address+undefined (ASan+UBSan+LSan), tests
+#             only, tier-1 label incl. the high-contention sweep stress
+#             suite; suppressions from ci/sanitizers/ (policy: empty).
+#   tsan    — NBMG_SANITIZE=thread, same test set; the stress suite runs
+#             the citywide presets at --threads 8 specifically to put
+#             the worker pool under TSan.
+#
+#   $ ci/verify.sh                 # all legs
+#   $ ci/verify.sh Release         # just one
+#   $ ci/verify.sh asan tsan       # just the sanitizer legs
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || echo 2)"
-configs=("${@:-Debug}")
+legs=("${@:-Debug}")
 if [[ $# -eq 0 ]]; then
-  configs=(Debug Release)
+  legs=(analyze Debug Release asan tsan)
 fi
 
-for config in "${configs[@]}"; do
+run_scenario_smokes() {
+  local build_dir="$1"
+  echo "=== ${build_dir}: scenario-file smoke (--scenario / --preset) ==="
+  "${build_dir}/bench/fig6a_light_sleep_uptime" \
+    --scenario examples/scenarios/smoke.scenario --threads 2
+  "${build_dir}/examples/run_scenario" \
+    --scenario examples/scenarios/smoke.scenario --threads 2
+  "${build_dir}/examples/run_scenario" \
+    --scenario examples/scenarios/citywide_16cells.scenario \
+    --devices 800 --cells 8 --csv
+  "${build_dir}/examples/citywide_rollout" \
+    --scenario examples/scenarios/citywide_16cells.scenario 800 8 42
+  "${build_dir}/bench/ablation_scptm" --preset ablation-scptm \
+    --devices 50 --runs 2 --threads 2
+
+  echo "=== ${build_dir}: wall-clock coordinator smoke (staggered + backhaul) ==="
+  "${build_dir}/examples/run_scenario" --preset citywide-staggered \
+    --devices 400 --runs 1 --threads 2
+  "${build_dir}/examples/run_scenario" --preset citywide-backhaul \
+    --devices 400 --runs 1 --threads 2 --csv
+  "${build_dir}/examples/citywide_rollout" \
+    --scenario examples/scenarios/citywide_staggered.scenario \
+    --devices 800 --cells 8
+  "${build_dir}/examples/run_scenario" \
+    --scenario examples/scenarios/citywide_backhaul.scenario \
+    --devices 400 --runs 1
+}
+
+run_sanitizer_leg() {
+  local mode="$1" build_dir="$2"
+  echo "=== sanitize(${mode}) -> ${build_dir} ==="
+  # Suppression files are checked in (policy: they stay empty; see the
+  # headers in ci/sanitizers/).  halt_on_error turns any report into a
+  # failing leg.
+  export ASAN_OPTIONS="suppressions=$(pwd)/ci/sanitizers/asan.supp:detect_leaks=1:halt_on_error=1"
+  export LSAN_OPTIONS="suppressions=$(pwd)/ci/sanitizers/lsan.supp"
+  export UBSAN_OPTIONS="suppressions=$(pwd)/ci/sanitizers/ubsan.supp:print_stacktrace=1:halt_on_error=1"
+  export TSAN_OPTIONS="suppressions=$(pwd)/ci/sanitizers/tsan.supp:halt_on_error=1"
+  # Tests only: the sanitizer legs exist to run the tier-1 + stress
+  # suites under instrumentation, not to rebuild benches/examples.
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Debug -DNBMG_WERROR=ON \
+        -DNBMG_SANITIZE="${mode}" -DNBMG_BUILD_BENCH=OFF \
+        -DNBMG_BUILD_EXAMPLES=OFF
+  cmake --build "${build_dir}" -j"${jobs}"
+  # tier1 includes the analysis (determinism lint) and stress
+  # (high-contention citywide sweep at --threads 8) labels.
+  ctest --test-dir "${build_dir}" --output-on-failure -j"${jobs}" -L tier1
+}
+
+for leg in "${legs[@]}"; do
+  case "${leg}" in
+    analyze)
+      ci/analyze.sh
+      continue
+      ;;
+    asan)
+      run_sanitizer_leg "address+undefined" build-asan
+      continue
+      ;;
+    tsan)
+      run_sanitizer_leg "thread" build-tsan
+      continue
+      ;;
+    Debug|Release)
+      ;;
+    *)
+      echo "error: unknown leg '${leg}' (expected analyze, Debug, Release, asan, tsan)" >&2
+      exit 2
+      ;;
+  esac
+
+  config="${leg}"
   build_dir="build-$(echo "${config}" | tr '[:upper:]' '[:lower:]')"
   lto=OFF
   if [[ "${config}" == "Release" ]]; then
@@ -38,30 +119,7 @@ for config in "${configs[@]}"; do
     ctest --test-dir "${build_dir}" --output-on-failure -j"${jobs}" -L tier1
   fi
 
-  echo "=== ${config}: scenario-file smoke (--scenario / --preset) ==="
-  "${build_dir}/bench/fig6a_light_sleep_uptime" \
-    --scenario examples/scenarios/smoke.scenario --threads 2
-  "${build_dir}/examples/run_scenario" \
-    --scenario examples/scenarios/smoke.scenario --threads 2
-  "${build_dir}/examples/run_scenario" \
-    --scenario examples/scenarios/citywide_16cells.scenario \
-    --devices 800 --cells 8 --csv
-  "${build_dir}/examples/citywide_rollout" \
-    --scenario examples/scenarios/citywide_16cells.scenario 800 8 42
-  "${build_dir}/bench/ablation_scptm" --preset ablation-scptm \
-    --devices 50 --runs 2 --threads 2
-
-  echo "=== ${config}: wall-clock coordinator smoke (staggered + backhaul) ==="
-  "${build_dir}/examples/run_scenario" --preset citywide-staggered \
-    --devices 400 --runs 1 --threads 2
-  "${build_dir}/examples/run_scenario" --preset citywide-backhaul \
-    --devices 400 --runs 1 --threads 2 --csv
-  "${build_dir}/examples/citywide_rollout" \
-    --scenario examples/scenarios/citywide_staggered.scenario \
-    --devices 800 --cells 8
-  "${build_dir}/examples/run_scenario" \
-    --scenario examples/scenarios/citywide_backhaul.scenario \
-    --devices 400 --runs 1
+  run_scenario_smokes "${build_dir}"
 
   if [[ "${config}" == "Release" ]]; then
     if [[ -x "${build_dir}/bench/microbench_kernels" ]]; then
@@ -77,4 +135,4 @@ for config in "${configs[@]}"; do
   fi
 done
 
-echo "verify: all configurations green"
+echo "verify: all legs green"

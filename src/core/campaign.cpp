@@ -83,7 +83,7 @@ private:
     const CampaignConfig& config_;
     const MulticastPlan& plan_;
     std::span<const nbiot::UeSpec> specs_;
-    std::int64_t payload_bytes_;
+    std::int64_t payload_bytes_ = 0;
     SimTime horizon_;
     nbiot::RadioModel radio_;
     nbiot::Cell cell_;

@@ -39,7 +39,7 @@ public:
     void run(std::size_t count, const std::function<void(std::size_t)>& fn) const;
 
 private:
-    std::size_t threads_;
+    std::size_t threads_ = 1;
 };
 
 /// Runs fn(i) for every i in [0, count) across `threads` workers and

@@ -84,7 +84,7 @@ private:
     }
 
     static constexpr std::int64_t kShortestMs = 320;
-    int index_;
+    int index_ = 0;
 };
 
 /// All ladder values, shortest first.

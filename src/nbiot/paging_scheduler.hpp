@@ -57,7 +57,7 @@ private:
                                      SimTime deadline) const;
 
     const PagingSchedule* schedule_;  // not owned; outlives the scheduler
-    int max_records_;
+    int max_records_ = 0;
     std::map<SimTime, PagingMessage> by_time_;
     std::size_t total_entries_ = 0;
 };

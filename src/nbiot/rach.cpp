@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace nbmg::nbiot {
 
@@ -53,12 +52,14 @@ void RachChannel::resolve_window(SimTime window_start) {
     window_entrants_.erase(it);
     window_scheduled_.erase(window_start);
 
-    // Draw preambles and find collisions.
-    std::unordered_map<int, int> preamble_count;
+    // Draw preambles and find collisions.  The preamble space is dense
+    // ([0, num_preambles), 48 by default), so the histogram is a plain
+    // indexed vector — no hashed container anywhere near an RNG draw.
+    std::vector<int> preamble_count(static_cast<std::size_t>(config_.num_preambles), 0);
     std::vector<int> choice(entrants.size());
     for (std::size_t i = 0; i < entrants.size(); ++i) {
         choice[i] = static_cast<int>(rng_.uniform_int(0, config_.num_preambles - 1));
-        ++preamble_count[choice[i]];
+        ++preamble_count[static_cast<std::size_t>(choice[i])];
     }
 
     const SimTime resolution = window_start + config_.attempt_active_time();
@@ -68,7 +69,7 @@ void RachChannel::resolve_window(SimTime window_start) {
         ++total_attempts_;
         proc.active_time += config_.attempt_active_time();
 
-        if (preamble_count[choice[i]] == 1) {
+        if (preamble_count[static_cast<std::size_t>(choice[i])] == 1) {
             if (!proc.background) {
                 proc.done(RachOutcome{true, resolution, proc.attempts, proc.active_time});
             }

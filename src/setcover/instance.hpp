@@ -41,7 +41,7 @@ public:
     [[nodiscard]] bool is_coverable() const;
 
 private:
-    std::size_t universe_size_;
+    std::size_t universe_size_ = 0;
     std::vector<std::vector<Element>> sets_;
 };
 

@@ -30,7 +30,7 @@ namespace nbmg::setcover {
 
 struct PoEvent {
     sim::SimTime at;
-    std::uint32_t device;
+    std::uint32_t device = 0;
 
     friend bool operator==(const PoEvent&, const PoEvent&) = default;
 };

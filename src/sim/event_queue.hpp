@@ -211,8 +211,8 @@ private:
     /// Heap entries carry no handler: 24 bytes, moved freely during sifts.
     struct HeapEntry {
         SimTime at;
-        std::uint64_t seq;  // FIFO tie-break + staleness check
-        std::uint32_t slot;
+        std::uint64_t seq = 0;  // FIFO tie-break + staleness check
+        std::uint32_t slot = 0;
     };
 
     /// 4-ary min-heap on (at, seq).  The comparator is a total order (seq

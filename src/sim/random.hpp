@@ -89,7 +89,7 @@ public:
     }
 
 private:
-    std::uint64_t root_;
+    std::uint64_t root_ = 0;
 };
 
 }  // namespace nbmg::sim

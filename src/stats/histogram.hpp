@@ -30,8 +30,8 @@ public:
     [[nodiscard]] std::string render(std::size_t width = 40) const;
 
 private:
-    double lo_;
-    double hi_;
+    double lo_ = 0.0;
+    double hi_ = 0.0;
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;
     std::uint64_t underflow_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+// nbmg-lint: allow(unordered-iter) uniqueness filter only; audited below
 #include <unordered_set>
 
 namespace nbmg::traffic {
@@ -37,6 +38,14 @@ std::vector<GeneratedDevice> generate_population(const PopulationProfile& profil
     shares.reserve(profile.classes.size());
     for (const auto& c : profile.classes) shares.push_back(c.share);
 
+    // Audited 2026-08 (PR 6): `used_imsis` is a pure uniqueness filter —
+    // the only operations below are contains() and insert(); it is never
+    // iterated, so its (implementation-defined) order cannot reach device
+    // order, RNG draw order, or any output.  Device order is the
+    // deterministic `devices.push_back` sequence driven solely by the
+    // RandomStream.  Keep it hashed: the IMSI key space is 15-digit
+    // sparse, an ordered set would cost log n per probe for nothing.
+    // nbmg-lint: allow(unordered-iter) contains/insert only, never iterated
     std::unordered_set<std::uint64_t> used_imsis;
     used_imsis.reserve(count * 2);
 

@@ -1,0 +1,14 @@
+// Fixture: pointer-keyed ordered containers the lint must flag.
+// Expected findings: [pointer-key] on both declarations.
+#include <map>
+#include <set>
+#include <string>
+
+struct Device;
+
+int fixture_pointer_key(Device* d) {
+    std::map<Device*, int> retries;
+    std::set<const std::string*> names;
+    retries[d] = 1;
+    return static_cast<int>(retries.size() + names.size());
+}

@@ -1,0 +1,13 @@
+// Fixture: malformed / stale pragmas the lint must itself reject.
+// Expected findings: [pragma] x3 — unknown category, missing reason,
+// stale pragma with no matching finding nearby.
+#include <cstdint>
+
+// nbmg-lint: allow(race-condition) not a real category
+std::uint64_t fixture_unknown_category = 0;
+
+// nbmg-lint: allow(unordered-iter)
+std::uint64_t fixture_missing_reason = 0;
+
+// nbmg-lint: allow(wall-clock) stale: nothing wall-clock-ish below
+std::uint64_t fixture_stale = 0;

@@ -1,0 +1,16 @@
+// Fixture: uninitialized arithmetic struct members the lint must flag.
+// Expected findings: [uninit-pod] on the three bare members; the
+// initialized ones and the non-arithmetic member must pass.
+#include <cstdint>
+#include <vector>
+
+struct FixtureAggregates {
+    std::uint64_t count;            // finding: no initializer
+    double mean;                    // finding: no initializer
+    int attempts;                   // finding: no initializer
+    double initialized = 0.0;       // ok
+    std::uint64_t braced{0};        // ok
+    std::vector<double> samples;    // ok: not arithmetic
+};
+
+int fixture_uninit_pod() { return static_cast<int>(sizeof(FixtureAggregates)); }

@@ -1,0 +1,12 @@
+// Fixture: unannotated unordered containers the lint must flag.
+// Expected findings: [unordered-iter] on the include and both declarations.
+#include <cstdint>
+#include <unordered_map>
+
+int fixture_unordered() {
+    std::unordered_map<int, int> counts;
+    counts[3] = 1;
+    int total = 0;
+    for (const auto& [k, v] : counts) total += k * v;
+    return total;
+}

@@ -1,0 +1,13 @@
+// Fixture: every wall-clock source the determinism lint must catch.
+// Expected findings: [wall-clock] on each marked line.
+#include <chrono>
+#include <ctime>
+
+long fixture_wall_clock() {
+    auto a = std::chrono::system_clock::now();           // finding: system_clock
+    auto b = std::chrono::steady_clock::now();           // finding: steady_clock outside bench/
+    auto c = std::chrono::high_resolution_clock::now();  // finding: high_resolution_clock
+    std::time_t d = time(nullptr);                       // finding: time()
+    return a.time_since_epoch().count() + b.time_since_epoch().count() +
+           c.time_since_epoch().count() + static_cast<long>(d);
+}

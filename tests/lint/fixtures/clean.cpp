@@ -1,0 +1,26 @@
+// Fixture: idiomatic nbmg code the lint must pass untouched — ordered
+// containers, initialized aggregates, banned words in comments and
+// strings only.  Expected: clean, exit 0.
+//
+// Mentioning std::rand, time(NULL) or std::unordered_map in a comment is
+// fine; so is the string below.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+struct CleanAggregates {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    std::vector<double> samples;
+};
+
+inline const char* clean_note() {
+    return "documentation may say time(nullptr) and std::random_device";
+}
+
+inline int clean_sum(const std::map<int, int>& by_key) {
+    int total = 0;
+    for (const auto& [k, v] : by_key) total += k + v;
+    return total;
+}

@@ -1,0 +1,24 @@
+// Fixture: every pragma form the lint must honor — same-line and
+// line-above, one per category.  Expected: clean, exit 0.
+#include <chrono>
+#include <cstdint>
+#include <map>
+// nbmg-lint: allow(unordered-iter) fixture: include for lookup-only set
+#include <unordered_set>
+
+struct FixtureAllowed {
+    // nbmg-lint: allow(uninit-pod) fixture: written before every read
+    std::uint64_t scratch;
+    double ready = 0.0;
+};
+
+int fixture_allowed(const int* key) {
+    // nbmg-lint: allow(unordered-iter) fixture: contains/insert only
+    std::unordered_set<std::uint64_t> seen;
+    seen.insert(7);
+    std::map<const int*, int> by_addr;  // nbmg-lint: allow(pointer-key) fixture: count-only, never iterated
+    by_addr[key] = 1;
+    const auto t0 = std::chrono::steady_clock::now();  // nbmg-lint: allow(wall-clock) fixture: self-timing harness
+    return static_cast<int>(seen.size() + by_addr.size()) +
+           static_cast<int>(t0.time_since_epoch().count() % 2);
+}
