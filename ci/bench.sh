@@ -2,9 +2,9 @@
 # Records the kernel microbenchmarks as google-benchmark JSON at the repo
 # root — the perf trajectory file future PRs regress against.
 #
-#   $ ci/bench.sh                             # single run -> BENCH_pr6.json
+#   $ ci/bench.sh                             # single run -> BENCH_pr7.json
 #   $ ci/bench.sh --repeat 3                  # best-of-3 (recommended)
-#   $ ci/bench.sh --repeat 3 BENCH_pr7.json   # explicit output name
+#   $ ci/bench.sh --repeat 3 BENCH_pr8.json   # explicit output name
 #
 # --repeat N runs the suite N times and merges with ci/bench_merge.py:
 # the committed file carries the per-benchmark MIN (best-of-N) as
@@ -17,7 +17,8 @@
 # of the previous BENCH_prN.json as noise unless min AND median agree.
 #
 # The suite includes the large-n cases (event queue at 10^6 events, greedy
-# cover at 10^4 sets x 10^5 elements, full campaign at 10^4 devices, and
+# cover at 10^4 sets x 10^5 elements, the full campaign at 10^4 and 10^6
+# devices, the stratified campaign at 10^5 devices x {1, 2, 8} strata, and
 # the multicell deployment at 10^5 devices x {1, 16, 64} cells), so a full
 # run takes several minutes — times N with --repeat.
 set -euo pipefail
@@ -48,7 +49,7 @@ while [[ $# -gt 0 ]]; do
       ;;
   esac
 done
-out="${out:-BENCH_pr6.json}"
+out="${out:-BENCH_pr7.json}"
 if ! [[ "${repeat}" =~ ^[1-9][0-9]*$ ]]; then
   echo "error: --repeat must be a positive integer, got '${repeat}'" >&2
   exit 2

@@ -1,9 +1,11 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
+#include "core/sweep.hpp"
 #include "nbiot/frames.hpp"
 #include "nbiot/radio.hpp"
 
@@ -41,21 +43,20 @@ public:
         if (plan.schedules.size() != devices.size()) {
             throw std::invalid_argument("CampaignRunner: plan/device mismatch");
         }
-        runtime_.resize(devices.size());
+        // Struct-of-arrays per-device runtime state: the hot flags the
+        // transmission/recovery paths sweep are one cache-linear byte
+        // array each instead of strided struct fields.
+        tx_index_.assign(devices.size(), DeviceSchedule::kUnserved);
+        page_attempts_left_.assign(devices.size(), 0);
+        expects_private_rx_.assign(devices.size(), 0);
+        is_recovery_.assign(devices.size(), 0);
+        tx_started_without_me_.assign(devices.size(), 0);
     }
 
     CampaignResult run();
 
 private:
     enum class PageKind { normal, reconfig, mltc };
-
-    struct DeviceRuntime {
-        std::size_t tx_index = DeviceSchedule::kUnserved;
-        bool expects_private_rx = false;  // unicast-planned or recovery
-        bool is_recovery = false;
-        bool tx_started_without_me = false;
-        int page_attempts_left = 0;
-    };
 
     void setup_devices();
     void schedule_plan_events();
@@ -89,7 +90,11 @@ private:
     nbiot::Cell cell_;
     sim::RandomStream miss_rng_;
 
-    std::vector<DeviceRuntime> runtime_;
+    std::vector<std::size_t> tx_index_;
+    std::vector<int> page_attempts_left_;
+    std::vector<std::uint8_t> expects_private_rx_;  // unicast-planned or recovery
+    std::vector<std::uint8_t> is_recovery_;
+    std::vector<std::uint8_t> tx_started_without_me_;
     std::size_t aired_multicasts_ = 0;
     std::size_t aired_unicasts_ = 0;
     std::size_t recovery_transmissions_ = 0;
@@ -101,58 +106,66 @@ private:
 };
 
 void Execution::setup_devices() {
+    // One cell-shared hook set dispatching on DeviceId replaces three
+    // std::functions per device.
+    nbiot::Ue::Hooks hooks;
+    hooks.on_connected = [this](DeviceId d, SimTime) { handle_connected(d.value); };
+    hooks.on_rach_failure = [this](DeviceId d, SimTime) { handle_rach_failure(d.value); };
+    hooks.on_released = [this](DeviceId d, SimTime) { handle_released(d.value); };
+    cell_.set_ue_hooks(std::move(hooks));
+
+    cell_.reserve_ues(specs_.size());
     for (std::size_t i = 0; i < specs_.size(); ++i) {
         nbiot::Ue& ue = cell_.add_ue(specs_[i]);
-        nbiot::Ue::Hooks hooks;
-        hooks.on_connected = [this, i](DeviceId, SimTime) { handle_connected(i); };
-        hooks.on_rach_failure = [this, i](DeviceId, SimTime) { handle_rach_failure(i); };
-        hooks.on_released = [this, i](DeviceId, SimTime) { handle_released(i); };
-        ue.set_hooks(std::move(hooks));
         ue.start_monitoring(horizon_);
 
         const DeviceSchedule& schedule = plan_.schedules[i];
-        runtime_[i].tx_index = schedule.transmission;
-        runtime_[i].page_attempts_left = config_.max_page_attempts;
+        tx_index_[i] = schedule.transmission;
+        page_attempts_left_[i] = config_.max_page_attempts;
         if (schedule.served() &&
             plan_.transmissions[schedule.transmission].starts_on_ready) {
-            runtime_[i].expects_private_rx = true;
+            expects_private_rx_[i] = 1;
         }
     }
 }
 
 void Execution::schedule_plan_events() {
-    auto& queue = cell_.simulation().queue();
+    // Every pre-known plan event goes into one sorted block: the batch's
+    // internal (time, add-order) sort reproduces the seq order the
+    // equivalent schedule_at loop would have assigned, so the run is
+    // bit-identical — just without one heap sift per event.
+    sim::EventQueue::Batch batch;
+    batch.reserve(plan_.schedules.size() + plan_.transmissions.size());
     for (std::size_t i = 0; i < plan_.schedules.size(); ++i) {
         const DeviceSchedule& schedule = plan_.schedules[i];
         if (schedule.adjustment) {
-            queue.schedule_at(schedule.adjustment->adjust_page_at,
-                              [this, i] { deliver_page(i, PageKind::reconfig); });
+            batch.add(schedule.adjustment->adjust_page_at,
+                      [this, i] { deliver_page(i, PageKind::reconfig); });
         }
         if (schedule.mltc) {
-            queue.schedule_at(schedule.mltc->notify_po_at,
-                              [this, i] { deliver_page(i, PageKind::mltc); });
+            batch.add(schedule.mltc->notify_po_at,
+                      [this, i] { deliver_page(i, PageKind::mltc); });
         }
         if (schedule.page_at) {
-            queue.schedule_at(*schedule.page_at,
-                              [this, i] { deliver_page(i, PageKind::normal); });
+            batch.add(*schedule.page_at,
+                      [this, i] { deliver_page(i, PageKind::normal); });
         }
     }
     for (std::size_t t = 0; t < plan_.transmissions.size(); ++t) {
         if (plan_.transmissions[t].starts_on_ready) continue;  // starts on connect
-        queue.schedule_at(plan_.transmissions[t].start,
-                          [this, t] { start_transmission(t); });
-    }
-    if (config_.background_ra_per_second > 0.0) {
-        cell_.rach().inject_background_load(config_.background_ra_per_second, horizon_);
+        batch.add(plan_.transmissions[t].start,
+                  [this, t] { start_transmission(t); });
     }
 
     // SC-PTM: every device monitors the SC-MCCH once per modification
     // period, forever, whether or not multicast data exists — the standing
-    // cost the on-demand scheme of [3] removes.
+    // cost the on-demand scheme of [3] removes.  (Tick handlers only
+    // charge energy, which commutes with everything at the same instant,
+    // so riding the plan batch is order-safe.)
     if (plan_.kind == MechanismKind::sc_ptm) {
         const SimTime period = config_.sc_ptm_mcch_period;
         for (SimTime at = period; at < horizon_; at += period) {
-            queue.schedule_at(at, [this] {
+            batch.add(at, [this] {
                 for (std::size_t i = 0; i < specs_.size(); ++i) {
                     cell_.ue(DeviceId{static_cast<std::uint32_t>(i)})
                         .charge(nbiot::PowerState::po_monitor,
@@ -160,6 +173,11 @@ void Execution::schedule_plan_events() {
                 }
             });
         }
+    }
+    cell_.simulation().queue().schedule_batch(std::move(batch));
+
+    if (config_.background_ra_per_second > 0.0) {
+        cell_.rach().inject_background_load(config_.background_ra_per_second, horizon_);
     }
 }
 
@@ -197,14 +215,13 @@ void Execution::deliver_page(std::size_t idx, PageKind kind) {
 }
 
 void Execution::retry_page(std::size_t idx, PageKind kind) {
-    DeviceRuntime& rt = runtime_[idx];
     // Recovery mode (the device already missed its transmission) keeps
     // paging until the device is reached: a real eNB does not abandon a
     // device it owes a delivery.  Termination is guaranteed because the
     // loss probability is < 1.
-    if (!rt.tx_started_without_me) {
-        if (rt.page_attempts_left <= 0) return;
-        --rt.page_attempts_left;
+    if (!tx_started_without_me_[idx]) {
+        if (page_attempts_left_[idx] <= 0) return;
+        --page_attempts_left_[idx];
     }
 
     nbiot::Ue& ue = cell_.ue(DeviceId{static_cast<std::uint32_t>(idx)});
@@ -214,10 +231,10 @@ void Execution::retry_page(std::size_t idx, PageKind kind) {
     // Before the transmission, a normal page retried past its start is
     // pointless (the recovery path takes over at the transmission).  Once
     // the transmission has passed us by, retries ARE the recovery path.
-    if (kind == PageKind::normal && !rt.tx_started_without_me &&
-        rt.tx_index != DeviceSchedule::kUnserved &&
-        !plan_.transmissions[rt.tx_index].starts_on_ready &&
-        next >= plan_.transmissions[rt.tx_index].start) {
+    if (kind == PageKind::normal && !tx_started_without_me_[idx] &&
+        tx_index_[idx] != DeviceSchedule::kUnserved &&
+        !plan_.transmissions[tx_index_[idx]].starts_on_ready &&
+        next >= plan_.transmissions[tx_index_[idx]].start) {
         return;
     }
     // A reconfiguration retried so late that the device could not be back
@@ -235,11 +252,10 @@ void Execution::retry_page(std::size_t idx, PageKind kind) {
 
 void Execution::handle_connected(std::size_t idx) {
     ++connections_;
-    DeviceRuntime& rt = runtime_[idx];
-    if (rt.expects_private_rx || rt.tx_started_without_me) {
-        if (rt.tx_started_without_me && !rt.expects_private_rx) {
-            rt.expects_private_rx = true;
-            rt.is_recovery = true;
+    if (expects_private_rx_[idx] || tx_started_without_me_[idx]) {
+        if (tx_started_without_me_[idx] && !expects_private_rx_[idx]) {
+            expects_private_rx_[idx] = 1;
+            is_recovery_[idx] = 1;
         }
         start_private_delivery(idx);
     }
@@ -250,9 +266,8 @@ void Execution::handle_released(std::size_t idx) {
     // Safety net: a device that went back to idle after its transmission
     // passed (e.g. a straggling reconfiguration connection) still needs its
     // payload; keep paging it.
-    DeviceRuntime& rt = runtime_[idx];
     const nbiot::Ue& ue = cell_.ue(DeviceId{static_cast<std::uint32_t>(idx)});
-    if (rt.tx_started_without_me && !ue.payload_received()) {
+    if (tx_started_without_me_[idx] && !ue.payload_received()) {
         retry_page(idx, PageKind::normal);
     }
 }
@@ -267,11 +282,10 @@ void Execution::handle_rach_failure(std::size_t idx) {
 
 void Execution::start_private_delivery(std::size_t idx) {
     nbiot::Ue& ue = cell_.ue(DeviceId{static_cast<std::uint32_t>(idx)});
-    DeviceRuntime& rt = runtime_[idx];
     const SimTime now = cell_.simulation().now();
     const SimTime data_end = now + radio_.downlink_airtime(payload_bytes_, ue.ce_level());
     ue.begin_reception(data_end, tail());
-    if (rt.is_recovery) {
+    if (is_recovery_[idx]) {
         ++recovery_transmissions_;
     } else {
         ++aired_unicasts_;
@@ -303,10 +317,9 @@ void Execution::start_transmission(std::size_t tx_idx) {
         } else {
             // Missed its transmission: recover with a dedicated delivery
             // once it finally connects (re-page it if it is idle).
-            DeviceRuntime& rt = runtime_[dev.value];
-            rt.tx_started_without_me = true;
+            tx_started_without_me_[dev.value] = 1;
             if (ue.state() == nbiot::UeState::idle) {
-                rt.page_attempts_left = config_.max_page_attempts;
+                page_attempts_left_[dev.value] = config_.max_page_attempts;
                 retry_page(dev.value, PageKind::normal);
             }
         }
@@ -315,18 +328,20 @@ void Execution::start_transmission(std::size_t tx_idx) {
 
 void Execution::count_initial_paging() {
     // Group the planned page instants into paging messages for the byte
-    // accounting (several records can ride one occasion).
-    std::map<SimTime, std::pair<std::size_t, std::size_t>> messages;  // records, ext
+    // accounting (several records can ride one occasion).  Each planned
+    // page contributes one entry; distinct instants are one message each —
+    // a sort over a flat vector instead of a red-black tree.
+    std::vector<SimTime> instants;
+    instants.reserve(plan_.schedules.size());
     for (const DeviceSchedule& s : plan_.schedules) {
-        if (s.page_at) ++messages[*s.page_at].first;
-        if (s.adjustment) ++messages[s.adjustment->adjust_page_at].first;
-        if (s.mltc) ++messages[s.mltc->notify_po_at].second;
+        if (s.page_at) instants.push_back(*s.page_at);
+        if (s.adjustment) instants.push_back(s.adjustment->adjust_page_at);
+        if (s.mltc) instants.push_back(s.mltc->notify_po_at);
     }
-    paging_messages_ = messages.size();
-    paging_entries_ = 0;
-    for (const auto& [at, counts] : messages) {
-        paging_entries_ += counts.first + counts.second;
-    }
+    paging_entries_ = instants.size();
+    std::sort(instants.begin(), instants.end());
+    paging_messages_ = static_cast<std::size_t>(
+        std::unique(instants.begin(), instants.end()) - instants.begin());
 }
 
 CampaignResult Execution::run() {
@@ -356,7 +371,7 @@ CampaignResult Execution::run() {
         outcome.spec = specs_[i];
         outcome.energy = ue.energy();
         outcome.received = ue.payload_received();
-        outcome.recovered = runtime_[i].is_recovery;
+        outcome.recovered = is_recovery_[i] != 0;
         outcome.po_count = ue.po_count();
         outcome.rach_attempts = ue.rach_attempts();
         outcome.connected_at = ue.connected_at();
@@ -386,9 +401,170 @@ CampaignResult Execution::run() {
     return result;
 }
 
+/// One stratum's self-contained sub-problem.  Owns everything the
+/// Execution references (config, plan, specs), because executions of
+/// different strata run concurrently and outlive no shared mutable state.
+struct StratumProblem {
+    std::size_t stratum = 0;
+    std::uint64_t seed = 0;
+    CampaignConfig config;
+    MulticastPlan plan;
+    std::vector<nbiot::UeSpec> specs;
+    std::vector<std::size_t> members;  // local index -> global index
+};
+
+/// Stratified campaign execution: partition the devices by paging-frame
+/// stratum, run each stratum as an independent sub-cell (locally dense
+/// DeviceIds, own derived seed, 1/K of the background RA load), and merge
+/// the per-stratum results in stratum order.  Each stratum's run is a
+/// serial Execution, so the merged result is a pure function of
+/// (plan, devices, config, seed) — never of the thread count.
+CampaignResult run_stratified(const CampaignConfig& config, std::size_t strata,
+                              std::size_t threads, const MulticastPlan& plan,
+                              std::span<const nbiot::UeSpec> devices,
+                              std::int64_t payload_bytes, SimTime horizon,
+                              std::uint64_t seed) {
+    const nbiot::PagingSchedule paging(config.paging);
+    const std::size_t n = devices.size();
+
+    // Partition.  Strata are disjoint and cover every device, so one
+    // global->local map serves all of them.
+    std::vector<std::size_t> stratum_of(n);
+    std::vector<std::uint32_t> local_of(n);
+    std::vector<std::vector<std::size_t>> members(strata);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t s = paging_stratum(paging, devices[i], strata);
+        stratum_of[i] = s;
+        local_of[i] = static_cast<std::uint32_t>(members[s].size());
+        members[s].push_back(i);
+    }
+
+    // Build each non-empty stratum's owned sub-problem: remapped specs,
+    // filtered plan, derived seed, split background load.
+    std::vector<StratumProblem> subs;
+    subs.reserve(strata);
+    for (std::size_t s = 0; s < strata; ++s) {
+        if (members[s].empty()) continue;
+        StratumProblem sub;
+        sub.stratum = s;
+        sub.members = std::move(members[s]);
+        sub.seed = sim::derive_seed(seed, "stratum", s);
+        sub.config = config;
+        sub.config.strata = 1;
+        // The cell's shared NPRACH carries the background load; a K-way
+        // carrier partition hands each stratum an equal share.
+        sub.config.background_ra_per_second =
+            config.background_ra_per_second / static_cast<double>(strata);
+
+        sub.plan.kind = plan.kind;
+        sub.plan.planning_reference = plan.planning_reference;
+
+        // Transmissions restricted to this stratum's members; ones that
+        // lose every device are dropped.  A transmission spanning several
+        // strata airs once per stratum — each partition is its own
+        // downlink resource, so the copies do not share a bearer.
+        std::vector<std::size_t> tx_map(plan.transmissions.size(),
+                                        DeviceSchedule::kUnserved);
+        for (std::size_t t = 0; t < plan.transmissions.size(); ++t) {
+            PlannedTransmission tx;
+            tx.start = plan.transmissions[t].start;
+            tx.starts_on_ready = plan.transmissions[t].starts_on_ready;
+            for (const DeviceId dev : plan.transmissions[t].devices) {
+                if (stratum_of[dev.value] == s) {
+                    tx.devices.push_back(DeviceId{local_of[dev.value]});
+                }
+            }
+            if (tx.devices.empty()) continue;
+            tx_map[t] = sub.plan.transmissions.size();
+            sub.plan.transmissions.push_back(std::move(tx));
+        }
+
+        sub.specs.reserve(sub.members.size());
+        sub.plan.schedules.reserve(sub.members.size());
+        std::size_t entries = 0;
+        for (std::size_t j = 0; j < sub.members.size(); ++j) {
+            const std::size_t g = sub.members[j];
+            nbiot::UeSpec spec = devices[g];
+            spec.device = DeviceId{static_cast<std::uint32_t>(j)};
+            sub.specs.push_back(spec);
+
+            DeviceSchedule schedule = plan.schedules[g];
+            schedule.device = spec.device;
+            if (schedule.transmission != DeviceSchedule::kUnserved) {
+                // A served device's transmission contains it, so the
+                // stratum kept that transmission and the map is set.
+                schedule.transmission = tx_map[schedule.transmission];
+            }
+            entries += (schedule.page_at ? 1U : 0U) + (schedule.adjustment ? 1U : 0U) +
+                       (schedule.mltc ? 1U : 0U);
+            sub.plan.schedules.push_back(std::move(schedule));
+        }
+        sub.plan.paging_entries = entries;
+        for (const DeviceId dev : plan.unserved) {
+            if (stratum_of[dev.value] == s) {
+                sub.plan.unserved.push_back(DeviceId{local_of[dev.value]});
+            }
+        }
+        subs.push_back(std::move(sub));
+    }
+
+    // Fan the strata over the pool.  sweep_indexed stores every result in
+    // its index slot, so the merge below always sees stratum order.
+    const std::vector<CampaignResult> results =
+        sweep_indexed(subs.size(), threads, [&](std::size_t i) {
+            Execution execution(subs[i].config, subs[i].plan, subs[i].specs,
+                                payload_bytes, horizon, subs[i].seed);
+            return execution.run();
+        });
+
+    // Merge in stratum order: integer counter sums plus an index-addressed
+    // scatter of the per-device outcomes back to global DeviceIds.
+    CampaignResult merged;
+    merged.kind = plan.kind;
+    merged.payload_bytes = payload_bytes;
+    merged.observation_horizon = horizon;
+    merged.devices.resize(n);
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+        const CampaignResult& r = results[i];
+        merged.planned_transmissions += r.planned_transmissions;
+        merged.recovery_transmissions += r.recovery_transmissions;
+        merged.paging_messages += r.paging_messages;
+        merged.paging_entries += r.paging_entries;
+        merged.unserved += r.unserved;
+        merged.bytes_on_air += r.bytes_on_air;
+        merged.rach_attempts += r.rach_attempts;
+        merged.rach_collisions += r.rach_collisions;
+        merged.rach_failures += r.rach_failures;
+        for (std::size_t j = 0; j < subs[i].members.size(); ++j) {
+            const std::size_t g = subs[i].members[j];
+            DeviceOutcome outcome = r.devices[j];
+            outcome.spec = devices[g];  // restore the global DeviceId
+            merged.devices[g] = std::move(outcome);
+        }
+    }
+    return merged;
+}
+
 }  // namespace
 
-CampaignRunner::CampaignRunner(CampaignConfig config) : config_(config) {
+std::size_t resolve_strata(std::size_t requested) {
+    if (requested == 0) {
+        throw std::invalid_argument("resolve_strata: stratum count must be >= 1");
+    }
+    std::size_t resolved = 1;
+    while (resolved * 2 <= requested && resolved * 2 <= kMaxStrata) resolved *= 2;
+    return resolved;
+}
+
+std::size_t paging_stratum(const nbiot::PagingSchedule& paging,
+                           const nbiot::UeSpec& spec, std::size_t strata) {
+    const nbiot::SimTime offset = paging.po_offset(spec.imsi, spec.cycle);
+    const auto frame = static_cast<std::size_t>(nbiot::frame_index_of(offset));
+    return frame % strata;
+}
+
+CampaignRunner::CampaignRunner(CampaignConfig config, std::size_t strata_threads)
+    : config_(config), strata_threads_(strata_threads) {
     if (!config_.valid()) throw std::invalid_argument("CampaignRunner: invalid config");
 }
 
@@ -397,9 +573,14 @@ CampaignResult CampaignRunner::run(const MulticastPlan& plan,
                                    std::int64_t payload_bytes,
                                    nbiot::SimTime observation_horizon,
                                    std::uint64_t seed) const {
-    Execution execution(config_, plan, devices, payload_bytes, observation_horizon,
-                        seed);
-    return execution.run();
+    const std::size_t strata = resolve_strata(config_.strata);
+    if (strata == 1) {
+        Execution execution(config_, plan, devices, payload_bytes, observation_horizon,
+                            seed);
+        return execution.run();
+    }
+    return run_stratified(config_, strata, strata_threads_, plan, devices,
+                          payload_bytes, observation_horizon, seed);
 }
 
 nbiot::SimTime recommended_horizon(std::span<const nbiot::UeSpec> devices,
@@ -421,10 +602,10 @@ nbiot::SimTime recommended_horizon(std::span<const nbiot::UeSpec> devices,
 CampaignResult plan_and_run(const GroupingMechanism& mechanism,
                             std::span<const nbiot::UeSpec> devices,
                             const CampaignConfig& config, std::int64_t payload_bytes,
-                            std::uint64_t seed) {
+                            std::uint64_t seed, std::size_t strata_threads) {
     sim::RandomStream planner_rng{sim::derive_seed(seed, "planner")};
     const MulticastPlan plan = mechanism.plan(devices, config, planner_rng);
-    const CampaignRunner runner(config);
+    const CampaignRunner runner(config, strata_threads);
     return runner.run(plan, devices, payload_bytes,
                       recommended_horizon(devices, config, payload_bytes), seed);
 }

@@ -50,9 +50,29 @@ struct CampaignResult {
     [[nodiscard]] std::size_t received_count() const noexcept;
 };
 
+/// Resolves a requested stratum count to the executed one: the largest
+/// power of two <= `requested`, capped at kMaxStrata (3 -> 2, 7 -> 4,
+/// 31 -> 16, 100 -> 32).  Powers of two keep the stratum key — the
+/// device's paging-frame residue — invariant under the DA-SC ladder
+/// adaptation, because every DRX cycle's frame length is a multiple of
+/// every allowed stratum count.  Throws on 0.
+[[nodiscard]] std::size_t resolve_strata(std::size_t requested);
+
+/// Stratum of a device under a `strata`-way partition: the frame index of
+/// its paging occasion within the DRX cycle, mod `strata`.  A pure
+/// function of (IMSI, cycle, paging config); devices of the same stratum
+/// share paging frames, so the partition maps onto a real carrier split.
+/// `strata` must already be resolved (power of two >= 1).
+[[nodiscard]] std::size_t paging_stratum(const nbiot::PagingSchedule& paging,
+                                         const nbiot::UeSpec& spec,
+                                         std::size_t strata);
+
 class CampaignRunner {
 public:
-    explicit CampaignRunner(CampaignConfig config);
+    /// `strata_threads` is the worker-pool width used to execute the
+    /// config's strata (resolve_threads semantics: 0 = hardware).  A pure
+    /// execution knob: results are bit-identical at any thread count.
+    explicit CampaignRunner(CampaignConfig config, std::size_t strata_threads = 1);
 
     /// Executes `plan` over `devices` (payload of `payload_bytes`) with all
     /// UEs monitoring paging occasions until `observation_horizon`.  Use the
@@ -68,6 +88,7 @@ public:
 
 private:
     CampaignConfig config_;
+    std::size_t strata_threads_ = 1;
 };
 
 /// Horizon long enough for every mechanism (incl. DR-SC's last window and
@@ -77,10 +98,12 @@ private:
                                                  std::int64_t payload_bytes);
 
 /// Convenience: plan with `mechanism` and run, deriving the horizon.
+/// `strata_threads` as in CampaignRunner.
 [[nodiscard]] CampaignResult plan_and_run(const GroupingMechanism& mechanism,
                                           std::span<const nbiot::UeSpec> devices,
                                           const CampaignConfig& config,
                                           std::int64_t payload_bytes,
-                                          std::uint64_t seed);
+                                          std::uint64_t seed,
+                                          std::size_t strata_threads = 1);
 
 }  // namespace nbmg::core

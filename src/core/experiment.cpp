@@ -35,7 +35,11 @@ RunContribution comparison_run(const ComparisonSetup& setup, std::size_t run) {
 
     const sim::RngFactory rng_factory(setup.base_seed);
     const UnicastBaseline unicast;
-    const CampaignRunner runner(setup.config);
+    // The worker pool either fans runs (outer sweep) or, when there is
+    // only one run, this run's strata — never both at once, so the
+    // thread budget is not oversubscribed.
+    const CampaignRunner runner(setup.config,
+                                setup.runs == 1 ? setup.threads : 1);
 
     // A shared population set (same stream derivation, precomputed once)
     // skips the per-run generation cost; results are bit-identical.

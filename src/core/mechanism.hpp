@@ -59,6 +59,12 @@ enum class MechanismKind : std::uint8_t {
 // of every shorter ladder cycle (nesting), so the "anchored" grid IS the
 // formula grid.  See EXPERIMENTS.md, reproduction note R1.
 
+/// Upper bound on campaign strata (see CampaignConfig::strata and
+/// core::resolve_strata).  32 keeps every power-of-two stratum count a
+/// divisor of the shortest DRX cycle's frame length, so a device's
+/// stratum is invariant under the DA-SC ladder adaptation.
+inline constexpr std::size_t kMaxStrata = 32;
+
 /// All knobs of one campaign evaluation.  Defaults follow the paper
 /// (TI = 10-30 s in commercial networks; we use 20 s) and typical NB-IoT
 /// deployments for everything the paper leaves unspecified.
@@ -83,12 +89,22 @@ struct CampaignConfig {
     double background_ra_per_second = 0.0;
     /// SC-PTM baseline: SC-MCCH monitoring period.
     nbiot::SimTime sc_ptm_mcch_period{10'240};
+    /// Intra-cell parallelism *model* knob: the cell's devices are
+    /// partitioned into this many paging-frame strata, each running as an
+    /// independent sub-cell (own paging/NPRACH partition, 1/K of the
+    /// background RA load, own derived seed).  1 = the classic single-cell
+    /// model, byte-identical to earlier versions.  Values that are not a
+    /// power of two are rounded DOWN to one (resolve_strata); results
+    /// depend on the resolved count but never on the thread count used to
+    /// execute the strata.
+    std::size_t strata = 1;
 
     [[nodiscard]] bool valid() const noexcept {
         return inactivity_timer.count() > 0 && ra_guard.count() >= 0 &&
                timing.valid() && paging.valid() && rach.valid() && radio.valid() &&
                page_miss_prob >= 0.0 && page_miss_prob < 1.0 && max_page_attempts >= 1 &&
-               background_ra_per_second >= 0.0 && sc_ptm_mcch_period.count() > 0;
+               background_ra_per_second >= 0.0 && sc_ptm_mcch_period.count() > 0 &&
+               strata >= 1 && strata <= kMaxStrata;
     }
 };
 

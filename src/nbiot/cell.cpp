@@ -17,19 +17,26 @@ Ue& Cell::add_ue(const UeSpec& spec) {
     if (spec.device.value != ues_.size()) {
         throw std::invalid_argument("Cell::add_ue: device ids must be dense and in order");
     }
-    ues_.push_back(std::make_unique<Ue>(sim_, spec.device, spec.imsi, spec.cycle,
-                                        spec.ce_level, paging_, timing_, rach_));
-    return *ues_.back();
+    accounting_.energy.emplace_back();
+    accounting_.po_count.push_back(0);
+    ues_.emplace_back(sim_, spec.device, spec.imsi, spec.cycle, spec.ce_level,
+                      paging_, timing_, rach_, accounting_, fleet_hooks_);
+    return ues_.back();
+}
+
+void Cell::reserve_ues(std::size_t count) {
+    accounting_.energy.reserve(count);
+    accounting_.po_count.reserve(count);
 }
 
 Ue& Cell::ue(DeviceId device) {
     if (device.value >= ues_.size()) throw std::out_of_range("Cell::ue: unknown device");
-    return *ues_[device.value];
+    return ues_[device.value];
 }
 
 const Ue& Cell::ue(DeviceId device) const {
     if (device.value >= ues_.size()) throw std::out_of_range("Cell::ue: unknown device");
-    return *ues_[device.value];
+    return ues_[device.value];
 }
 
 }  // namespace nbmg::nbiot

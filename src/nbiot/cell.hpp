@@ -8,7 +8,7 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <deque>
 #include <vector>
 
 #include "nbiot/paging.hpp"
@@ -38,9 +38,23 @@ public:
     /// Adds a UE.  Device ids must be dense: 0, 1, 2, ... in order.
     Ue& add_ue(const UeSpec& spec);
 
+    /// Pre-sizes the fleet accounting arrays for `count` devices.
+    void reserve_ues(std::size_t count);
+
+    /// Installs the cell-shared hook set every UE without a per-UE
+    /// override dispatches through — one std::function triple per cell
+    /// instead of three per device.  May be called before or after
+    /// add_ue; affects all UEs of this cell.
+    void set_ue_hooks(Ue::Hooks hooks) { fleet_hooks_ = std::move(hooks); }
+
     [[nodiscard]] Ue& ue(DeviceId device);
     [[nodiscard]] const Ue& ue(DeviceId device) const;
     [[nodiscard]] std::size_t ue_count() const noexcept { return ues_.size(); }
+
+    /// Struct-of-arrays per-device counters, indexed by dense DeviceId.
+    [[nodiscard]] const FleetAccounting& accounting() const noexcept {
+        return accounting_;
+    }
 
     [[nodiscard]] sim::Simulation& simulation() noexcept { return sim_; }
     [[nodiscard]] const sim::Simulation& simulation() const noexcept { return sim_; }
@@ -53,7 +67,11 @@ private:
     PagingSchedule paging_;
     TimingModel timing_;
     RachChannel rach_;
-    std::vector<std::unique_ptr<Ue>> ues_;
+    // Deque: pointer-stable growth (UEs capture `this` in scheduled
+    // lambdas) without one allocation per device.
+    std::deque<Ue> ues_;
+    FleetAccounting accounting_;
+    Ue::Hooks fleet_hooks_;
 };
 
 }  // namespace nbmg::nbiot

@@ -4,13 +4,6 @@
 
 namespace nbmg::nbiot {
 
-void EnergyAccount::add(PowerState state, SimTime duration) {
-    if (duration < SimTime{0}) {
-        throw std::invalid_argument("EnergyAccount::add: negative duration");
-    }
-    buckets_[static_cast<std::size_t>(state)] += duration;
-}
-
 double EnergyAccount::active_energy_mj(const PowerProfile& profile) const noexcept {
     double mj = 0.0;
     for (std::size_t i = 1; i < kPowerStateCount; ++i) {  // skip deep_sleep

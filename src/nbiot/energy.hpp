@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <stdexcept>
 
 #include "nbiot/types.hpp"
 
@@ -62,7 +63,14 @@ struct PowerProfile {
 /// Accumulates time per power state for one device.
 class EnergyAccount {
 public:
-    void add(PowerState state, SimTime duration);
+    // Inline: this is the single hottest accounting call in a campaign
+    // (every state transition of every device lands here).
+    void add(PowerState state, SimTime duration) {
+        if (duration < SimTime{0}) {
+            throw std::invalid_argument("EnergyAccount::add: negative duration");
+        }
+        buckets_[static_cast<std::size_t>(state)] += duration;
+    }
 
     [[nodiscard]] SimTime uptime(PowerState state) const noexcept {
         return buckets_[static_cast<std::size_t>(state)];

@@ -13,13 +13,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <vector>
 
 #include "nbiot/types.hpp"
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
+#include "sim/small_function.hpp"
 
 namespace nbmg::nbiot {
 
@@ -55,7 +55,9 @@ struct RachOutcome {
 /// Shared random-access channel of the cell.
 class RachChannel {
 public:
-    using Callback = std::function<void(const RachOutcome&)>;
+    // Small-buffer callable: the UE's completion closure (a `this` plus a
+    // nested continuation) stays inline, so a RA request never allocates.
+    using Callback = sim::SmallFunction<void(const RachOutcome&), 48>;
 
     RachChannel(sim::Simulation& simulation, RachConfig config, sim::RandomStream rng);
 

@@ -1,5 +1,6 @@
 #include "nbiot/ue.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -7,7 +8,7 @@ namespace nbmg::nbiot {
 
 Ue::Ue(sim::Simulation& simulation, DeviceId device, Imsi imsi, DrxCycle cycle,
        CeLevel ce_level, const PagingSchedule& paging, const TimingModel& timing,
-       RachChannel& rach)
+       RachChannel& rach, FleetAccounting& accounting, const Hooks& fleet_hooks)
     : sim_(&simulation),
       device_(device),
       imsi_(imsi),
@@ -16,7 +17,14 @@ Ue::Ue(sim::Simulation& simulation, DeviceId device, Imsi imsi, DrxCycle cycle,
       ce_level_(ce_level),
       paging_(&paging),
       timing_(&timing),
-      rach_(&rach) {}
+      rach_(&rach),
+      accounting_(&accounting),
+      fleet_hooks_(&fleet_hooks) {
+    if (accounting.energy.size() <= device.value ||
+        accounting.po_count.size() <= device.value) {
+        throw std::invalid_argument("Ue: accounting has no slot for this device");
+    }
+}
 
 void Ue::require_state(UeState expected, const char* operation) const {
     if (state_ != expected) {
@@ -28,7 +36,17 @@ void Ue::require_state(UeState expected, const char* operation) const {
 
 void Ue::start_monitoring(SimTime until) {
     monitor_until_ = until;
-    schedule_next_po();
+    if (materialized_) {
+        schedule_next_po();
+        return;
+    }
+    analytic_from_ = sim_->now() + SimTime{1};
+    if (analytic_from_ < until) {
+        // One sentinel at the horizon settles the whole analytic window,
+        // so po_count()/energy() are final once the queue drains past
+        // `until` — the same observable the per-occasion chain provided.
+        sim_->queue().schedule_at(until, [this] { settle_pos(monitor_until_); });
+    }
 }
 
 SimTime Ue::next_po_at_or_after(SimTime t) const {
@@ -49,51 +67,104 @@ void Ue::schedule_next_po() {
     // scheduled twice after a cycle change.
     const SimTime next = next_po_at_or_after(sim_->now() + SimTime{1});
     if (next >= monitor_until_) return;
+    next_po_time_ = next;
     po_event_ = sim_->queue().schedule_at(next, [this] { on_po(); });
 }
 
 void Ue::on_po() {
     po_event_.reset();
-    ++po_count_;
-    energy_.add(PowerState::po_monitor, timing_->po_monitor);
+    ++accounting_->po_count[device_.value];
+    accounting_->energy[device_.value].add(PowerState::po_monitor,
+                                           timing_->po_monitor);
     schedule_next_po();
+}
+
+void Ue::settle_pos(SimTime bound) {
+    if (materialized_) return;
+    bound = std::min(bound, monitor_until_);
+    if (bound <= analytic_from_) return;
+    const std::int64_t n =
+        paging_->po_count_in_range(analytic_from_, bound, imsi_, cycle_);
+    if (n > 0) {
+        accounting_->po_count[device_.value] += static_cast<std::uint64_t>(n);
+        // Integer-millisecond uptime, so the single multiplication equals
+        // n repeated adds bit for bit.
+        accounting_->energy[device_.value].add(PowerState::po_monitor,
+                                               timing_->po_monitor * n);
+    }
+    analytic_from_ = bound;
+}
+
+void Ue::materialize_pos() {
+    if (materialized_) return;
+    // The page that triggers materialization lands on one of this device's
+    // occasions; the legacy chain's pending event at the page instant
+    // fires after the page handler (it carries a higher sequence number)
+    // and still counts it, so the analytic window closes just past `now`.
+    settle_pos(sim_->now() + SimTime{1});
+    materialized_ = true;
+    schedule_next_po();
+}
+
+void Ue::dematerialize_pos() {
+    if (!materialized_) return;
+    materialized_ = false;
+    if (po_event_) {
+        sim_->queue().cancel(*po_event_);
+        po_event_.reset();
+        // The chain counted every occasion strictly before the pending
+        // one; resume the closed form exactly there.
+        analytic_from_ = next_po_time_;
+    } else {
+        analytic_from_ = monitor_until_;
+    }
 }
 
 void Ue::apply_cycle(DrxCycle cycle) {
     if (cycle == cycle_) return;
+    if (!materialized_) {
+        // Only materialized procedures change cycles today; keep the
+        // analytic ledger well-defined anyway by closing the old-cycle
+        // window through the current instant.
+        settle_pos(sim_->now() + SimTime{1});
+        cycle_ = cycle;
+        return;
+    }
     cycle_ = cycle;
     schedule_next_po();
 }
 
 void Ue::start_connection(SimTime earliest, EstablishmentCause cause,
-                          std::function<void()> once_connected) {
+                          ConnectedFn once_connected) {
     state_ = UeState::accessing;
     last_cause_ = cause;
     rach_->request(earliest, [this, done = std::move(once_connected)](
-                                 const RachOutcome& outcome) {
-        energy_.add(PowerState::rach, outcome.active_time);
+                                 const RachOutcome& outcome) mutable {
+        accounting_->energy[device_.value].add(PowerState::rach, outcome.active_time);
         rach_attempts_ += outcome.attempts;
         if (!outcome.success) {
             state_ = UeState::idle;
-            if (hooks_.on_rach_failure) hooks_.on_rach_failure(device_, sim_->now());
+            if (hooks().on_rach_failure) hooks().on_rach_failure(device_, sim_->now());
             return;
         }
-        energy_.add(PowerState::connected_signaling, timing_->rrc_setup);
-        sim_->queue().schedule_after(timing_->rrc_setup, [this, done = std::move(done)] {
-            connected_at_ = sim_->now();
-            done();
-        });
+        accounting_->energy[device_.value].add(PowerState::connected_signaling,
+                                               timing_->rrc_setup);
+        sim_->queue().schedule_after(timing_->rrc_setup,
+                                     [this, done = std::move(done)]() mutable {
+                                         connected_at_ = sim_->now();
+                                         done();
+                                     });
     });
 }
 
 void Ue::page_normal() {
     require_state(UeState::idle, "page_normal");
-    energy_.add(PowerState::paging_rx, timing_->paging_decode);
+    charge(PowerState::paging_rx, timing_->paging_decode);
     const SimTime ra_start = sim_->now() + timing_->paging_decode + timing_->page_to_rach;
     start_connection(ra_start, EstablishmentCause::mt_access, [this] {
         state_ = UeState::connected_waiting;
         wait_started_ = sim_->now();
-        if (hooks_.on_connected) hooks_.on_connected(device_, sim_->now());
+        if (hooks().on_connected) hooks().on_connected(device_, sim_->now());
     });
 }
 
@@ -102,8 +173,8 @@ void Ue::page_mltc(SimTime wake_at) {
     if (wake_at < sim_->now()) {
         throw std::logic_error("Ue::page_mltc: wake time in the past");
     }
-    energy_.add(PowerState::paging_rx,
-                timing_->paging_decode + timing_->mltc_extension_extra);
+    charge(PowerState::paging_rx,
+           timing_->paging_decode + timing_->mltc_extension_extra);
     // The device does not connect now: it sets T322 and goes back to sleep.
     sim_->queue().schedule_at(wake_at, [this] {
         if (state_ != UeState::idle) return;  // already serving another procedure
@@ -111,27 +182,30 @@ void Ue::page_mltc(SimTime wake_at) {
                          EstablishmentCause::multicast_reception, [this] {
                              state_ = UeState::connected_waiting;
                              wait_started_ = sim_->now();
-                             if (hooks_.on_connected) hooks_.on_connected(device_, sim_->now());
+                             if (hooks().on_connected) hooks().on_connected(device_, sim_->now());
                          });
     });
 }
 
 void Ue::page_for_reconfig(DrxCycle new_cycle) {
     require_state(UeState::idle, "page_for_reconfig");
-    energy_.add(PowerState::paging_rx, timing_->paging_decode);
+    // The one procedure whose event ordering against a concurrent cycle
+    // change matters: run per-occasion events until the cycle is restored.
+    materialize_pos();
+    charge(PowerState::paging_rx, timing_->paging_decode);
     const SimTime ra_start = sim_->now() + timing_->paging_decode + timing_->page_to_rach;
     start_connection(ra_start, EstablishmentCause::mt_access, [this, new_cycle] {
         // RRC Connection Reconfiguration (new DRX) followed by an immediate
         // RRC Connection Release: the eNB does not let the inactivity timer
         // run (Sec. III-B).
-        energy_.add(PowerState::connected_signaling,
-                    timing_->rrc_reconfiguration + timing_->rrc_release);
+        charge(PowerState::connected_signaling,
+               timing_->rrc_reconfiguration + timing_->rrc_release);
         sim_->queue().schedule_after(
             timing_->rrc_reconfiguration + timing_->rrc_release, [this, new_cycle] {
                 state_ = UeState::idle;
                 released_at_ = sim_->now();
                 apply_cycle(new_cycle);
-                if (hooks_.on_released) hooks_.on_released(device_, sim_->now());
+                if (hooks().on_released) hooks().on_released(device_, sim_->now());
             });
     });
 }
@@ -141,22 +215,25 @@ void Ue::begin_reception(SimTime data_end, SimTime tail) {
     if (data_end < sim_->now()) {
         throw std::logic_error("Ue::begin_reception: end time in the past");
     }
-    energy_.add(PowerState::connected_wait, sim_->now() - wait_started_);
+    charge(PowerState::connected_wait, sim_->now() - wait_started_);
     state_ = UeState::receiving;
     const SimTime rx_duration = data_end - sim_->now();
     sim_->queue().schedule_at(data_end, [this, rx_duration, tail] {
-        energy_.add(PowerState::connected_rx, rx_duration);
+        charge(PowerState::connected_rx, rx_duration);
         payload_received_ = true;
-        if (tail > SimTime{0}) energy_.add(PowerState::connected_wait, tail);
+        if (tail > SimTime{0}) charge(PowerState::connected_wait, tail);
         SimTime signaling = timing_->rrc_release;
         const bool restore = cycle_ != original_cycle_;
         if (restore) signaling += timing_->rrc_reconfiguration;
-        energy_.add(PowerState::connected_signaling, signaling);
+        charge(PowerState::connected_signaling, signaling);
         sim_->queue().schedule_after(tail + signaling, [this, restore] {
             state_ = UeState::idle;
             released_at_ = sim_->now();
             if (restore) apply_cycle(original_cycle_);
-            if (hooks_.on_released) hooks_.on_released(device_, sim_->now());
+            // The adjustment window is over (or never mattered): drop back
+            // to closed-form occasion accounting.
+            dematerialize_pos();
+            if (hooks().on_released) hooks().on_released(device_, sim_->now());
         });
     });
 }
@@ -169,22 +246,22 @@ void Ue::receive_idle_broadcast(SimTime data_end) {
     state_ = UeState::receiving;
     const SimTime rx_duration = data_end - sim_->now();
     sim_->queue().schedule_at(data_end, [this, rx_duration] {
-        energy_.add(PowerState::connected_rx, rx_duration);
+        charge(PowerState::connected_rx, rx_duration);
         payload_received_ = true;
         state_ = UeState::idle;
         released_at_ = sim_->now();
-        if (hooks_.on_released) hooks_.on_released(device_, sim_->now());
+        if (hooks().on_released) hooks().on_released(device_, sim_->now());
     });
 }
 
 void Ue::release_without_reception() {
     require_state(UeState::connected_waiting, "release_without_reception");
-    energy_.add(PowerState::connected_wait, sim_->now() - wait_started_);
-    energy_.add(PowerState::connected_signaling, timing_->rrc_release);
+    charge(PowerState::connected_wait, sim_->now() - wait_started_);
+    charge(PowerState::connected_signaling, timing_->rrc_release);
     sim_->queue().schedule_after(timing_->rrc_release, [this] {
         state_ = UeState::idle;
         released_at_ = sim_->now();
-        if (hooks_.on_released) hooks_.on_released(device_, sim_->now());
+        if (hooks().on_released) hooks().on_released(device_, sim_->now());
     });
 }
 

@@ -10,20 +10,45 @@
 // analytic accounting (light-sleep uptime is a pure function of the DRX
 // cycle over the horizon) and keeps the unicast reference exactly
 // comparable; the overlap is at most one occasion per connection.
+//
+// Performance note: PO monitoring is hybrid analytic/event-driven.  While
+// a device's DRX cycle is fixed, its occasions in any window are a closed
+// form (PagingSchedule::po_count_in_range), so the UE schedules no
+// per-occasion events at all — one sentinel at the monitoring horizon
+// settles the count and the energy in a single multiplication.  Only
+// page_for_reconfig (the DA-SC adjustment, the one procedure whose
+// event ordering against a concurrent cycle change matters) switches the
+// device to materialized per-occasion events, and the release that
+// restores the cycle switches it back.  Both modes are bit-identical in
+// every observable (po_count, energy, fire order of surviving events):
+// PO accounting commutes with every other handler, and the materialized
+// window reproduces the legacy event chain verbatim.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <stdexcept>
+#include <vector>
 
 #include "nbiot/energy.hpp"
 #include "nbiot/paging.hpp"
 #include "nbiot/rach.hpp"
 #include "nbiot/rrc.hpp"
 #include "sim/simulation.hpp"
+#include "sim/small_function.hpp"
 
 namespace nbmg::nbiot {
+
+/// Struct-of-arrays per-device accounting, owned by the cell and indexed
+/// by dense DeviceId.  The hot counters every PO settlement and energy
+/// charge touches live in contiguous vectors instead of inside each Ue,
+/// so fleet-wide accounting sweeps are cache-linear.
+struct FleetAccounting {
+    std::vector<EnergyAccount> energy;
+    std::vector<std::uint64_t> po_count;
+};
 
 enum class UeState : std::uint8_t {
     idle,               // sleeping between paging occasions
@@ -53,14 +78,22 @@ public:
         std::function<void(DeviceId, SimTime)> on_released;
     };
 
+    /// `accounting` must outlive the UE and already hold a slot for
+    /// `device`; `fleet_hooks` is the cell-shared hook set (may have empty
+    /// members), overridable per UE via set_hooks.
     Ue(sim::Simulation& simulation, DeviceId device, Imsi imsi, DrxCycle cycle,
        CeLevel ce_level, const PagingSchedule& paging, const TimingModel& timing,
-       RachChannel& rach);
+       RachChannel& rach, FleetAccounting& accounting, const Hooks& fleet_hooks);
 
     Ue(const Ue&) = delete;
     Ue& operator=(const Ue&) = delete;
 
-    void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
+    /// Per-UE hook override; devices without one dispatch through the
+    /// cell-shared hook set (one std::function triple per cell instead of
+    /// three per device).
+    void set_hooks(Hooks hooks) {
+        own_hooks_ = std::make_unique<Hooks>(std::move(hooks));
+    }
 
     /// Begins the PO-monitoring loop; the UE wakes at every PO of its
     /// current DRX cycle until `until`.
@@ -100,7 +133,9 @@ public:
 
     /// Charges uptime for protocol features outside the UE state machine
     /// (e.g. SC-MCCH monitoring in the SC-PTM baseline).
-    void charge(PowerState state, SimTime duration) { energy_.add(state, duration); }
+    void charge(PowerState state, SimTime duration) {
+        accounting_->energy[device_.value].add(state, duration);
+    }
 
     /// --- observers ---
 
@@ -117,9 +152,13 @@ public:
     [[nodiscard]] DrxCycle current_cycle() const noexcept { return cycle_; }
     [[nodiscard]] DrxCycle original_cycle() const noexcept { return original_cycle_; }
     [[nodiscard]] CeLevel ce_level() const noexcept { return ce_level_; }
-    [[nodiscard]] const EnergyAccount& energy() const noexcept { return energy_; }
+    [[nodiscard]] const EnergyAccount& energy() const noexcept {
+        return accounting_->energy[device_.value];
+    }
     [[nodiscard]] bool payload_received() const noexcept { return payload_received_; }
-    [[nodiscard]] std::uint64_t po_count() const noexcept { return po_count_; }
+    [[nodiscard]] std::uint64_t po_count() const noexcept {
+        return accounting_->po_count[device_.value];
+    }
     [[nodiscard]] std::optional<SimTime> connected_at() const noexcept { return connected_at_; }
     [[nodiscard]] std::optional<SimTime> released_at() const noexcept { return released_at_; }
     [[nodiscard]] int rach_attempts() const noexcept { return rach_attempts_; }
@@ -128,10 +167,27 @@ public:
 private:
     void schedule_next_po();
     void on_po();
+    /// Analytic-mode settlement: adds every PO in [analytic_from_, bound)
+    /// to the fleet counters in one closed-form step and advances the
+    /// window.  No-op in materialized mode.
+    void settle_pos(SimTime bound);
+    /// Switches to per-occasion events (the legacy chain), settling the
+    /// analytic window through the current instant first.
+    void materialize_pos();
+    /// Returns to analytic mode: cancels the pending occasion event and
+    /// resumes closed-form counting exactly where the chain stopped.
+    void dematerialize_pos();
+    /// Continuation capacity 16: every caller captures at most `this` plus
+    /// one DrxCycle, and the small bound keeps the enclosing RA-completion
+    /// closure inside RachChannel::Callback's own inline buffer.
+    using ConnectedFn = sim::SmallFunction<void(), 16>;
     void start_connection(SimTime earliest, EstablishmentCause cause,
-                          std::function<void()> once_connected);
+                          ConnectedFn once_connected);
     void apply_cycle(DrxCycle cycle);
     void require_state(UeState expected, const char* operation) const;
+    [[nodiscard]] const Hooks& hooks() const noexcept {
+        return own_hooks_ ? *own_hooks_ : *fleet_hooks_;
+    }
 
     sim::Simulation* sim_;
     DeviceId device_;
@@ -142,15 +198,18 @@ private:
     const PagingSchedule* paging_;
     const TimingModel* timing_;
     RachChannel* rach_;
-    Hooks hooks_;
+    FleetAccounting* accounting_;
+    const Hooks* fleet_hooks_;
+    std::unique_ptr<Hooks> own_hooks_;
 
     UeState state_ = UeState::idle;
-    EnergyAccount energy_;
     SimTime monitor_until_{0};
     std::optional<sim::EventId> po_event_;
+    SimTime next_po_time_{0};   // fire time of po_event_, when set
+    SimTime analytic_from_{0};  // next unsettled instant in analytic mode
+    bool materialized_ = false;
     SimTime wait_started_{0};
     bool payload_received_ = false;
-    std::uint64_t po_count_ = 0;
     std::optional<SimTime> connected_at_;
     std::optional<SimTime> released_at_;
     int rach_attempts_ = 0;

@@ -150,6 +150,14 @@ void apply_spec_overrides(ScenarioSpec& spec, int argc, char** argv) {
         spec.config.inactivity_timer =
             nbiot::SimTime{static_cast<std::int64_t>(ti_ms)};
     }
+    if (const char* strata = flag_text(argc, argv, "--strata"); strata != nullptr) {
+        const std::uint64_t parsed = flag_u64(argc, argv, "--strata", 1, 1);
+        if (parsed > core::kMaxStrata) {
+            flag_error("--strata", strata, "value out of range",
+                       "N where N is in [1, 32]");
+        }
+        spec.config.strata = static_cast<std::size_t>(parsed);
+    }
     if (const char* cells = flag_text(argc, argv, "--cells"); cells != nullptr) {
         // Override the count only: a hotspot scenario stays a hotspot.
         spec.with_cell_count(flag_cells(argc, argv, spec.cell_count()));

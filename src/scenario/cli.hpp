@@ -126,7 +126,7 @@ inline constexpr const char* kScenarioFlags[] = {
     "--scenario",    "--preset", "--runs",        "--devices",
     "--seed",        "--threads", "--payload-kb", "--ti-ms",
     "--cells",       "--assignment", "--coordinator", "--stagger-ms",
-    "--backhaul-kbps",
+    "--backhaul-kbps", "--strata",
 };
 
 [[nodiscard]] inline bool is_scenario_flag(const char* token) {
@@ -142,8 +142,9 @@ inline constexpr const char* kScenarioFlags[] = {
     std::fprintf(stderr,
                  "usage: known flags are --scenario FILE, --preset NAME, "
                  "--runs N, --devices N, --seed N, --threads N, "
-                 "--payload-kb N, --ti-ms N, --cells N, --assignment NAME, "
-                 "--coordinator NAME, --stagger-ms N, --backhaul-kbps X\n");
+                 "--payload-kb N, --ti-ms N, --strata N, --cells N, "
+                 "--assignment NAME, --coordinator NAME, --stagger-ms N, "
+                 "--backhaul-kbps X\n");
     std::exit(2);
 }
 
@@ -259,6 +260,7 @@ void reject_unknown_flags(int argc, char** argv, const ShellFlags& shell);
 
 /// Applies the classic flags as overrides onto `spec`:
 /// --runs, --devices, --seed, --threads, --payload-kb, --ti-ms,
+/// --strata (paging-frame strata, [1, 32]),
 /// --cells (engages/updates the multicell grid), --assignment, and the
 /// wall-clock coordinator set: --coordinator NAME (simultaneous |
 /// fixed-stagger | backhaul | none, requires a multicell scenario),

@@ -283,6 +283,9 @@ ScenarioSpec parse_scenario_text(std::string_view text,
                 nbiot::SimTime{static_cast<std::int64_t>(parse_bounded_u64(
                     ctx, key, value,
                     std::numeric_limits<std::int64_t>::max()))};
+        } else if (key == "strata") {
+            spec.config.strata = static_cast<std::size_t>(
+                parse_bounded_u64(ctx, key, value, core::kMaxStrata));
         } else if (key == "cells") {
             multicell_fields.cells =
                 static_cast<std::size_t>(parse_positive_u64(ctx, key, value));

@@ -123,6 +123,16 @@ void register_builtin_presets(Registry& registry) {
             .with_backhaul_kbps(512.0));
 
     registry.register_preset(
+        "megacell",
+        "one 10^6-device cell split into 8 paging-frame strata (DR-SI)",
+        ScenarioSpec{}
+            .with_name("megacell")
+            .with_devices(1'000'000)
+            .with_runs(1)
+            .with_strata(8)
+            .with_mechanisms({MechanismKind::dr_si}));
+
+    registry.register_preset(
         "multicell-scaling",
         "fixed fleet sharded over up to 64 cells (scaling sweep base)",
         ScenarioSpec{}

@@ -66,6 +66,10 @@ ScenarioSpec& ScenarioSpec::with_inactivity_timer_ms(std::int64_t value) {
     config.inactivity_timer = nbiot::SimTime{value};
     return *this;
 }
+ScenarioSpec& ScenarioSpec::with_strata(std::size_t value) {
+    config.strata = value;
+    return *this;
+}
 ScenarioSpec& ScenarioSpec::with_cells(std::size_t cells) {
     TopologySpec topo;  // fresh uniform grid, as documented
     topo.cells = cells;
@@ -152,6 +156,10 @@ void ScenarioSpec::validate() const {
         throw std::invalid_argument(
             "scenario '" + name +
             "': campaign config rates must be finite");
+    }
+    if (config.strata < 1 || config.strata > core::kMaxStrata) {
+        throw std::invalid_argument("scenario '" + name + "': strata must be in [1, " +
+                                    std::to_string(core::kMaxStrata) + "]");
     }
     if (!config.valid()) {
         throw std::invalid_argument("scenario '" + name +
@@ -288,6 +296,7 @@ std::string ScenarioSpec::to_file_text() const {
     out << "background_ra_per_second = " << config.background_ra_per_second << "\n";
     out << "max_page_records = " << config.paging.max_page_records << "\n";
     out << "sc_ptm_mcch_period_ms = " << config.sc_ptm_mcch_period.count() << "\n";
+    if (config.strata != 1) out << "strata = " << config.strata << "\n";
     if (topology) {
         out << "cells = " << topology->cells << "\n";
         out << "topology = " << to_string(topology->kind) << "\n";

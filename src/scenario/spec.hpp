@@ -105,6 +105,9 @@ struct ScenarioSpec {
     ScenarioSpec& with_mechanisms(std::vector<core::MechanismKind> value);
     ScenarioSpec& with_config(core::CampaignConfig value);
     ScenarioSpec& with_inactivity_timer_ms(std::int64_t value);
+    /// Requested paging-frame stratum count (CampaignConfig::strata);
+    /// non-powers-of-two round down at run time (core::resolve_strata).
+    ScenarioSpec& with_strata(std::size_t value);
     /// Engages the multicell engine on a uniform grid of `cells` cells
     /// (any previous topology — kind, exponent, custom grid — is replaced).
     ScenarioSpec& with_cells(std::size_t cells);

@@ -1,6 +1,7 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 #include <utility>
 
@@ -85,6 +86,49 @@ EventId EventQueue::schedule_after(SimTime delay, Handler handler) {
     return schedule_at(now_ + delay, std::move(handler));
 }
 
+void EventQueue::Batch::add(SimTime at, Handler handler) {
+    if (!handler) {
+        throw std::invalid_argument("EventQueue::Batch::add: empty handler");
+    }
+    items_.push_back(Item{at, std::move(handler)});
+}
+
+std::size_t EventQueue::schedule_batch(Batch&& batch) {
+    std::vector<Batch::Item>& items = batch.items_;
+    if (items.empty()) return 0;
+    for (const Batch::Item& item : items) {
+        if (item.at < now_) {
+            throw std::logic_error("EventQueue::schedule_batch: time in the past");
+        }
+    }
+    // Stable sort keeps add order inside equal-time groups; assigning
+    // sequence numbers along the sorted order then makes seq ascend with
+    // add order within each group — the exact tie-break schedule_at would
+    // have produced.
+    std::vector<std::uint32_t> order(items.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&items](std::uint32_t a, std::uint32_t b) {
+                         return items[a].at < items[b].at;
+                     });
+    Run run;
+    run.entries.reserve(items.size());
+    for (const std::uint32_t i : order) {
+        const std::uint64_t seq = next_seq_++;
+        const std::uint32_t index = acquire_slot();
+        Slot& slot = slots_[index];
+        slot.handler = std::move(items[i].handler);
+        slot.seq = seq;
+        ++slot.generation;
+        ++pending_;
+        run.entries.push_back(HeapEntry{items[i].at, seq, index});
+    }
+    const std::size_t scheduled = run.entries.size();
+    runs_.push_back(std::move(run));
+    items.clear();
+    return scheduled;
+}
+
 bool EventQueue::cancel(EventId id) {
     // Ids of events that already fired point at a freed (seq == 0) or
     // reused (generation bumped) slot, so a stale cancel is a no-op.
@@ -104,10 +148,48 @@ bool EventQueue::skip_stale() {
     return false;
 }
 
+int EventQueue::find_best() {
+    const HeapEntry* best = nullptr;
+    int src = kSourceNone;
+    if (skip_stale()) {
+        best = &heap_.top();
+        src = kSourceHeap;
+    }
+    std::size_t kept = 0;
+    for (std::size_t r = 0; r < runs_.size(); ++r) {
+        Run& run = runs_[r];
+        while (run.cursor < run.entries.size()) {
+            const HeapEntry& head = run.entries[run.cursor];
+            if (slots_[head.slot].seq == head.seq) break;
+            ++run.cursor;  // cancelled or reused: skip lazily, like the heap
+        }
+        if (run.cursor == run.entries.size()) continue;  // exhausted: drop
+        const HeapEntry& head = run.entries[run.cursor];
+        if (best == nullptr || head.at < best->at ||
+            (head.at == best->at && head.seq < best->seq)) {
+            best = &head;
+            src = static_cast<int>(kept);
+        }
+        // Compaction moves the Run object, not its entries buffer, so
+        // `best` stays valid.
+        if (kept != r) runs_[kept] = std::move(runs_[r]);
+        ++kept;
+    }
+    runs_.resize(kept);
+    return src;
+}
+
 bool EventQueue::step() {
-    if (!skip_stale()) return false;
-    const HeapEntry top = heap_.top();
-    heap_.pop();
+    const int src = find_best();
+    if (src == kSourceNone) return false;
+    HeapEntry top;
+    if (src == kSourceHeap) {
+        top = heap_.top();
+        heap_.pop();
+    } else {
+        Run& run = runs_[static_cast<std::size_t>(src)];
+        top = run.entries[run.cursor++];
+    }
     // Move the handler out before running it: the handler may schedule new
     // events, which can reuse this slot or grow the slab.
     Handler handler = std::move(slots_[top.slot].handler);
@@ -120,7 +202,15 @@ bool EventQueue::step() {
 
 std::size_t EventQueue::run_until(SimTime until) {
     std::size_t n = 0;
-    while (skip_stale() && heap_.top().at <= until) {
+    for (;;) {
+        const int src = find_best();
+        if (src == kSourceNone) break;
+        const HeapEntry& head =
+            src == kSourceHeap
+                ? heap_.top()
+                : runs_[static_cast<std::size_t>(src)]
+                      .entries[runs_[static_cast<std::size_t>(src)].cursor];
+        if (head.at > until) break;
         step();
         ++n;
     }

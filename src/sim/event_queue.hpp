@@ -12,16 +12,22 @@
 // schedules) live inline in the slot; larger ones fall back to one heap
 // allocation.  The ordering heap itself holds only 24-byte {time, seq,
 // slot} entries, so sift operations never touch handler storage.
+//
+// Large pre-known schedules (a campaign's plan events, a stratum's
+// wakeups) can be inserted as one sorted block via Batch/schedule_batch:
+// the block becomes a "run lane" consumed front-to-back and merged with
+// the heap on the same (time, seq) total order, so firing order is
+// exactly what the equivalent sequence of schedule_at calls would
+// produce — at one stable sort per block instead of N heap sifts.
 #pragma once
 
 #include <cassert>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <new>
-#include <type_traits>
-#include <utility>
 #include <vector>
+
+#include "sim/small_function.hpp"
 
 namespace nbmg::sim {
 
@@ -44,106 +50,7 @@ struct EventId {
 /// Move-only; empty by default.  Targets larger than kInlineCapacity (or
 /// over-aligned, or with a throwing move) are stored through one heap
 /// allocation instead.
-class InlineHandler {
-public:
-    static constexpr std::size_t kInlineCapacity = 48;
-
-    InlineHandler() = default;
-
-    template <typename F>
-        requires(!std::is_same_v<std::decay_t<F>, InlineHandler> &&
-                 std::is_invocable_r_v<void, std::decay_t<F>&>)
-    InlineHandler(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
-        using Target = std::decay_t<F>;
-        if constexpr (fits_inline<Target>()) {
-            ::new (static_cast<void*>(storage_)) Target(std::forward<F>(f));
-            ops_ = &kInlineOps<Target>;
-        } else {
-            ::new (static_cast<void*>(storage_))
-                Target*(new Target(std::forward<F>(f)));
-            ops_ = &kHeapOps<Target>;
-        }
-    }
-
-    InlineHandler(InlineHandler&& other) noexcept : ops_(other.ops_) {
-        if (ops_ != nullptr) {
-            ops_->relocate(storage_, other.storage_);
-            other.ops_ = nullptr;
-        }
-    }
-
-    InlineHandler& operator=(InlineHandler&& other) noexcept {
-        if (this != &other) {
-            reset();
-            ops_ = other.ops_;
-            if (ops_ != nullptr) {
-                ops_->relocate(storage_, other.storage_);
-                other.ops_ = nullptr;
-            }
-        }
-        return *this;
-    }
-
-    InlineHandler(const InlineHandler&) = delete;
-    InlineHandler& operator=(const InlineHandler&) = delete;
-
-    ~InlineHandler() { reset(); }
-
-    void operator()() {
-        assert(ops_ != nullptr);
-        ops_->invoke(storage_);
-    }
-
-    [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
-
-    void reset() noexcept {
-        if (ops_ != nullptr) {
-            ops_->destroy(storage_);
-            ops_ = nullptr;
-        }
-    }
-
-private:
-    struct Ops {
-        void (*invoke)(void*);
-        void (*relocate)(void* dst, void* src) noexcept;
-        void (*destroy)(void*) noexcept;
-    };
-
-    template <typename Target>
-    static constexpr bool fits_inline() {
-        return sizeof(Target) <= kInlineCapacity &&
-               alignof(Target) <= alignof(std::max_align_t) &&
-               std::is_nothrow_move_constructible_v<Target>;
-    }
-
-    template <typename Target>
-    static Target* as(void* p) noexcept {
-        return std::launder(reinterpret_cast<Target*>(p));
-    }
-
-    template <typename Target>
-    static constexpr Ops kInlineOps{
-        [](void* p) { (*as<Target>(p))(); },
-        [](void* dst, void* src) noexcept {
-            ::new (dst) Target(std::move(*as<Target>(src)));
-            as<Target>(src)->~Target();
-        },
-        [](void* p) noexcept { as<Target>(p)->~Target(); },
-    };
-
-    // The stored object is a Target* (trivially destructible), so relocation
-    // is a pointer copy and only destroy() releases the heap target.
-    template <typename Target>
-    static constexpr Ops kHeapOps{
-        [](void* p) { (**as<Target*>(p))(); },
-        [](void* dst, void* src) noexcept { ::new (dst) Target*(*as<Target*>(src)); },
-        [](void* p) noexcept { delete *as<Target*>(p); },
-    };
-
-    alignas(std::max_align_t) std::byte storage_[kInlineCapacity];
-    const Ops* ops_ = nullptr;
-};
+using InlineHandler = SmallFunction<void(), 48>;
 
 /// Priority queue of timed events with a simulated clock.
 ///
@@ -170,6 +77,36 @@ public:
 
     /// Schedules `handler` to run `delay` after the current time.
     EventId schedule_after(SimTime delay, Handler handler);
+
+    /// Order-preserving builder for schedule_batch(): accumulate timed
+    /// handlers, then insert them all as one pre-sorted block.
+    class Batch {
+    public:
+        /// Appends a handler to fire at absolute time `at` (validated
+        /// against now() when the batch is scheduled, not here).
+        void add(SimTime at, Handler handler);
+        void reserve(std::size_t n) { items_.reserve(n); }
+        [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+        [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+
+    private:
+        friend class EventQueue;
+        struct Item {
+            SimTime at;
+            Handler handler;
+        };
+        std::vector<Item> items_;
+    };
+
+    /// Schedules every item of `batch` as one sorted run lane: one stable
+    /// sort over the block plus O(1) per event at pop time, instead of N
+    /// heap sifts.  Firing order is exactly what the equivalent sequence
+    /// of schedule_at calls (in add order) would produce — lanes and the
+    /// heap merge on the same (time, seq) total order, and sequence
+    /// numbers are assigned so equal-time batch events keep their add
+    /// order.  Any item before now() is a programming error.  Consumes
+    /// the batch; returns the number of events scheduled.
+    std::size_t schedule_batch(Batch&& batch);
 
     /// Cancels a pending event in O(1).  Returns false if the event already
     /// fired, was already cancelled, or never existed.
@@ -237,6 +174,18 @@ private:
         std::vector<HeapEntry> v_;
     };
 
+    /// One schedule_batch block: entries sorted by (at, seq), consumed
+    /// front-to-back through `cursor`; exhausted lanes are dropped by
+    /// find_best().
+    struct Run {
+        std::vector<HeapEntry> entries;
+        std::size_t cursor = 0;
+    };
+
+    // Source tags for find_best().
+    static constexpr int kSourceNone = -2;
+    static constexpr int kSourceHeap = -1;
+
     [[nodiscard]] std::uint32_t acquire_slot();
     void release_slot(std::uint32_t index) noexcept;
 
@@ -244,7 +193,14 @@ private:
     // false when drained.
     bool skip_stale();
 
+    /// Skips stale entries on the heap and every run lane, compacts away
+    /// exhausted lanes, and returns where the globally earliest live
+    /// event sits: kSourceHeap, a lane index, or kSourceNone when
+    /// drained.
+    int find_best();
+
     EventHeap heap_;
+    std::vector<Run> runs_;
     std::vector<Slot> slots_;
     std::vector<std::uint32_t> free_slots_;
     SimTime now_{0};

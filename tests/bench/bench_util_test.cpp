@@ -94,6 +94,30 @@ TEST(BenchFlagDeathTest, ScenarioAndPresetResolutionRejected) {
         ::testing::ExitedWithCode(2), "not a decimal integer");
 }
 
+TEST(BenchFlagTest, StrataOverrideApplies) {
+    Args<4> args({"--preset", "fig6a", "--strata", "8"});
+    const scenario::ScenarioSpec spec =
+        spec_from_args(args.argc, args.argv(), "fig6a");
+    EXPECT_EQ(spec.config.strata, 8u);
+}
+
+TEST(BenchFlagDeathTest, MalformedStrataRejected) {
+    Args<4> zero({"--preset", "fig6a", "--strata", "0"});
+    EXPECT_EXIT((void)spec_from_args(zero.argc, zero.argv(), "fig6a"),
+                ::testing::ExitedWithCode(2), "value must be >= 1");
+    Args<4> junk({"--preset", "fig6a", "--strata", "4x"});
+    EXPECT_EXIT((void)spec_from_args(junk.argc, junk.argv(), "fig6a"),
+                ::testing::ExitedWithCode(2), "not a decimal integer");
+    // Above the kMaxStrata cap: rejected, not silently rounded (rounding is
+    // reserved for valid requests flowing through resolve_strata).
+    Args<4> over({"--preset", "fig6a", "--strata", "33"});
+    EXPECT_EXIT((void)spec_from_args(over.argc, over.argv(), "fig6a"),
+                ::testing::ExitedWithCode(2), "value out of range");
+    Args<3> missing({"--preset", "fig6a", "--strata"});
+    EXPECT_EXIT((void)spec_from_args(missing.argc, missing.argv(), "fig6a"),
+                ::testing::ExitedWithCode(2), "missing value");
+}
+
 TEST(BenchFlagTest, SpecFromArgsAppliesOverrides) {
     Args<8> args({"--preset", "fig6b", "--runs", "7", "--devices", "44",
                   "--payload-kb", "2048"});

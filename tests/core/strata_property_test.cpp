@@ -1,0 +1,95 @@
+// Property battery: randomly generated campaigns are bit-identical when
+// their strata run serially and when they fan over the worker pool.
+//
+// The generator (seeded mt19937_64, fixed seed: the battery is
+// deterministic) draws population size, mechanism, payload, contention
+// knobs and root seed; each drawn campaign runs at strata requests
+// covering the rounding rule's interesting points (1, odd values that
+// round down, the cap) and thread counts {2, 8}, and every field of the
+// merged CampaignResult — down to the per-device energy buckets — must
+// equal the strata_threads = 1 reference.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "sim/random.hpp"
+#include "tests/support/campaign_equal.hpp"
+#include "traffic/population.hpp"
+
+namespace nbmg::core {
+namespace {
+
+struct DrawnCampaign {
+    std::vector<nbiot::UeSpec> specs;
+    CampaignConfig config;
+    MechanismKind kind = MechanismKind::dr_sc;
+    std::int64_t payload_bytes = 0;
+    std::uint64_t seed = 0;
+};
+
+class CampaignGenerator {
+public:
+    explicit CampaignGenerator(std::uint64_t seed) : rng_(seed) {}
+
+    DrawnCampaign next() {
+        DrawnCampaign drawn;
+        const std::size_t devices = 40 + index(260);
+        sim::RandomStream pop_rng{rng_()};
+        drawn.specs = traffic::to_specs(traffic::generate_population(
+            traffic::massive_iot_city(), devices, pop_rng));
+        static constexpr MechanismKind kKinds[] = {
+            MechanismKind::dr_sc, MechanismKind::da_sc, MechanismKind::dr_si,
+            MechanismKind::unicast, MechanismKind::sc_ptm};
+        drawn.kind = kKinds[index(std::size(kKinds))];
+        drawn.payload_bytes = 1 + static_cast<std::int64_t>(index(256 * 1024));
+        drawn.seed = rng_();
+        if (chance(0.5)) drawn.config.page_miss_prob = uniform(0.0, 0.3);
+        if (chance(0.5)) {
+            drawn.config.background_ra_per_second = uniform(0.0, 10.0);
+        }
+        drawn.config.include_inactivity_tail = chance(0.3);
+        return drawn;
+    }
+
+private:
+    bool chance(double p) { return uniform(0.0, 1.0) < p; }
+    std::size_t index(std::size_t bound) {
+        return std::uniform_int_distribution<std::size_t>(0, bound - 1)(rng_);
+    }
+    double uniform(double lo, double hi) {
+        return std::uniform_real_distribution<double>(lo, hi)(rng_);
+    }
+
+    std::mt19937_64 rng_;
+};
+
+TEST(StrataPropertyTest, RandomCampaignsBitIdenticalAcrossThreadCounts) {
+    CampaignGenerator generator(20'260'808);
+    for (int i = 0; i < 12; ++i) {
+        DrawnCampaign drawn = generator.next();
+        const auto mechanism = make_mechanism(drawn.kind);
+        for (const std::size_t strata :
+             {std::size_t{1}, std::size_t{3}, std::size_t{7}, std::size_t{32}}) {
+            drawn.config.strata = strata;
+            const CampaignResult serial =
+                plan_and_run(*mechanism, drawn.specs, drawn.config,
+                             drawn.payload_bytes, drawn.seed, 1);
+            for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+                const CampaignResult fanned =
+                    plan_and_run(*mechanism, drawn.specs, drawn.config,
+                                 drawn.payload_bytes, drawn.seed, threads);
+                SCOPED_TRACE("case " + std::to_string(i) + " kind " +
+                             to_string(drawn.kind) + " strata " +
+                             std::to_string(strata) + " threads " +
+                             std::to_string(threads));
+                test_support::expect_campaign_results_equal(fanned, serial);
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace nbmg::core

@@ -62,6 +62,7 @@ public:
         spec.config.paging.max_page_records = 1 + static_cast<int>(index(16));
         spec.config.sc_ptm_mcch_period =
             nbiot::SimTime{1 + static_cast<std::int64_t>(index(40'000))};
+        if (chance(0.5)) spec.with_strata(1 + index(core::kMaxStrata));
 
         if (chance(0.6)) {
             const std::size_t cells = 1 + index(64);
@@ -143,6 +144,7 @@ void expect_specs_equal(const ScenarioSpec& parsed, const ScenarioSpec& spec) {
     EXPECT_EQ(parsed.config.paging.max_page_records,
               spec.config.paging.max_page_records);
     EXPECT_EQ(parsed.config.sc_ptm_mcch_period, spec.config.sc_ptm_mcch_period);
+    EXPECT_EQ(parsed.config.strata, spec.config.strata);
     ASSERT_EQ(parsed.is_multicell(), spec.is_multicell());
     if (spec.is_multicell()) {
         EXPECT_EQ(parsed.topology->cells, spec.topology->cells);

@@ -250,6 +250,139 @@ TEST(EventQueueTest, InlineHandlerMoveTransfersTarget) {
     EXPECT_EQ(calls, 1);
 }
 
+TEST(EventQueueBatchTest, EmptyBatchSchedulesNothing) {
+    EventQueue q;
+    EXPECT_EQ(q.schedule_batch(EventQueue::Batch{}), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueBatchTest, BatchEventsRunInTimeThenAddOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    EventQueue::Batch batch;
+    batch.add(SimTime{30}, [&] { order.push_back(3); });
+    batch.add(SimTime{10}, [&] { order.push_back(1); });
+    batch.add(SimTime{10}, [&] { order.push_back(2); });  // FIFO tie w/ above
+    batch.add(SimTime{40}, [&] { order.push_back(4); });
+    EXPECT_EQ(q.schedule_batch(std::move(batch)), 4u);
+    EXPECT_EQ(q.pending(), 4u);
+    q.run_all();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueueBatchTest, BatchAndHeapMergeOnSeqAtEqualTimes) {
+    // schedule_at before the batch fires first at an equal instant;
+    // schedule_at after the batch fires last — exactly as if the batch
+    // items had been schedule_at calls in add order.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule_at(SimTime{10}, [&] { order.push_back(0); });
+    EventQueue::Batch batch;
+    batch.add(SimTime{10}, [&] { order.push_back(1); });
+    batch.add(SimTime{10}, [&] { order.push_back(2); });
+    q.schedule_batch(std::move(batch));
+    q.schedule_at(SimTime{10}, [&] { order.push_back(3); });
+    q.run_all();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueueBatchTest, MultipleBatchLanesMerge) {
+    EventQueue q;
+    std::vector<int> order;
+    EventQueue::Batch a;
+    a.add(SimTime{5}, [&] { order.push_back(5); });
+    a.add(SimTime{20}, [&] { order.push_back(20); });
+    EventQueue::Batch b;
+    b.add(SimTime{10}, [&] { order.push_back(10); });
+    b.add(SimTime{15}, [&] { order.push_back(15); });
+    q.schedule_batch(std::move(a));
+    q.schedule_batch(std::move(b));
+    q.run_all();
+    EXPECT_EQ(order, (std::vector<int>{5, 10, 15, 20}));
+}
+
+TEST(EventQueueBatchTest, BatchHandlerMayScheduleMoreEvents) {
+    EventQueue q;
+    int count = 0;
+    EventQueue::Batch batch;
+    batch.add(SimTime{10}, [&] {
+        q.schedule_after(SimTime{1}, [&] { ++count; });
+    });
+    q.schedule_batch(std::move(batch));
+    q.run_all();
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(q.now(), SimTime{11});
+}
+
+TEST(EventQueueBatchTest, RunUntilHonoursLaneHeads) {
+    EventQueue q;
+    int ran = 0;
+    EventQueue::Batch batch;
+    batch.add(SimTime{10}, [&] { ++ran; });
+    batch.add(SimTime{20}, [&] { ++ran; });
+    batch.add(SimTime{21}, [&] { ++ran; });
+    q.schedule_batch(std::move(batch));
+    EXPECT_EQ(q.run_until(SimTime{20}), 2u);
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(q.now(), SimTime{20});
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueBatchTest, PastTimeInBatchThrows) {
+    EventQueue q;
+    q.schedule_at(SimTime{10}, [] {});
+    q.step();
+    EventQueue::Batch batch;
+    batch.add(SimTime{5}, [] {});
+    EXPECT_THROW(q.schedule_batch(std::move(batch)), std::logic_error);
+}
+
+TEST(EventQueueBatchTest, EmptyHandlerInBatchThrows) {
+    EventQueue::Batch batch;
+    EXPECT_THROW(batch.add(SimTime{1}, EventQueue::Handler{}),
+                 std::invalid_argument);
+}
+
+TEST(EventQueueBatchTest, BatchFiringOrderIdenticalToScheduleAtLoop) {
+    // Property: for scattered pseudo-random times (with plenty of ties),
+    // inserting via one batch is trace-identical to the equivalent
+    // schedule_at loop, including interleaved heap-side events.
+    for (const std::uint64_t seed : {7u, 99u, 12345u}) {
+        auto trace = [&](bool batched) {
+            EventQueue q;
+            RandomStream rng{seed};
+            std::vector<std::pair<int, std::int64_t>> out;
+            std::vector<std::pair<SimTime, int>> items;
+            for (int i = 0; i < 400; ++i) {
+                items.emplace_back(SimTime{rng.uniform_int(0, 60)}, i);
+            }
+            for (int i = 0; i < 50; ++i) {  // heap-side contemporaries
+                q.schedule_at(SimTime{rng.uniform_int(0, 60)}, [&out, &q, i] {
+                    out.emplace_back(10'000 + i, q.now().count());
+                });
+            }
+            if (batched) {
+                EventQueue::Batch batch;
+                for (const auto& [at, label] : items) {
+                    batch.add(at, [&out, &q, label = label] {
+                        out.emplace_back(label, q.now().count());
+                    });
+                }
+                q.schedule_batch(std::move(batch));
+            } else {
+                for (const auto& [at, label] : items) {
+                    q.schedule_at(at, [&out, &q, label = label] {
+                        out.emplace_back(label, q.now().count());
+                    });
+                }
+            }
+            q.run_all();
+            return out;
+        };
+        EXPECT_EQ(trace(true), trace(false)) << "seed=" << seed;
+    }
+}
+
 /// The seed implementation, kept verbatim as the ordering reference: a
 /// binary std::priority_queue of {time, seq, std::function} entries with
 /// an unordered_set cancellation path.  The slab queue must reproduce its

@@ -1,0 +1,57 @@
+// Bit-exact comparison of core::CampaignResult, shared by the strata
+// determinism suites (tests/core/campaign_strata_test.cpp,
+// tests/core/strata_property_test.cpp, tests/stress/strata_stress_test.cpp).
+// One superset comparison — every aggregate counter plus every per-device
+// field down to the individual energy buckets — so "bit-identical at any
+// thread count" means exactly that.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "nbiot/energy.hpp"
+
+namespace nbmg::test_support {
+
+inline void expect_energy_equal(const nbiot::EnergyAccount& a,
+                                const nbiot::EnergyAccount& b) {
+    for (std::size_t s = 0; s < nbiot::kPowerStateCount; ++s) {
+        const auto state = static_cast<nbiot::PowerState>(s);
+        EXPECT_EQ(a.uptime(state), b.uptime(state))
+            << "bucket " << nbiot::to_string(state);
+    }
+}
+
+inline void expect_campaign_results_equal(const core::CampaignResult& a,
+                                          const core::CampaignResult& b) {
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.planned_transmissions, b.planned_transmissions);
+    EXPECT_EQ(a.recovery_transmissions, b.recovery_transmissions);
+    EXPECT_EQ(a.paging_messages, b.paging_messages);
+    EXPECT_EQ(a.paging_entries, b.paging_entries);
+    EXPECT_EQ(a.unserved, b.unserved);
+    EXPECT_EQ(a.payload_bytes, b.payload_bytes);
+    EXPECT_EQ(a.bytes_on_air, b.bytes_on_air);
+    EXPECT_EQ(a.observation_horizon, b.observation_horizon);
+    EXPECT_EQ(a.rach_attempts, b.rach_attempts);
+    EXPECT_EQ(a.rach_collisions, b.rach_collisions);
+    EXPECT_EQ(a.rach_failures, b.rach_failures);
+    ASSERT_EQ(a.devices.size(), b.devices.size());
+    for (std::size_t i = 0; i < a.devices.size(); ++i) {
+        const core::DeviceOutcome& da = a.devices[i];
+        const core::DeviceOutcome& db = b.devices[i];
+        EXPECT_EQ(da.spec.device.value, db.spec.device.value) << "device " << i;
+        EXPECT_EQ(da.spec.imsi.value, db.spec.imsi.value) << "device " << i;
+        EXPECT_EQ(da.spec.cycle, db.spec.cycle) << "device " << i;
+        EXPECT_EQ(da.spec.ce_level, db.spec.ce_level) << "device " << i;
+        expect_energy_equal(da.energy, db.energy);
+        EXPECT_EQ(da.received, db.received) << "device " << i;
+        EXPECT_EQ(da.recovered, db.recovered) << "device " << i;
+        EXPECT_EQ(da.po_count, db.po_count) << "device " << i;
+        EXPECT_EQ(da.rach_attempts, db.rach_attempts) << "device " << i;
+        EXPECT_EQ(da.connected_at, db.connected_at) << "device " << i;
+        EXPECT_EQ(da.released_at, db.released_at) << "device " << i;
+    }
+}
+
+}  // namespace nbmg::test_support
