@@ -14,31 +14,48 @@
 // appended — completion, peak concurrently-active cells, backhaul
 // utilization.
 //
+// --profile turns on the wall-clock self-profiler (telemetry/profiler.hpp):
+// a per-phase timing report on stderr.  Bench shells are the only place
+// that may read the wall clock — the simulation itself never does.
+//
 //   $ fig_multicell_scaling --devices 100000 --cells 64 --runs 1 --threads 8
 //   $ fig_multicell_scaling --cells 16 --coordinator fixed-stagger --stagger-ms 30000
+//   $ fig_multicell_scaling --cells 16 --profile 2>profile.txt
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench/bench_util.hpp"
 #include "scenario/run.hpp"
+#include "telemetry/profiler.hpp"
 
 int main(int argc, char** argv) {
     using namespace nbmg;
 
+    bool profile = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--profile") == 0) profile = true;
+    }
+    scenario::ShellFlags shell;
+    shell.bare_flags = {"--profile"};
     scenario::ScenarioSpec base =
-        bench::spec_from_args(argc, argv, "multicell-scaling");
+        bench::spec_from_args(argc, argv, "multicell-scaling", shell);
     const std::size_t max_cells = base.cell_count();
 
     bench::print_header("Multicell scaling",
                         "fleet campaign sharded across independent cells");
     bench::print_scenario_line(base);
 
+    telemetry::PhaseProfiler profiler(profile);
+
     // One fleet, every sweep point: population generation is paid once.
+    profiler.begin("generate populations");
     base.with_populations(core::generate_comparison_populations(
         base.profile, base.device_count, base.runs, base.base_seed));
+    profiler.end();
 
     // The per-mechanism columns report the scenario's *first* mechanism
     // (DR-SC in the preset); label them accordingly.
@@ -68,6 +85,7 @@ int main(int argc, char** argv) {
         // Count-only change: a hotspot scenario sweeps as a hotspot.
         point.with_cell_count(cells);
 
+        profiler.begin("cells " + std::to_string(cells));
         const auto started = std::chrono::steady_clock::now();
         const scenario::ScenarioResult scenario_result = scenario::run_scenario(point);
         const multicell::DeploymentResult& result = scenario_result.deployment();
@@ -96,9 +114,11 @@ int main(int argc, char** argv) {
                         stats::Table::cell(city.peak_concurrent_cells.mean(), 1),
                         stats::Table::cell(city.backhaul_utilization.mean(), 3)});
         }
+        profiler.end();
         table.add_row(std::move(row));
     }
     bench::print_table(table);
+    if (profiler.enabled()) std::fputs(profiler.report().c_str(), stderr);
     std::printf(
         "\nReading the table: the fleet aggregates stay in the same regime while\n"
         "wall-clock falls — planning is per cell, so sharding cuts the greedy\n"

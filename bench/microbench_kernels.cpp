@@ -21,6 +21,7 @@
 #include "setcover/solvers.hpp"
 #include "setcover/window_cover.hpp"
 #include "sim/event_queue.hpp"
+#include "telemetry/sink.hpp"
 #include "traffic/population.hpp"
 
 namespace {
@@ -201,6 +202,51 @@ BENCHMARK(BM_FullCampaign)
     ->Arg(400)
     ->Arg(10'000)
     ->Arg(1'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullCampaign_TelemetryOff(benchmark::State& state) {
+    // Pins the zero-cost-when-disabled claim: the campaign layers carry
+    // NBMG_TELEMETRY_EMIT on every hot path, and with the default null
+    // sink this case must track BM_FullCampaign — one pointer test per
+    // would-be record, arguments never evaluated.
+    sim::RandomStream pop_rng{1};
+    const auto specs = traffic::to_specs(traffic::generate_population(
+        bench_base_spec().profile, static_cast<std::size_t>(state.range(0)),
+        pop_rng));
+    core::CampaignConfig config = bench_base_spec().config;
+    config.telemetry = nullptr;
+    const core::DrSiMechanism mechanism;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::plan_and_run(
+            mechanism, specs, config, bench_base_spec().payload_bytes, 7));
+    }
+}
+BENCHMARK(BM_FullCampaign_TelemetryOff)
+    ->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullCampaign_TelemetryFull(benchmark::State& state) {
+    // The priced alternative: trace + metrics recording on the same
+    // campaign, fresh sink per iteration so the record buffer cannot grow
+    // across iterations.
+    sim::RandomStream pop_rng{1};
+    const auto specs = traffic::to_specs(traffic::generate_population(
+        bench_base_spec().profile, static_cast<std::size_t>(state.range(0)),
+        pop_rng));
+    const core::CampaignConfig base_config = bench_base_spec().config;
+    const core::DrSiMechanism mechanism;
+    for (auto _ : state) {
+        telemetry::CampaignSink sink{
+            telemetry::TelemetryConfig{.trace = true, .metrics = true}};
+        core::CampaignConfig config = base_config;
+        config.telemetry = &sink;
+        benchmark::DoNotOptimize(core::plan_and_run(
+            mechanism, specs, config, bench_base_spec().payload_bytes, 7));
+        benchmark::DoNotOptimize(sink.records().size());
+    }
+}
+BENCHMARK(BM_FullCampaign_TelemetryFull)
+    ->Arg(100'000)
     ->Unit(benchmark::kMillisecond);
 
 void BM_StratifiedCampaign(benchmark::State& state) {

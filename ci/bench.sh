@@ -2,7 +2,7 @@
 # Records the kernel microbenchmarks as google-benchmark JSON at the repo
 # root — the perf trajectory file future PRs regress against.
 #
-#   $ ci/bench.sh                             # single run -> BENCH_pr7.json
+#   $ ci/bench.sh                             # single run -> BENCH_pr8.json
 #   $ ci/bench.sh --repeat 3                  # best-of-3 (recommended)
 #   $ ci/bench.sh --repeat 3 BENCH_pr8.json   # explicit output name
 #
@@ -49,7 +49,7 @@ while [[ $# -gt 0 ]]; do
       ;;
   esac
 done
-out="${out:-BENCH_pr7.json}"
+out="${out:-BENCH_pr8.json}"
 if ! [[ "${repeat}" =~ ^[1-9][0-9]*$ ]]; then
   echo "error: --repeat must be a positive integer, got '${repeat}'" >&2
   exit 2

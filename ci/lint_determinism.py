@@ -25,13 +25,26 @@ never grow:
                   the bit-exact golden comparisons; an uninitialized
                   member merges garbage that happens to be zero — until
                   it is not.
+  telemetry       two rules for the observability layer.  (1) Host
+                  clocks inside src/telemetry/ are confined to the
+                  self-profiler TU (telemetry/profiler.cpp, the one
+                  audited clock read; bench shells only) — a clock
+                  anywhere else in telemetry/ is a finding NO pragma can
+                  excuse, because telemetry artifacts are compared
+                  byte-for-byte across thread counts.  (2) An
+                  NBMG_TELEMETRY_EMIT call whose payload looks like a
+                  pointer (reinterpret_cast, uintptr_t, void* cast, or a
+                  &-of-lvalue argument): addresses vary run to run
+                  (ASLR, allocator state), so a pointer smuggled into a
+                  trace payload breaks byte-identical traces.  Rule (2)
+                  is excusable with allow(telemetry) after human audit.
 
 Audited exceptions carry an inline pragma on the flagged line or the line
 directly above:
 
     // nbmg-lint: allow(<category>) <reason>
 
-The pragma is itself verified: the category must be one of the five
+The pragma is itself verified: the category must be one of the six
 above, a non-empty reason is mandatory, and a pragma that no longer
 annotates a finding of its category is reported as stale (so allowlist
 entries cannot outlive the code they excused).
@@ -59,6 +72,7 @@ CATEGORIES = (
     "unordered-iter",
     "pointer-key",
     "uninit-pod",
+    "telemetry",
 )
 
 PRAGMA_RE = re.compile(
@@ -70,6 +84,11 @@ PRAGMA_RE = re.compile(
 RNG_HOME_RE = re.compile(r"(^|/)sim/random\.(cpp|hpp|h)$")
 # Benches may read the host clock to time themselves.
 BENCH_DIR_RE = re.compile(r"(^|/)bench/")
+# The telemetry layer, whose artifacts are compared byte-for-byte across
+# thread counts — and its self-profiler TU, the one audited clock read in
+# the library (opt-in, bench shells only, never feeds an artifact).
+TELEMETRY_DIR_RE = re.compile(r"(^|/)telemetry/")
+PROFILER_HOME_RE = re.compile(r"(^|/)telemetry/profiler\.(cpp|hpp|h)$")
 
 WALL_CLOCK_RE = re.compile(
     r"std::chrono::system_clock"
@@ -108,6 +127,16 @@ UNINIT_POD_RE = re.compile(
     r"\s+\w+(?:\s*,\s*\w+)*\s*;\s*$"
 )
 STRUCT_OPEN_RE = re.compile(r"^\s*(?:struct|class)\s+\w+[^;]*$")
+
+TELEMETRY_EMIT_RE = re.compile(r"NBMG_TELEMETRY_EMIT\s*\(")
+# Pointer-like payload inside an emit call: a raw address, an integer
+# that was an address a cast ago, or a &-of-lvalue argument.
+TELEMETRY_POINTER_RE = re.compile(
+    r"reinterpret_cast"
+    r"|\bu?intptr_t\b"
+    r"|\(\s*(?:const\s+)?void\s*\*\s*\)"
+    r"|,\s*&[A-Za-z_]"
+)
 
 
 class Finding:
@@ -202,6 +231,8 @@ def scan_file(path: Path, rel: str) -> list[Finding]:
     code = strip_comments_and_strings(raw_lines)
     in_rng_home = bool(RNG_HOME_RE.search(rel))
     in_bench = bool(BENCH_DIR_RE.search(rel))
+    in_telemetry = bool(TELEMETRY_DIR_RE.search(rel))
+    in_profiler_home = bool(PROFILER_HOME_RE.search(rel))
 
     def emit(no: int, category: str, message: str) -> None:
         findings.append(Finding(path, no, category, message))
@@ -229,16 +260,38 @@ def scan_file(path: Path, rel: str) -> list[Finding]:
             struct_stack.pop()
             struct_depth -= 1
 
-        if WALL_CLOCK_RE.search(line):
-            if not allowed(no, "wall-clock"):
-                emit(no, "wall-clock",
-                     "wall-clock source; simulation results must be a pure "
-                     "function of (spec, seed)")
-        if STEADY_CLOCK_RE.search(line) and not in_bench:
-            if not allowed(no, "wall-clock"):
-                emit(no, "wall-clock",
-                     "steady_clock outside bench/; host time must not "
-                     "reach simulation code")
+        hits_wall = bool(WALL_CLOCK_RE.search(line))
+        hits_steady = bool(STEADY_CLOCK_RE.search(line))
+        if in_telemetry and not in_profiler_home and (hits_wall or hits_steady):
+            # Deliberately bypasses allowed(): telemetry artifacts are
+            # byte-compared across thread counts, so the only audited clock
+            # read lives in the self-profiler TU — no pragma can move it.
+            emit(no, "telemetry",
+                 "host clock in telemetry/ outside the self-profiler TU "
+                 "(telemetry/profiler.cpp); telemetry artifacts are "
+                 "byte-identical goldens — no pragma can excuse this")
+        else:
+            if hits_wall:
+                if not allowed(no, "wall-clock"):
+                    emit(no, "wall-clock",
+                         "wall-clock source; simulation results must be a pure "
+                         "function of (spec, seed)")
+            if hits_steady and not in_bench:
+                if not allowed(no, "wall-clock"):
+                    emit(no, "wall-clock",
+                         "steady_clock outside bench/; host time must not "
+                         "reach simulation code")
+        if TELEMETRY_EMIT_RE.search(line) and "#define" not in line:
+            # The payload may wrap onto continuation lines: scan the call
+            # line plus the next two code lines.
+            window = " ".join(code[no - 1:no + 2])
+            if TELEMETRY_POINTER_RE.search(window):
+                if not allowed(no, "telemetry"):
+                    emit(no, "telemetry",
+                         "NBMG_TELEMETRY_EMIT with a pointer-like payload: "
+                         "addresses vary run to run (ASLR, allocator state) "
+                         "and break byte-identical traces — pass values, "
+                         "not pointers")
         if not in_rng_home and RAW_RNG_RE.search(line):
             if not allowed(no, "raw-rng"):
                 emit(no, "raw-rng",

@@ -57,6 +57,13 @@ run_scenario_smokes() {
   "${build_dir}/examples/run_scenario" \
     --scenario examples/scenarios/citywide_backhaul.scenario \
     --devices 400 --runs 1
+
+  echo "=== ${build_dir}: telemetry smoke (trace + metrics + timeline) ==="
+  "${build_dir}/examples/run_scenario" --preset smoke --threads 2 \
+    --telemetry full \
+    --trace-out "${build_dir}/telemetry_smoke.trace.jsonl" \
+    --metrics-out "${build_dir}/telemetry_smoke.metrics.csv" \
+    --timeline-out "${build_dir}/telemetry_smoke.timeline.json"
 }
 
 run_sanitizer_leg() {
@@ -120,6 +127,15 @@ for leg in "${legs[@]}"; do
   fi
 
   run_scenario_smokes "${build_dir}"
+
+  # The telemetry artifacts are pure functions of (spec, seed): the Debug
+  # and Release runs of the smoke above must agree byte for byte.
+  if [[ "${config}" == "Release" && -f build-debug/telemetry_smoke.trace.jsonl ]]; then
+    echo "=== cross-config determinism: Debug vs Release telemetry artifacts ==="
+    cmp build-debug/telemetry_smoke.trace.jsonl "${build_dir}/telemetry_smoke.trace.jsonl"
+    cmp build-debug/telemetry_smoke.metrics.csv "${build_dir}/telemetry_smoke.metrics.csv"
+    cmp build-debug/telemetry_smoke.timeline.json "${build_dir}/telemetry_smoke.timeline.json"
+  fi
 
   if [[ "${config}" == "Release" ]]; then
     if [[ -x "${build_dir}/bench/microbench_kernels" ]]; then

@@ -37,7 +37,9 @@ int main(int argc, char** argv) {
     shell.bare_flags = {"--csv", "--list"};
     const scenario::ScenarioSpec spec =
         bench::spec_from_args(argc, argv, "quickstart", shell);
-    const scenario::ScenarioResult result = scenario::run_scenario(spec);
+    // run_scenario_or_exit: an unwritable --trace-out/--metrics-out/
+    // --timeline-out exits 2 with a diagnostic, like every other usage error.
+    const scenario::ScenarioResult result = scenario::run_scenario_or_exit(spec);
 
     if (csv) {
         std::fputs(result.summary_csv().c_str(), stdout);
@@ -46,6 +48,12 @@ int main(int argc, char** argv) {
         if (result.is_coordinated()) {
             std::fputs("\n", stdout);
             std::fputs(result.coordination_csv().c_str(), stdout);
+        }
+        // Metrics-collecting scenarios append the telemetry counters as a
+        // further CSV block.
+        if (result.telemetry && result.telemetry->metrics) {
+            std::fputs("\n", stdout);
+            std::fputs(result.telemetry->metrics->to_csv().c_str(), stdout);
         }
         return 0;
     }
@@ -69,6 +77,28 @@ int main(int argc, char** argv) {
         std::printf("\ncity wall-clock (%s policy):\n",
                     multicell::to_string(result.coordination->coordinator.policy));
         bench::print_table(result.coordination_table());
+    }
+    if (result.telemetry) {
+        const scenario::TelemetryReport& report = *result.telemetry;
+        std::size_t trace_lines = 0;
+        for (const char c : report.trace_jsonl) {
+            if (c == '\n') ++trace_lines;
+        }
+        std::printf("\ntelemetry: trace=%s metrics=%s",
+                    report.config.trace ? "on" : "off",
+                    report.config.metrics ? "on" : "off");
+        if (report.config.trace) std::printf("  trace records=%zu", trace_lines);
+        std::printf("\n");
+        if (!report.config.trace_out.empty()) {
+            std::printf("  wrote trace    -> %s\n", report.config.trace_out.c_str());
+        }
+        if (!report.config.metrics_out.empty()) {
+            std::printf("  wrote metrics  -> %s\n", report.config.metrics_out.c_str());
+        }
+        if (!report.config.timeline_out.empty()) {
+            std::printf("  wrote timeline -> %s (chrome://tracing)\n",
+                        report.config.timeline_out.c_str());
+        }
     }
     return 0;
 }

@@ -14,6 +14,7 @@ MulticastPlan UnicastBaseline::plan(std::span<const nbiot::UeSpec> devices,
 
     const nbiot::PagingSchedule paging(config.paging);
     nbiot::PagingScheduler scheduler(paging, config.paging.max_page_records);
+    scheduler.set_telemetry(config.telemetry);
     const nbiot::SimTime deadline = detail::open_deadline(devices);
 
     MulticastPlan plan;

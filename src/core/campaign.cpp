@@ -8,6 +8,7 @@
 #include "core/sweep.hpp"
 #include "nbiot/frames.hpp"
 #include "nbiot/radio.hpp"
+#include "telemetry/sink.hpp"
 
 namespace nbmg::core {
 
@@ -39,10 +40,15 @@ public:
           horizon_(horizon),
           radio_(config.radio),
           cell_(seed, config.paging, config.rach, config.timing),
-          miss_rng_(cell_.simulation().stream("page-miss")) {
+          miss_rng_(cell_.simulation().stream("page-miss")),
+          sink_(config.telemetry) {
         if (plan.schedules.size() != devices.size()) {
             throw std::invalid_argument("CampaignRunner: plan/device mismatch");
         }
+        // Entities reach the sink through the simulation context; emission
+        // is purely observational, so results are bit-identical with or
+        // without a sink attached.
+        cell_.simulation().set_telemetry(sink_);
         // Struct-of-arrays per-device runtime state: the hot flags the
         // transmission/recovery paths sweep are one cache-linear byte
         // array each instead of strided struct fields.
@@ -89,6 +95,7 @@ private:
     nbiot::RadioModel radio_;
     nbiot::Cell cell_;
     sim::RandomStream miss_rng_;
+    telemetry::CampaignSink* sink_ = nullptr;  // not owned; may be null
 
     std::vector<std::size_t> tx_index_;
     std::vector<int> page_attempts_left_;
@@ -193,9 +200,15 @@ void Execution::deliver_page(std::size_t idx, PageKind kind) {
     const bool lost = config_.page_miss_prob > 0.0 &&
                       miss_rng_.bernoulli(config_.page_miss_prob);
     if (!listening || lost) {
+        NBMG_TELEMETRY_EMIT(sink_, telemetry::EventKind::page_miss, now.count(),
+                            static_cast<std::uint32_t>(idx), listening ? 1 : 0,
+                            lost ? 1 : 0);
         retry_page(idx, kind);
         return;
     }
+    NBMG_TELEMETRY_EMIT(sink_, telemetry::EventKind::page_delivered, now.count(),
+                        static_cast<std::uint32_t>(idx),
+                        static_cast<std::int64_t>(kind), 0);
 
     switch (kind) {
         case PageKind::normal:
@@ -246,6 +259,9 @@ void Execution::retry_page(std::size_t idx, PageKind kind) {
         if (schedule.page_at && next >= *schedule.page_at) return;
     }
     ++retry_pages_;
+    NBMG_TELEMETRY_EMIT(sink_, telemetry::EventKind::page_retry, next.count(),
+                        static_cast<std::uint32_t>(idx),
+                        static_cast<std::int64_t>(kind), 0);
     cell_.simulation().queue().schedule_at(next,
                                            [this, idx, kind] { deliver_page(idx, kind); });
 }
@@ -287,8 +303,12 @@ void Execution::start_private_delivery(std::size_t idx) {
     ue.begin_reception(data_end, tail());
     if (is_recovery_[idx]) {
         ++recovery_transmissions_;
+        NBMG_TELEMETRY_EMIT(sink_, telemetry::EventKind::tx_recovery, now.count(),
+                            static_cast<std::uint32_t>(idx), 0, 0);
     } else {
         ++aired_unicasts_;
+        NBMG_TELEMETRY_EMIT(sink_, telemetry::EventKind::tx_unicast, now.count(),
+                            static_cast<std::uint32_t>(idx), 0, 0);
     }
 }
 
@@ -297,6 +317,9 @@ void Execution::start_transmission(std::size_t tx_idx) {
     const SimTime now = cell_.simulation().now();
     const nbiot::CeLevel level = bearer_level(tx);
     const SimTime data_end = now + radio_.downlink_airtime(payload_bytes_, level);
+    NBMG_TELEMETRY_EMIT(sink_, telemetry::EventKind::tx_multicast, now.count(),
+                        telemetry::kNoDevice, static_cast<std::int64_t>(tx_idx),
+                        static_cast<std::int64_t>(tx.devices.size()));
 
     if (plan_.kind == MechanismKind::sc_ptm) {
         ++aired_multicasts_;
@@ -508,6 +531,25 @@ CampaignResult run_stratified(const CampaignConfig& config, std::size_t strata,
         subs.push_back(std::move(sub));
     }
 
+    // Telemetry: concurrent strata must never share a sink, so each
+    // records into its own child (stamped with its stratum id); the
+    // children are absorbed into the parent in stratum order below —
+    // the same merge discipline as the counters — so the merged trace and
+    // metrics are bit-identical at any thread count.  The vector is fully
+    // sized before the sweep starts; addresses stay stable throughout.
+    telemetry::CampaignSink* const parent_sink = config.telemetry;
+    std::vector<telemetry::CampaignSink> stratum_sinks;
+    if (parent_sink != nullptr) {
+        stratum_sinks.reserve(subs.size());
+        for (std::size_t i = 0; i < subs.size(); ++i) {
+            stratum_sinks.emplace_back(parent_sink->config(),
+                                       static_cast<std::uint16_t>(subs[i].stratum));
+        }
+        for (std::size_t i = 0; i < subs.size(); ++i) {
+            subs[i].config.telemetry = &stratum_sinks[i];
+        }
+    }
+
     // Fan the strata over the pool.  sweep_indexed stores every result in
     // its index slot, so the merge below always sees stratum order.
     const std::vector<CampaignResult> results =
@@ -540,6 +582,13 @@ CampaignResult run_stratified(const CampaignConfig& config, std::size_t strata,
             DeviceOutcome outcome = r.devices[j];
             outcome.spec = devices[g];  // restore the global DeviceId
             merged.devices[g] = std::move(outcome);
+        }
+        if (parent_sink != nullptr) {
+            parent_sink->emit_span(telemetry::EventKind::stratum_span,
+                                   static_cast<std::uint16_t>(subs[i].stratum),
+                                   static_cast<std::int64_t>(subs[i].members.size()),
+                                   horizon.count());
+            parent_sink->absorb(stratum_sinks[i]);
         }
     }
     return merged;
@@ -574,13 +623,22 @@ CampaignResult CampaignRunner::run(const MulticastPlan& plan,
                                    nbiot::SimTime observation_horizon,
                                    std::uint64_t seed) const {
     const std::size_t strata = resolve_strata(config_.strata);
+    CampaignResult result;
     if (strata == 1) {
         Execution execution(config_, plan, devices, payload_bytes, observation_horizon,
                             seed);
-        return execution.run();
+        result = execution.run();
+    } else {
+        result = run_stratified(config_, strata, strata_threads_, plan, devices,
+                                payload_bytes, observation_horizon, seed);
     }
-    return run_stratified(config_, strata, strata_threads_, plan, devices,
-                          payload_bytes, observation_horizon, seed);
+    // The campaign-level span feeds the phase timeline exporter; emitted
+    // after the stratum spans so the trace reads bottom-up.
+    NBMG_TELEMETRY_EMIT(config_.telemetry, telemetry::EventKind::campaign_span, 0,
+                        telemetry::kNoDevice,
+                        static_cast<std::int64_t>(devices.size()),
+                        observation_horizon.count());
+    return result;
 }
 
 nbiot::SimTime recommended_horizon(std::span<const nbiot::UeSpec> devices,

@@ -24,6 +24,7 @@ MulticastPlan DrScMechanism::plan(std::span<const nbiot::UeSpec> devices,
 
     const nbiot::PagingSchedule paging(config.paging);
     nbiot::PagingScheduler scheduler(paging, config.paging.max_page_records);
+    scheduler.set_telemetry(config.telemetry);
     const nbiot::SimTime horizon = detail::reference_time(devices);
     const nbiot::SimTime window = config.inactivity_timer;
 

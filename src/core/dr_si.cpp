@@ -19,6 +19,7 @@ MulticastPlan DrSiMechanism::plan(std::span<const nbiot::UeSpec> devices,
 
     const nbiot::PagingSchedule paging(config.paging);
     nbiot::PagingScheduler scheduler(paging, config.paging.max_page_records);
+    scheduler.set_telemetry(config.telemetry);
 
     const nbiot::SimTime t = detail::reference_time(devices);
     const nbiot::SimTime window_start = t - config.inactivity_timer;

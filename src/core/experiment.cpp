@@ -4,6 +4,7 @@
 
 #include "core/planners.hpp"
 #include "core/sweep.hpp"
+#include "telemetry/collector.hpp"
 
 namespace nbmg::core {
 
@@ -38,8 +39,20 @@ RunContribution comparison_run(const ComparisonSetup& setup, std::size_t run) {
     // The worker pool either fans runs (outer sweep) or, when there is
     // only one run, this run's strata — never both at once, so the
     // thread budget is not oversubscribed.
-    const CampaignRunner runner(setup.config,
-                                setup.runs == 1 ? setup.threads : 1);
+    const std::size_t strata_threads = setup.runs == 1 ? setup.threads : 1;
+
+    // Telemetry: each campaign gets a config copy pointing at its own
+    // pre-allocated collector slot (0 = unicast reference, m+1 = the m-th
+    // mechanism), so concurrent runs write disjoint sinks.  The pointer is
+    // the only field that differs; plans and results are bit-identical
+    // with or without a collector.
+    const auto campaign_config = [&](std::size_t campaign_slot) {
+        CampaignConfig config = setup.config;
+        if (setup.telemetry != nullptr) {
+            config.telemetry = setup.telemetry->sink(run, 0, campaign_slot);
+        }
+        return config;
+    };
 
     // A shared population set (same stream derivation, precomputed once)
     // skips the per-run generation cost; results are bit-identical.
@@ -58,9 +71,11 @@ RunContribution comparison_run(const ComparisonSetup& setup, std::size_t run) {
     const std::uint64_t run_seed = sim::derive_seed(setup.base_seed, "run", run);
 
     sim::RandomStream unicast_rng = rng_factory.stream("plan-unicast", run);
-    const MulticastPlan unicast_plan = unicast.plan(specs, setup.config, unicast_rng);
+    const CampaignConfig unicast_config = campaign_config(0);
+    const MulticastPlan unicast_plan = unicast.plan(specs, unicast_config, unicast_rng);
     const CampaignResult reference =
-        runner.run(unicast_plan, specs, setup.payload_bytes, horizon, run_seed);
+        CampaignRunner(unicast_config, strata_threads)
+            .run(unicast_plan, specs, setup.payload_bytes, horizon, run_seed);
 
     contrib.unicast.transmissions.add(
         static_cast<double>(reference.total_transmissions()));
@@ -79,9 +94,11 @@ RunContribution comparison_run(const ComparisonSetup& setup, std::size_t run) {
     for (std::size_t m = 0; m < setup.mechanisms.size(); ++m) {
         const auto mechanism = make_mechanism(setup.mechanisms[m]);
         sim::RandomStream plan_rng = rng_factory.stream(mechanism->name(), run);
-        const MulticastPlan plan = mechanism->plan(specs, setup.config, plan_rng);
+        const CampaignConfig mech_config = campaign_config(m + 1);
+        const MulticastPlan plan = mechanism->plan(specs, mech_config, plan_rng);
         const CampaignResult result =
-            runner.run(plan, specs, setup.payload_bytes, horizon, run_seed);
+            CampaignRunner(mech_config, strata_threads)
+                .run(plan, specs, setup.payload_bytes, horizon, run_seed);
 
         const RelativeUptime rel = relative_uptime(result, reference);
         const BandwidthComparison bw = bandwidth_comparison(result, reference);

@@ -19,6 +19,10 @@
 #include "stats/summary.hpp"
 #include "traffic/population.hpp"
 
+namespace nbmg::telemetry {
+class Collector;
+}  // namespace nbmg::telemetry
+
 namespace nbmg::core {
 
 /// Per-run device populations generated once and shared across every
@@ -70,6 +74,12 @@ struct ComparisonSetup {
     /// this profile, device_count and base_seed with at least `runs`
     /// entries; when null, each run generates its own population.
     SharedPopulations populations;
+    /// Optional telemetry collector (telemetry/collector.hpp); not owned,
+    /// null = telemetry disabled.  Must be sized for at least `runs` runs,
+    /// 1 cell and mechanisms.size() + 1 campaigns (slot 0 = unicast).
+    /// Campaigns write disjoint pre-allocated slots, so attaching a
+    /// collector changes no aggregate and no RNG draw.
+    telemetry::Collector* telemetry = nullptr;
 };
 
 /// Aggregated results of one mechanism across runs.

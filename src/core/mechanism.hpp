@@ -23,6 +23,10 @@
 #include "nbiot/rrc.hpp"
 #include "sim/random.hpp"
 
+namespace nbmg::telemetry {
+class CampaignSink;
+}  // namespace nbmg::telemetry
+
 namespace nbmg::core {
 
 enum class MechanismKind : std::uint8_t {
@@ -98,6 +102,12 @@ struct CampaignConfig {
     /// depend on the resolved count but never on the thread count used to
     /// execute the strata.
     std::size_t strata = 1;
+    /// Telemetry sink of this campaign (telemetry/sink.hpp); not owned,
+    /// null = telemetry disabled.  Purely observational: planners and the
+    /// runner emit typed records into it, never read it back, so the
+    /// CampaignResult is bit-identical whether or not a sink is attached.
+    /// Execution plumbing only — never serialized and never compared.
+    telemetry::CampaignSink* telemetry = nullptr;
 
     [[nodiscard]] bool valid() const noexcept {
         return inactivity_timer.count() > 0 && ra_guard.count() >= 0 &&

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "telemetry/collector.hpp"
+
 namespace nbmg::multicell {
 namespace {
 
@@ -75,7 +77,8 @@ bool CoordinatorSpec::valid() const noexcept {
 
 RunTimeline schedule_run(const CoordinatorSpec& coordinator,
                          std::span<const CellRunSpan> spans,
-                         std::int64_t payload_bytes) {
+                         std::int64_t payload_bytes,
+                         telemetry::CampaignSink* sink) {
     if (!coordinator.valid()) {
         throw std::invalid_argument(
             "schedule_run: invalid coordinator spec (policy-scoped knobs: "
@@ -132,6 +135,12 @@ RunTimeline schedule_run(const CoordinatorSpec& coordinator,
                 payload_bytes, coordinator.backhaul_kbps, order.size());
             std::int64_t feed_clock = 0;
             for (const std::size_t c : order) {
+                // The chunk occupies [feed_clock, feed_clock + per_cell) on
+                // the feed; the cell starts when its delivery completes.
+                NBMG_TELEMETRY_EMIT(sink, telemetry::EventKind::backhaul_chunk,
+                                    feed_clock, static_cast<std::uint32_t>(c),
+                                    per_cell,
+                                    static_cast<std::int64_t>(spans[c].devices));
                 feed_clock += per_cell;
                 timeline.cells[c].start_ms = feed_clock;
             }
@@ -179,7 +188,8 @@ RunTimeline schedule_run(const CoordinatorSpec& coordinator,
 
 CoordinationAggregates coordinate_deployment(const DeploymentResult& deployment,
                                              const CoordinatorSpec& coordinator,
-                                             std::int64_t payload_bytes) {
+                                             std::int64_t payload_bytes,
+                                             telemetry::Collector* telemetry) {
     const std::size_t cells = deployment.cell_count();
     if (cells == 0 || deployment.spans.empty() ||
         deployment.spans.size() % cells != 0) {
@@ -197,7 +207,8 @@ CoordinationAggregates coordinate_deployment(const DeploymentResult& deployment,
             coordinator,
             std::span<const CellRunSpan>(deployment.spans.data() + run * cells,
                                          cells),
-            payload_bytes);
+            payload_bytes,
+            telemetry != nullptr ? telemetry->city_sink(run) : nullptr);
         aggregates.completion_ms.add(static_cast<double>(timeline.completion_ms));
         aggregates.peak_concurrent_cells.add(
             static_cast<double>(timeline.peak_concurrent_cells));
@@ -221,7 +232,8 @@ CoordinatedResult run_coordinated(const DeploymentSetup& setup,
     CoordinatedResult result;
     result.deployment = run_deployment(setup);
     result.coordination = coordinate_deployment(result.deployment, coordinator,
-                                                setup.payload_bytes);
+                                                setup.payload_bytes,
+                                                setup.telemetry);
     return result;
 }
 

@@ -37,6 +37,10 @@
 #include "multicell/deployment.hpp"
 #include "stats/summary.hpp"
 
+namespace nbmg::telemetry {
+class CampaignSink;
+}  // namespace nbmg::telemetry
+
 namespace nbmg::multicell {
 
 enum class StartPolicy : std::uint8_t {
@@ -122,10 +126,13 @@ struct CoordinatedResult {
 
 /// Schedules one run's cell spans onto the city clock.  Pure and
 /// deterministic; exposed for direct testing.  `payload_bytes` is the
-/// per-cell image size the backhaul policy must deliver.
+/// per-cell image size the backhaul policy must deliver.  `sink` (not
+/// owned, may be null) receives one backhaul_chunk event per admitted cell
+/// under the backhaul policy — purely observational, never read back.
 [[nodiscard]] RunTimeline schedule_run(const CoordinatorSpec& coordinator,
                                        std::span<const CellRunSpan> spans,
-                                       std::int64_t payload_bytes);
+                                       std::int64_t payload_bytes,
+                                       telemetry::CampaignSink* sink = nullptr);
 
 /// Runs the deployment and coordinates every run's cells on the shared
 /// wall-clock.  Throws std::invalid_argument on an invalid coordinator
@@ -135,9 +142,11 @@ struct CoordinatedResult {
 
 /// Coordinates an already-executed deployment (reuses its recorded spans;
 /// the run count is spans.size() / cell_count).  run_coordinated is this
-/// composed with run_deployment.
+/// composed with run_deployment.  `telemetry` (not owned, may be null)
+/// routes each run's backhaul feed events to the collector's per-run city
+/// sink (telemetry::Collector::city_sink).
 [[nodiscard]] CoordinationAggregates coordinate_deployment(
     const DeploymentResult& deployment, const CoordinatorSpec& coordinator,
-    std::int64_t payload_bytes);
+    std::int64_t payload_bytes, telemetry::Collector* telemetry = nullptr);
 
 }  // namespace nbmg::multicell

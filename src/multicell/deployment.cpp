@@ -6,6 +6,7 @@
 #include "core/planners.hpp"
 #include "core/report.hpp"
 #include "core/sweep.hpp"
+#include "telemetry/collector.hpp"
 
 namespace nbmg::multicell {
 namespace {
@@ -65,35 +66,49 @@ struct CellRunOutcome {
 CellRunOutcome run_cell(const DeploymentSetup& setup,
                         std::span<const nbiot::UeSpec> specs,
                         const core::CampaignConfig& config,
-                        std::uint64_t cell_root, std::size_t run) {
+                        std::uint64_t cell_root, std::size_t run,
+                        std::size_t cell) {
     CellRunOutcome out;
     out.devices = specs.size();
     out.mechanisms.resize(setup.mechanisms.size());
     if (specs.empty()) return out;
+
+    // Telemetry: each (run, cell, campaign) writes its own pre-allocated
+    // collector slot; the pointer is the only config field that differs.
+    const auto campaign_config = [&](std::size_t campaign_slot) {
+        core::CampaignConfig cfg = config;
+        if (setup.telemetry != nullptr) {
+            cfg.telemetry = setup.telemetry->sink(run, cell, campaign_slot);
+        }
+        return cfg;
+    };
 
     // Identical structure (and, for one cell, identical streams) to
     // run_comparison's per-run body: one horizon and one execution seed
     // shared by every mechanism of this cell's run.
     const sim::RngFactory rng_factory(cell_root);
     const core::UnicastBaseline unicast;
-    const core::CampaignRunner runner(config);
     const nbiot::SimTime horizon =
         core::recommended_horizon(specs, config, setup.payload_bytes);
     out.horizon_ms = horizon.count();
     const std::uint64_t run_seed = sim::derive_seed(cell_root, "run", run);
 
     sim::RandomStream unicast_rng = rng_factory.stream("plan-unicast", run);
+    const core::CampaignConfig unicast_config = campaign_config(0);
     const core::MulticastPlan unicast_plan =
-        unicast.plan(specs, config, unicast_rng);
-    out.unicast = totals_from(
-        runner.run(unicast_plan, specs, setup.payload_bytes, horizon, run_seed));
+        unicast.plan(specs, unicast_config, unicast_rng);
+    out.unicast = totals_from(core::CampaignRunner(unicast_config)
+                                  .run(unicast_plan, specs, setup.payload_bytes,
+                                       horizon, run_seed));
 
     for (std::size_t m = 0; m < setup.mechanisms.size(); ++m) {
         const auto mechanism = core::make_mechanism(setup.mechanisms[m]);
         sim::RandomStream plan_rng = rng_factory.stream(mechanism->name(), run);
-        const core::MulticastPlan plan = mechanism->plan(specs, config, plan_rng);
+        const core::CampaignConfig mech_config = campaign_config(m + 1);
+        const core::MulticastPlan plan = mechanism->plan(specs, mech_config, plan_rng);
         out.mechanisms[m] = totals_from(
-            runner.run(plan, specs, setup.payload_bytes, horizon, run_seed));
+            core::CampaignRunner(mech_config)
+                .run(plan, specs, setup.payload_bytes, horizon, run_seed));
     }
     return out;
 }
@@ -251,7 +266,7 @@ DeploymentResult run_deployment(const DeploymentSetup& setup) {
                 setup, shards[run].cell_specs[cell], cell_configs[cell],
                 cell_seed_root(setup.base_seed, cells,
                                static_cast<std::uint32_t>(cell)),
-                run);
+                run, cell);
         });
 
     // Phase 3 — reduce in (run, cell) order on this thread.

@@ -56,6 +56,13 @@ struct DeploymentSetup {
     /// (profile, device_count, base_seed) and cover `runs`; class_affinity
     /// additionally needs its class_indices.
     core::SharedPopulations populations;
+    /// Optional telemetry collector (telemetry/collector.hpp); not owned,
+    /// null = telemetry disabled.  Must be sized for at least `runs` runs,
+    /// topology.cell_count() cells and mechanisms.size() + 1 campaigns
+    /// (slot 0 = unicast).  Every (run, cell, campaign) writes its own
+    /// pre-allocated sink, so attaching a collector changes no aggregate
+    /// and no RNG draw.
+    telemetry::Collector* telemetry = nullptr;
 };
 
 /// Fleet- or cell-level aggregates of one mechanism, plus deployment-only

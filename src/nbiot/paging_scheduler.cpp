@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "telemetry/sink.hpp"
+
 namespace nbmg::nbiot {
 
 PagingScheduler::PagingScheduler(const PagingSchedule& schedule, int max_page_records)
@@ -35,6 +37,9 @@ std::optional<SimTime> PagingScheduler::enqueue_record(DeviceId device, Imsi ims
     msg.at = *slot;
     msg.records.push_back(PagingRecord{device, imsi});
     ++total_entries_;
+    NBMG_TELEMETRY_EMIT(telemetry_, telemetry::EventKind::page_scheduled,
+                        slot->count(), device.value,
+                        static_cast<std::int64_t>(msg.occupancy()), 0);
     return slot;
 }
 
@@ -48,6 +53,9 @@ std::optional<SimTime> PagingScheduler::enqueue_mltc(DeviceId device, Imsi imsi,
     msg.at = *slot;
     msg.mltc_extensions.push_back(MltcExtension{device, imsi, multicast_at});
     ++total_entries_;
+    NBMG_TELEMETRY_EMIT(telemetry_, telemetry::EventKind::page_scheduled,
+                        slot->count(), device.value,
+                        static_cast<std::int64_t>(msg.occupancy()), 1);
     return slot;
 }
 
@@ -67,6 +75,8 @@ bool PagingScheduler::force_enqueue_record_at(DeviceId device, Imsi imsi, SimTim
     msg.at = po;
     msg.records.push_back(PagingRecord{device, imsi});
     ++total_entries_;
+    NBMG_TELEMETRY_EMIT(telemetry_, telemetry::EventKind::page_scheduled, po.count(),
+                        device.value, static_cast<std::int64_t>(msg.occupancy()), 0);
     return true;
 }
 

@@ -15,11 +15,19 @@
 
 #include "nbiot/paging.hpp"
 
+namespace nbmg::telemetry {
+class CampaignSink;
+}  // namespace nbmg::telemetry
+
 namespace nbmg::nbiot {
 
 class PagingScheduler {
 public:
     PagingScheduler(const PagingSchedule& schedule, int max_page_records);
+
+    /// Attaches a telemetry sink (not owned, may be null): every placed
+    /// record/extension emits a page_scheduled event at its occasion time.
+    void set_telemetry(telemetry::CampaignSink* sink) noexcept { telemetry_ = sink; }
 
     /// Pages `device` at its first PO at or after `not_before` with room
     /// left, deferring over full occasions.  Gives up once the PO would be
@@ -57,6 +65,7 @@ private:
                                      SimTime deadline) const;
 
     const PagingSchedule* schedule_;  // not owned; outlives the scheduler
+    telemetry::CampaignSink* telemetry_ = nullptr;  // not owned; may be null
     int max_records_ = 0;
     std::map<SimTime, PagingMessage> by_time_;
     std::size_t total_entries_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/sink.hpp"
+
 namespace nbmg::nbiot {
 
 RachChannel::RachChannel(sim::Simulation& simulation, RachConfig config,
@@ -68,11 +70,16 @@ void RachChannel::resolve_window(SimTime window_start) {
     // entrants per window, that is one stable sort instead of thousands
     // of sifts into an already-huge heap.
     sim::EventQueue::Batch retries;
+    telemetry::CampaignSink* const sink = sim_->telemetry();
+    const auto window_ms = window_start.count();
+    const auto entrant_count = static_cast<std::int64_t>(entrants.size());
     for (std::size_t i = 0; i < entrants.size(); ++i) {
         Procedure& proc = procedures_[entrants[i]];
         ++proc.attempts;
         ++total_attempts_;
         proc.active_time += config_.attempt_active_time();
+        NBMG_TELEMETRY_EMIT(sink, telemetry::EventKind::rach_attempt, window_ms,
+                            telemetry::kNoDevice, choice[i], entrant_count);
 
         if (preamble_count[static_cast<std::size_t>(choice[i])] == 1) {
             if (!proc.background) {
@@ -82,8 +89,13 @@ void RachChannel::resolve_window(SimTime window_start) {
         }
 
         ++total_collisions_;
+        NBMG_TELEMETRY_EMIT(sink, telemetry::EventKind::rach_collision, window_ms,
+                            telemetry::kNoDevice, choice[i],
+                            preamble_count[static_cast<std::size_t>(choice[i])]);
         if (proc.attempts >= config_.max_attempts) {
             ++total_failures_;
+            NBMG_TELEMETRY_EMIT(sink, telemetry::EventKind::rach_failure, window_ms,
+                                telemetry::kNoDevice, proc.attempts, entrant_count);
             if (!proc.background) {
                 proc.done(RachOutcome{false, resolution, proc.attempts, proc.active_time});
             }

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "telemetry/sink.hpp"
+
 namespace nbmg::nbiot {
 
 Ue::Ue(sim::Simulation& simulation, DeviceId device, Imsi imsi, DrxCycle cycle,
@@ -122,6 +124,9 @@ void Ue::dematerialize_pos() {
 
 void Ue::apply_cycle(DrxCycle cycle) {
     if (cycle == cycle_) return;
+    NBMG_TELEMETRY_EMIT(sim_->telemetry(), telemetry::EventKind::drx_transition,
+                        sim_->now().count(), device_.value, cycle_.period_ms(),
+                        cycle.period_ms());
     if (!materialized_) {
         // Only materialized procedures change cycles today; keep the
         // analytic ledger well-defined anyway by closing the old-cycle
@@ -144,16 +149,24 @@ void Ue::start_connection(SimTime earliest, EstablishmentCause cause,
         rach_attempts_ += outcome.attempts;
         if (!outcome.success) {
             state_ = UeState::idle;
+            NBMG_TELEMETRY_EMIT(sim_->telemetry(), telemetry::EventKind::rrc_failure,
+                                sim_->now().count(), device_.value, outcome.attempts,
+                                0);
             if (hooks().on_rach_failure) hooks().on_rach_failure(device_, sim_->now());
             return;
         }
         accounting_->energy[device_.value].add(PowerState::connected_signaling,
                                                timing_->rrc_setup);
-        sim_->queue().schedule_after(timing_->rrc_setup,
-                                     [this, done = std::move(done)]() mutable {
-                                         connected_at_ = sim_->now();
-                                         done();
-                                     });
+        sim_->queue().schedule_after(
+            timing_->rrc_setup,
+            [this, done = std::move(done), attempts = outcome.attempts]() mutable {
+                connected_at_ = sim_->now();
+                NBMG_TELEMETRY_EMIT(sim_->telemetry(),
+                                    telemetry::EventKind::rrc_connected,
+                                    sim_->now().count(), device_.value, attempts,
+                                    static_cast<std::int64_t>(last_cause_));
+                done();
+            });
     });
 }
 
@@ -204,6 +217,9 @@ void Ue::page_for_reconfig(DrxCycle new_cycle) {
             timing_->rrc_reconfiguration + timing_->rrc_release, [this, new_cycle] {
                 state_ = UeState::idle;
                 released_at_ = sim_->now();
+                NBMG_TELEMETRY_EMIT(sim_->telemetry(),
+                                    telemetry::EventKind::rrc_released,
+                                    sim_->now().count(), device_.value, 0, 0);
                 apply_cycle(new_cycle);
                 if (hooks().on_released) hooks().on_released(device_, sim_->now());
             });
@@ -229,6 +245,8 @@ void Ue::begin_reception(SimTime data_end, SimTime tail) {
         sim_->queue().schedule_after(tail + signaling, [this, restore] {
             state_ = UeState::idle;
             released_at_ = sim_->now();
+            NBMG_TELEMETRY_EMIT(sim_->telemetry(), telemetry::EventKind::rrc_released,
+                                sim_->now().count(), device_.value, 0, 0);
             if (restore) apply_cycle(original_cycle_);
             // The adjustment window is over (or never mattered): drop back
             // to closed-form occasion accounting.
@@ -250,6 +268,8 @@ void Ue::receive_idle_broadcast(SimTime data_end) {
         payload_received_ = true;
         state_ = UeState::idle;
         released_at_ = sim_->now();
+        NBMG_TELEMETRY_EMIT(sim_->telemetry(), telemetry::EventKind::rrc_released,
+                            sim_->now().count(), device_.value, 0, 0);
         if (hooks().on_released) hooks().on_released(device_, sim_->now());
     });
 }
@@ -261,6 +281,8 @@ void Ue::release_without_reception() {
     sim_->queue().schedule_after(timing_->rrc_release, [this] {
         state_ = UeState::idle;
         released_at_ = sim_->now();
+        NBMG_TELEMETRY_EMIT(sim_->telemetry(), telemetry::EventKind::rrc_released,
+                            sim_->now().count(), device_.value, 0, 0);
         if (hooks().on_released) hooks().on_released(device_, sim_->now());
     });
 }

@@ -263,6 +263,42 @@ void apply_spec_overrides(ScenarioSpec& spec, int argc, char** argv) {
                    "the fixed-stagger policy needs a stagger",
                    "fixed-stagger --stagger-ms N");
     }
+    if (const char* telemetry = flag_text(argc, argv, "--telemetry");
+        telemetry != nullptr) {
+        if (std::strcmp(telemetry, "off") == 0) {
+            spec.telemetry = TelemetrySpec{};  // clears modes and paths
+        } else if (std::strcmp(telemetry, "trace") == 0) {
+            spec.with_telemetry_modes(true, spec.telemetry.metrics);
+        } else if (std::strcmp(telemetry, "metrics") == 0) {
+            spec.with_telemetry_modes(spec.telemetry.trace, true);
+        } else if (std::strcmp(telemetry, "full") == 0) {
+            spec.with_telemetry_modes(true, true);
+        } else {
+            flag_error("--telemetry", telemetry, "unknown telemetry mode",
+                       "off | trace | metrics | full");
+        }
+    }
+    // The output flags engage their collection mode, mirroring the
+    // with_*_out builders and the file parser's key pairing.
+    if (const char* path = flag_text(argc, argv, "--trace-out");
+        path != nullptr) {
+        if (path[0] == '\0') flag_error("--trace-out", path, "empty path", "FILE");
+        spec.with_trace_out(path);
+    }
+    if (const char* path = flag_text(argc, argv, "--metrics-out");
+        path != nullptr) {
+        if (path[0] == '\0') {
+            flag_error("--metrics-out", path, "empty path", "FILE");
+        }
+        spec.with_metrics_out(path);
+    }
+    if (const char* path = flag_text(argc, argv, "--timeline-out");
+        path != nullptr) {
+        if (path[0] == '\0') {
+            flag_error("--timeline-out", path, "empty path", "FILE");
+        }
+        spec.with_timeline_out(path);
+    }
 }
 
 }  // namespace nbmg::scenario

@@ -126,7 +126,8 @@ inline constexpr const char* kScenarioFlags[] = {
     "--scenario",    "--preset", "--runs",        "--devices",
     "--seed",        "--threads", "--payload-kb", "--ti-ms",
     "--cells",       "--assignment", "--coordinator", "--stagger-ms",
-    "--backhaul-kbps", "--strata",
+    "--backhaul-kbps", "--strata",  "--telemetry",  "--trace-out",
+    "--metrics-out", "--timeline-out",
 };
 
 [[nodiscard]] inline bool is_scenario_flag(const char* token) {
@@ -144,7 +145,8 @@ inline constexpr const char* kScenarioFlags[] = {
                  "--runs N, --devices N, --seed N, --threads N, "
                  "--payload-kb N, --ti-ms N, --strata N, --cells N, "
                  "--assignment NAME, --coordinator NAME, --stagger-ms N, "
-                 "--backhaul-kbps X\n");
+                 "--backhaul-kbps X, --telemetry MODE, --trace-out FILE, "
+                 "--metrics-out FILE, --timeline-out FILE\n");
     std::exit(2);
 }
 
@@ -261,11 +263,14 @@ void reject_unknown_flags(int argc, char** argv, const ShellFlags& shell);
 /// Applies the classic flags as overrides onto `spec`:
 /// --runs, --devices, --seed, --threads, --payload-kb, --ti-ms,
 /// --strata (paging-frame strata, [1, 32]),
-/// --cells (engages/updates the multicell grid), --assignment, and the
+/// --cells (engages/updates the multicell grid), --assignment, the
 /// wall-clock coordinator set: --coordinator NAME (simultaneous |
 /// fixed-stagger | backhaul | none, requires a multicell scenario),
 /// --stagger-ms N (requires the fixed-stagger policy), --backhaul-kbps X
-/// (requires the backhaul policy).
+/// (requires the backhaul policy), and the telemetry set:
+/// --telemetry MODE (off | trace | metrics | full), --trace-out FILE /
+/// --metrics-out FILE / --timeline-out FILE (each engages its collection
+/// mode, mirroring the file keys).
 void apply_spec_overrides(ScenarioSpec& spec, int argc, char** argv);
 
 }  // namespace nbmg::scenario

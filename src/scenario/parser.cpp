@@ -151,6 +151,21 @@ struct CoordinatorFields {
     std::size_t first_subkey_line = 0;
 };
 
+/// Telemetry fields, assembled after all lines are read so the mode key
+/// and its mode-scoped sub-keys may appear in any order.
+struct TelemetryFields {
+    /// (trace, metrics) from the `telemetry` mode key.
+    std::optional<std::pair<bool, bool>> mode;
+    std::optional<std::int64_t> bucket_ms;
+    std::optional<std::string> trace_out;
+    std::optional<std::string> metrics_out;
+    std::optional<std::string> timeline_out;
+    std::size_t bucket_line = 0;
+    std::size_t trace_out_line = 0;
+    std::size_t metrics_out_line = 0;
+    std::size_t timeline_out_line = 0;
+};
+
 }  // namespace
 
 ScenarioSpec parse_scenario_text(std::string_view text,
@@ -159,6 +174,7 @@ ScenarioSpec parse_scenario_text(std::string_view text,
     spec.name = "custom";
     MulticellFields multicell_fields;
     CoordinatorFields coordinator_fields;
+    TelemetryFields telemetry_fields;
     std::optional<double> batch_mean;
     // key -> line it was first set on, for duplicate diagnostics.  The
     // payload keys alias each other, so both map to the same slot.
@@ -356,6 +372,43 @@ ScenarioSpec parse_scenario_text(std::string_view text,
             if (coordinator_fields.first_subkey_line == 0) {
                 coordinator_fields.first_subkey_line = ctx.line;
             }
+        } else if (key == "telemetry") {
+            if (value == "off") {
+                telemetry_fields.mode = std::pair{false, false};
+            } else if (value == "trace") {
+                telemetry_fields.mode = std::pair{true, false};
+            } else if (value == "metrics") {
+                telemetry_fields.mode = std::pair{false, true};
+            } else if (value == "full") {
+                telemetry_fields.mode = std::pair{true, true};
+            } else {
+                ctx.fail("bad value '" + value +
+                         "' for key 'telemetry': expected off | trace | "
+                         "metrics | full");
+            }
+        } else if (key == "telemetry.bucket_ms") {
+            telemetry_fields.bucket_ms = static_cast<std::int64_t>(
+                parse_bounded_u64(ctx, key, value,
+                                  std::numeric_limits<std::int64_t>::max()));
+            telemetry_fields.bucket_line = ctx.line;
+        } else if (key == "trace_out") {
+            if (value.empty()) {
+                ctx.fail("bad value '' for key 'trace_out': empty path");
+            }
+            telemetry_fields.trace_out = value;
+            telemetry_fields.trace_out_line = ctx.line;
+        } else if (key == "metrics_out") {
+            if (value.empty()) {
+                ctx.fail("bad value '' for key 'metrics_out': empty path");
+            }
+            telemetry_fields.metrics_out = value;
+            telemetry_fields.metrics_out_line = ctx.line;
+        } else if (key == "timeline_out") {
+            if (value.empty()) {
+                ctx.fail("bad value '' for key 'timeline_out': empty path");
+            }
+            telemetry_fields.timeline_out = value;
+            telemetry_fields.timeline_out_line = ctx.line;
         } else {
             ctx.fail("unknown key '" + key + "'");
         }
@@ -434,6 +487,45 @@ ScenarioSpec parse_scenario_text(std::string_view text,
                 break;
         }
         spec.coordinator = coordinator;
+    }
+
+    {
+        const bool trace_on =
+            telemetry_fields.mode.has_value() && telemetry_fields.mode->first;
+        const bool metrics_on =
+            telemetry_fields.mode.has_value() && telemetry_fields.mode->second;
+        if (telemetry_fields.trace_out && !trace_on) {
+            ctx.line = telemetry_fields.trace_out_line;
+            ctx.fail("'trace_out' requires telemetry = trace or full");
+        }
+        if (telemetry_fields.timeline_out && !trace_on) {
+            ctx.line = telemetry_fields.timeline_out_line;
+            ctx.fail("'timeline_out' requires telemetry = trace or full");
+        }
+        if (telemetry_fields.metrics_out && !metrics_on) {
+            ctx.line = telemetry_fields.metrics_out_line;
+            ctx.fail("'metrics_out' requires telemetry = metrics or full");
+        }
+        if (telemetry_fields.bucket_ms && !(trace_on || metrics_on)) {
+            ctx.line = telemetry_fields.bucket_line;
+            ctx.fail(
+                "'telemetry.bucket_ms' requires an enabled telemetry mode "
+                "(trace | metrics | full)");
+        }
+        spec.telemetry.trace = trace_on;
+        spec.telemetry.metrics = metrics_on;
+        if (telemetry_fields.bucket_ms) {
+            spec.telemetry.bucket_ms = *telemetry_fields.bucket_ms;
+        }
+        if (telemetry_fields.trace_out) {
+            spec.telemetry.trace_out = *telemetry_fields.trace_out;
+        }
+        if (telemetry_fields.metrics_out) {
+            spec.telemetry.metrics_out = *telemetry_fields.metrics_out;
+        }
+        if (telemetry_fields.timeline_out) {
+            spec.telemetry.timeline_out = *telemetry_fields.timeline_out;
+        }
     }
 
     try {

@@ -12,9 +12,15 @@
 // spellings), ti_ms, ra_guard_ms, include_inactivity_tail, page_miss_prob,
 // max_page_attempts, background_ra_per_second, max_page_records,
 // sc_ptm_mcch_period_ms, cells, topology (uniform | hotspot),
-// hotspot_exponent, assignment (uniform | hotspot | class-affinity).
+// hotspot_exponent, assignment (uniform | hotspot | class-affinity),
+// telemetry (off | trace | metrics | full), telemetry.bucket_ms,
+// trace_out, metrics_out, timeline_out.
 // The multicell keys (topology, hotspot_exponent, assignment) require
 // `cells`; `cells` alone engages the multicell engine on a uniform grid.
+// The telemetry output keys require the matching collection mode:
+// trace_out/timeline_out need telemetry = trace or full, metrics_out
+// needs telemetry = metrics or full, telemetry.bucket_ms needs any
+// enabled mode.
 #pragma once
 
 #include <stdexcept>

@@ -80,6 +80,16 @@ void register_builtin_presets(Registry& registry) {
                               MechanismKind::dr_si, MechanismKind::sc_ptm}));
 
     registry.register_preset(
+        "smoke", "40-device CI smoke of all three mechanisms",
+        ScenarioSpec{}
+            .with_name("smoke")
+            .with_devices(40)
+            .with_payload_bytes(100 * 1024)
+            .with_runs(2)
+            .with_seed(42)
+            .with_inactivity_timer_ms(10'000));
+
+    registry.register_preset(
         "quickstart", "one small campaign per mechanism, narrated",
         ScenarioSpec{}.with_name("quickstart").with_devices(200).with_runs(1).with_seed(1));
 

@@ -1,12 +1,42 @@
 #include "scenario/run.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/report.hpp"
+#include "scenario/parser.hpp"
+#include "scenario/registry.hpp"
+#include "telemetry/collector.hpp"
+#include "telemetry/export.hpp"
 
 namespace nbmg::scenario {
+namespace {
+
+/// Writes a telemetry artifact; an empty path means "keep it in-memory
+/// only".  Failures throw ScenarioError so shells exit with a diagnostic
+/// instead of silently dropping the artifact.
+void write_artifact(const std::string& path, const std::string& text) {
+    if (path.empty()) return;
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file) {
+        throw ScenarioError("cannot open telemetry output file '" + path +
+                            "' for writing");
+    }
+    file.write(text.data(), static_cast<std::streamsize>(text.size()));
+    file.flush();
+    if (!file) {
+        throw ScenarioError("write to telemetry output file '" + path +
+                            "' failed");
+    }
+}
+
+}  // namespace
 
 const core::MechanismStats& ScenarioResult::unicast_stats() const noexcept {
     if (const auto* comparison_outcome =
@@ -75,20 +105,76 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     spec.validate();
     ScenarioResult result;
     result.spec = spec;
+
+    // The collector is sized up front — runs x cells x (mechanisms + 1)
+    // pre-allocated campaign slots (0 = unicast), plus one city sink per
+    // run — so the sweeps write disjoint slots lock-free and the exporters
+    // iterate them in deterministic order.
+    std::optional<telemetry::Collector> collector;
+    if (spec.telemetry.enabled()) {
+        telemetry::TelemetryConfig config;
+        config.trace = spec.telemetry.trace;
+        config.metrics = spec.telemetry.metrics;
+        config.bucket_ms = spec.telemetry.bucket_ms;
+        std::vector<std::string> labels;
+        labels.reserve(spec.mechanisms.size() + 1);
+        labels.push_back(
+            Registry::instance().mechanism_name(core::MechanismKind::unicast));
+        for (const core::MechanismKind kind : spec.mechanisms) {
+            labels.push_back(Registry::instance().mechanism_name(kind));
+        }
+        collector.emplace(config, spec.runs, spec.cell_count(),
+                          std::move(labels));
+    }
+
     if (spec.is_multicell()) {
+        multicell::DeploymentSetup setup = to_deployment_setup(spec);
+        if (collector) setup.telemetry = &*collector;
         if (spec.coordinator) {
             multicell::CoordinatedResult coordinated =
-                multicell::run_coordinated(to_deployment_setup(spec),
-                                           *spec.coordinator);
+                multicell::run_coordinated(setup, *spec.coordinator);
             result.coordination = std::move(coordinated.coordination);
             result.outcome = std::move(coordinated.deployment);
         } else {
-            result.outcome = multicell::run_deployment(to_deployment_setup(spec));
+            result.outcome = multicell::run_deployment(setup);
         }
     } else {
-        result.outcome = core::run_comparison(to_comparison_setup(spec));
+        core::ComparisonSetup setup = to_comparison_setup(spec);
+        if (collector) setup.telemetry = &*collector;
+        result.outcome = core::run_comparison(setup);
+    }
+
+    if (collector) {
+        TelemetryReport report;
+        report.config = spec.telemetry;
+        if (spec.telemetry.trace) {
+            report.trace_jsonl = telemetry::trace_jsonl(*collector);
+            report.timeline_json = telemetry::timeline_json(
+                *collector,
+                result.coordination ? &*result.coordination : nullptr);
+        }
+        if (spec.telemetry.metrics) {
+            report.metrics = telemetry::metrics_table(*collector);
+        }
+        write_artifact(spec.telemetry.trace_out, report.trace_jsonl);
+        if (report.metrics) {
+            write_artifact(spec.telemetry.metrics_out, report.metrics->to_csv());
+        }
+        write_artifact(spec.telemetry.timeline_out, report.timeline_json);
+        result.telemetry = std::move(report);
     }
     return result;
+}
+
+ScenarioResult run_scenario_or_exit(const ScenarioSpec& spec) {
+    try {
+        return run_scenario(spec);
+    } catch (const ScenarioError& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+    } catch (const std::invalid_argument& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+    }
+    std::exit(2);
 }
 
 }  // namespace nbmg::scenario

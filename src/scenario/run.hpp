@@ -16,6 +16,25 @@
 
 namespace nbmg::scenario {
 
+/// The telemetry artifacts of one scenario run (present on ScenarioResult
+/// when the spec enabled telemetry).  Every artifact is a deterministic
+/// function of (spec, seed): byte-identical at any --threads, and the
+/// campaign aggregates are bit-identical to the telemetry-off run.
+struct TelemetryReport {
+    /// The request that produced this report.
+    TelemetrySpec config;
+    /// Typed trace as JSONL, one record per line in deterministic
+    /// (run, cell, campaign, emission) order ("" when trace was off).
+    std::string trace_jsonl;
+    /// Counter registry + sim-time-bucketed series (absent when metrics
+    /// collection was off); metrics_out writes its to_csv().
+    std::optional<stats::Table> metrics;
+    /// Chrome trace_event phase timeline — per-cell campaign spans,
+    /// per-stratum sub-spans, backhaul feed busy intervals — loadable in
+    /// chrome://tracing / Perfetto ("" when trace was off).
+    std::string timeline_json;
+};
+
 /// Tagged union of the two engines' results with a common report surface.
 struct ScenarioResult {
     ScenarioSpec spec;
@@ -25,6 +44,8 @@ struct ScenarioResult {
     /// backhaul utilization).  The campaign aggregates in `outcome` are
     /// bit-identical to the coordinator-absent run.
     std::optional<multicell::CoordinationAggregates> coordination;
+    /// Present when the spec enabled telemetry (TelemetrySpec::enabled).
+    std::optional<TelemetryReport> telemetry;
 
     [[nodiscard]] bool is_multicell() const noexcept {
         return std::holds_alternative<multicell::DeploymentResult>(outcome);
@@ -62,7 +83,15 @@ struct ScenarioResult {
 };
 
 /// Validates and runs `spec`.  Throws std::invalid_argument on an invalid
-/// spec (see ScenarioSpec::validate).
+/// spec (see ScenarioSpec::validate) and ScenarioError (scenario/parser.hpp)
+/// when a telemetry output file cannot be written.
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Shell-friendly wrapper: run_scenario, but an invalid spec or an
+/// unwritable telemetry output exits with a diagnostic and status 2 (the
+/// CLI layer's usage-error status) instead of throwing.  Every bench and
+/// example shell that accepts --trace-out/--metrics-out/--timeline-out
+/// goes through this, and tests/scenario/ pins the death behaviour.
+[[nodiscard]] ScenarioResult run_scenario_or_exit(const ScenarioSpec& spec);
 
 }  // namespace nbmg::scenario

@@ -125,6 +125,34 @@ ScenarioSpec& ScenarioSpec::without_coordinator() {
     coordinator.reset();
     return *this;
 }
+ScenarioSpec& ScenarioSpec::with_telemetry(TelemetrySpec value) {
+    telemetry = std::move(value);
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_telemetry_modes(bool trace, bool metrics) {
+    telemetry.trace = trace;
+    telemetry.metrics = metrics;
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_trace_out(std::string path) {
+    telemetry.trace = true;
+    telemetry.trace_out = std::move(path);
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_metrics_out(std::string path) {
+    telemetry.metrics = true;
+    telemetry.metrics_out = std::move(path);
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_timeline_out(std::string path) {
+    telemetry.trace = true;
+    telemetry.timeline_out = std::move(path);
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_telemetry_bucket_ms(std::int64_t value) {
+    telemetry.bucket_ms = value;
+    return *this;
+}
 ScenarioSpec& ScenarioSpec::single_cell() {
     topology.reset();
     coordinator.reset();
@@ -197,6 +225,23 @@ void ScenarioSpec::validate() const {
                 "': invalid coordinator (policy-scoped knobs: stagger_ms >= 0 "
                 "needs fixed-stagger, finite backhaul_kbps > 0 needs backhaul)");
         }
+    }
+    if (telemetry.bucket_ms < 1) {
+        throw std::invalid_argument("scenario '" + name +
+                                    "': telemetry.bucket_ms must be >= 1");
+    }
+    if ((!telemetry.trace_out.empty() || !telemetry.timeline_out.empty()) &&
+        !telemetry.trace) {
+        throw std::invalid_argument(
+            "scenario '" + name +
+            "': trace_out/timeline_out need trace collection enabled "
+            "(telemetry = trace or full)");
+    }
+    if (!telemetry.metrics_out.empty() && !telemetry.metrics) {
+        throw std::invalid_argument(
+            "scenario '" + name +
+            "': metrics_out needs metrics collection enabled "
+            "(telemetry = metrics or full)");
     }
     if (populations) {
         if (populations->profile_name != profile.name ||
@@ -297,6 +342,25 @@ std::string ScenarioSpec::to_file_text() const {
     out << "max_page_records = " << config.paging.max_page_records << "\n";
     out << "sc_ptm_mcch_period_ms = " << config.sc_ptm_mcch_period.count() << "\n";
     if (config.strata != 1) out << "strata = " << config.strata << "\n";
+    if (telemetry.enabled()) {
+        out << "telemetry = "
+            << (telemetry.trace && telemetry.metrics
+                    ? "full"
+                    : (telemetry.trace ? "trace" : "metrics"))
+            << "\n";
+        if (telemetry.bucket_ms != TelemetrySpec{}.bucket_ms) {
+            out << "telemetry.bucket_ms = " << telemetry.bucket_ms << "\n";
+        }
+        if (!telemetry.trace_out.empty()) {
+            out << "trace_out = " << telemetry.trace_out << "\n";
+        }
+        if (!telemetry.metrics_out.empty()) {
+            out << "metrics_out = " << telemetry.metrics_out << "\n";
+        }
+        if (!telemetry.timeline_out.empty()) {
+            out << "timeline_out = " << telemetry.timeline_out << "\n";
+        }
+    }
     if (topology) {
         out << "cells = " << topology->cells << "\n";
         out << "topology = " << to_string(topology->kind) << "\n";

@@ -57,6 +57,32 @@ struct TopologySpec {
     return "?";
 }
 
+/// Declarative telemetry request: which sinks to collect (typed trace
+/// records and/or the counter/metrics registry) and where run_scenario
+/// writes the exported artifacts.  Telemetry is purely observational —
+/// attaching it changes no aggregate and no RNG draw, and every artifact
+/// is bit-identical for any --threads (tests/telemetry/ pins this).
+struct TelemetrySpec {
+    /// Collect typed trace records (enables the JSONL trace and the
+    /// Chrome trace_event timeline exports).
+    bool trace = false;
+    /// Collect the counter registry + sim-time-bucketed series (enables
+    /// the metrics CSV export).
+    bool metrics = false;
+    /// Bucket width of the sim-time series (ms, >= 1).
+    std::int64_t bucket_ms = 60'000;
+    /// Output paths ("" = do not write the artifact).  trace_out and
+    /// timeline_out require `trace`; metrics_out requires `metrics`
+    /// (validate() enforces the pairing; the with_*_out builders engage
+    /// the mode automatically).
+    std::string trace_out;
+    std::string metrics_out;
+    std::string timeline_out;
+
+    [[nodiscard]] bool enabled() const noexcept { return trace || metrics; }
+    bool operator==(const TelemetrySpec&) const = default;
+};
+
 /// The one declarative description every driver (bench shells, examples,
 /// tests, CI smokes) builds its workload from.
 struct ScenarioSpec {
@@ -90,6 +116,8 @@ struct ScenarioSpec {
     /// core::generate_comparison_populations); shared across sweep points
     /// by the shells.  Never serialized.
     core::SharedPopulations populations;
+    /// Telemetry request (disabled by default; see TelemetrySpec).
+    TelemetrySpec telemetry;
 
     ScenarioSpec();
 
@@ -129,6 +157,20 @@ struct ScenarioSpec {
     ScenarioSpec& with_backhaul_kbps(double value);
     /// Clears the coordinator: back to uncoordinated run_deployment.
     ScenarioSpec& without_coordinator();
+    /// Replaces the whole telemetry request.
+    ScenarioSpec& with_telemetry(TelemetrySpec value);
+    /// Enables trace and/or metrics collection without output files (the
+    /// in-memory report alone).
+    ScenarioSpec& with_telemetry_modes(bool trace, bool metrics);
+    /// Requests the JSONL trace at `path` (implies trace collection).
+    ScenarioSpec& with_trace_out(std::string path);
+    /// Requests the metrics CSV at `path` (implies metrics collection).
+    ScenarioSpec& with_metrics_out(std::string path);
+    /// Requests the Chrome trace_event timeline at `path` (implies trace
+    /// collection).
+    ScenarioSpec& with_timeline_out(std::string path);
+    /// Bucket width of the metrics sim-time series (ms, >= 1).
+    ScenarioSpec& with_telemetry_bucket_ms(std::int64_t value);
     /// Clears the topology (and any coordinator riding on it): back to the
     /// single-cell comparison engine.
     ScenarioSpec& single_cell();

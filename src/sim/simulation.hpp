@@ -1,30 +1,31 @@
-// Simulation context: event queue + per-entity random streams + trace hook.
+// Simulation context: event queue + per-entity random streams + telemetry
+// hook.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <string>
 #include <string_view>
 
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 
+namespace nbmg::telemetry {
+class CampaignSink;
+}  // namespace nbmg::telemetry
+
 namespace nbmg::sim {
 
-/// Severity-free trace record emitted by simulation entities; benches and
-/// tests can subscribe to observe protocol behaviour without coupling the
-/// model to any logging framework.
-struct TraceEvent {
-    SimTime at;
-    std::string_view source;  // e.g. "ue", "enb", "rach"
-    std::string message;
-};
-
 /// Owns the event queue and RNG factory for one simulation run.
+///
+/// Observability: entities emit typed telemetry::TraceRecords through the
+/// attached CampaignSink (telemetry/sink.hpp) via NBMG_TELEMETRY_EMIT.
+/// The old string TraceEvent hook is gone — its string_view `source`
+/// member dangled on any sink that deferred processing; the typed records
+/// carry an interned EventKind id and integer payloads, so they own
+/// everything they reference.  The sink is not owned and may be null
+/// (telemetry disabled, the default); emission is then a no-op that never
+/// evaluates its arguments.
 class Simulation {
 public:
-    using TraceSink = std::function<void(const TraceEvent&)>;
-
     explicit Simulation(std::uint64_t seed) : rng_(seed) {}
 
     [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
@@ -36,18 +37,15 @@ public:
     }
     [[nodiscard]] std::uint64_t seed() const noexcept { return rng_.root_seed(); }
 
-    void set_trace_sink(TraceSink sink) { trace_ = std::move(sink); }
-
-    void trace(std::string_view source, std::string message) const {
-        if (trace_) trace_(TraceEvent{queue_.now(), source, std::move(message)});
+    void set_telemetry(telemetry::CampaignSink* sink) noexcept { telemetry_ = sink; }
+    [[nodiscard]] telemetry::CampaignSink* telemetry() const noexcept {
+        return telemetry_;
     }
-
-    [[nodiscard]] bool tracing() const noexcept { return static_cast<bool>(trace_); }
 
 private:
     EventQueue queue_;
     RngFactory rng_;
-    TraceSink trace_;
+    telemetry::CampaignSink* telemetry_ = nullptr;  // not owned
 };
 
 }  // namespace nbmg::sim

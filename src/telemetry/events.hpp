@@ -1,0 +1,86 @@
+// Typed trace event taxonomy for the telemetry subsystem.
+//
+// Every observable the campaign layers emit is one fixed-size TraceRecord
+// tagged with an EventKind — no strings, no allocation, no owning of
+// caller buffers (the replacement for the old sim::TraceEvent, whose
+// string_view `source` dangled on any sink that deferred processing).
+// Records carry sim-time plus two kind-specific integer payload slots; the
+// (run, cell, campaign, stratum) coordinates come from the sink the record
+// is emitted into, so the hot emit path never repeats them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nbmg::telemetry {
+
+/// Every event the instrumented layers can emit.  The enumerator value is
+/// the dense counter index of the metrics registry (see CampaignSink), so
+/// the order is part of the exporter format — append, never reorder.
+enum class EventKind : std::uint8_t {
+    rach_attempt = 0,   // a = preamble chosen, b = entrants in the window
+    rach_collision,     // a = preamble chosen, b = devices on that preamble
+    rach_failure,       // a = attempts used, b = entrants in the window
+    page_scheduled,     // a = occasion occupancy after placement, b = 1 for mltc
+    page_delivered,     // a = page kind (0 normal, 1 reconfig, 2 mltc)
+    page_miss,          // a = device was listening, b = page was lost
+    page_retry,         // a = page kind as above
+    drx_transition,     // a = old cycle period (ms), b = new cycle period (ms)
+    rrc_connected,      // a = RACH attempts this connection, b = cause
+    rrc_released,       // a/b = 0
+    rrc_failure,        // RACH gave up; a = attempts
+    tx_multicast,       // a = transmission index, b = devices on the bearer
+    tx_unicast,         // a/b = 0
+    tx_recovery,        // a/b = 0
+    backhaul_chunk,     // a = feed busy duration (ms), b = devices in the cell
+    stratum_span,       // a = member devices, b = campaign horizon (ms)
+    campaign_span,      // a = total devices, b = campaign horizon (ms)
+};
+
+inline constexpr std::size_t kEventKindCount = 17;
+
+[[nodiscard]] constexpr const char* to_string(EventKind kind) noexcept {
+    switch (kind) {
+        case EventKind::rach_attempt: return "rach_attempt";
+        case EventKind::rach_collision: return "rach_collision";
+        case EventKind::rach_failure: return "rach_failure";
+        case EventKind::page_scheduled: return "page_scheduled";
+        case EventKind::page_delivered: return "page_delivered";
+        case EventKind::page_miss: return "page_miss";
+        case EventKind::page_retry: return "page_retry";
+        case EventKind::drx_transition: return "drx_transition";
+        case EventKind::rrc_connected: return "rrc_connected";
+        case EventKind::rrc_released: return "rrc_released";
+        case EventKind::rrc_failure: return "rrc_failure";
+        case EventKind::tx_multicast: return "tx_multicast";
+        case EventKind::tx_unicast: return "tx_unicast";
+        case EventKind::tx_recovery: return "tx_recovery";
+        case EventKind::backhaul_chunk: return "backhaul_chunk";
+        case EventKind::stratum_span: return "stratum_span";
+        case EventKind::campaign_span: return "campaign_span";
+    }
+    return "?";
+}
+
+/// Sentinel device index for events not tied to one device (RACH windows
+/// resolve anonymous procedures; spans cover the whole campaign).
+inline constexpr std::uint32_t kNoDevice = 0xFFFF'FFFFU;
+
+/// Sentinel stratum for records emitted outside a stratified execution.
+inline constexpr std::uint16_t kNoStratum = 0xFFFFU;
+
+/// One emitted event: 32 bytes, trivially copyable, all-integer payload —
+/// a vector of these is the trace.  `stratum` is stamped from the emitting
+/// sink's context, everything else from the call site.
+struct TraceRecord {
+    std::int64_t at_ms = 0;  // sim-time of the event (campaign-local clock)
+    std::int64_t a = 0;      // kind-specific payload (see EventKind)
+    std::int64_t b = 0;      // kind-specific payload (see EventKind)
+    std::uint32_t device = kNoDevice;
+    std::uint16_t stratum = kNoStratum;
+    EventKind kind = EventKind::rach_attempt;
+
+    bool operator==(const TraceRecord&) const = default;
+};
+
+}  // namespace nbmg::telemetry

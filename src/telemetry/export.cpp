@@ -1,0 +1,201 @@
+#include "telemetry/export.hpp"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "multicell/coordinator.hpp"
+
+namespace nbmg::telemetry {
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+    for (const char ch : text) {
+        if (ch == '"' || ch == '\\') out.push_back('\\');
+        out.push_back(ch);
+    }
+}
+
+void append_record_line(std::string& out, std::size_t run, std::int64_t cell,
+                        const std::string& campaign, const TraceRecord& record) {
+    out += "{\"run\":";
+    out += std::to_string(run);
+    out += ",\"cell\":";
+    out += std::to_string(cell);
+    out += ",\"campaign\":\"";
+    append_escaped(out, campaign);
+    out += "\",\"stratum\":";
+    out += record.stratum == kNoStratum ? "-1" : std::to_string(record.stratum);
+    out += ",\"at\":";
+    out += std::to_string(record.at_ms);
+    out += ",\"kind\":\"";
+    out += to_string(record.kind);
+    out += "\",\"device\":";
+    out += record.device == kNoDevice
+               ? "-1"
+               : std::to_string(static_cast<std::int64_t>(record.device));
+    out += ",\"a\":";
+    out += std::to_string(record.a);
+    out += ",\"b\":";
+    out += std::to_string(record.b);
+    out += "}\n";
+}
+
+/// One trace_event "complete" slice; Chrome timestamps are microseconds.
+void append_slice(std::string& out, std::size_t pid, std::int64_t tid,
+                  const std::string& name, std::int64_t start_ms,
+                  std::int64_t duration_ms, std::int64_t devices) {
+    out += "  {\"ph\":\"X\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"name\":\"";
+    append_escaped(out, name);
+    out += "\",\"ts\":";
+    out += std::to_string(start_ms * 1000);
+    out += ",\"dur\":";
+    out += std::to_string(duration_ms * 1000);
+    out += ",\"args\":{\"devices\":";
+    out += std::to_string(devices);
+    out += "}},\n";
+}
+
+void append_thread_name(std::string& out, std::size_t pid, std::int64_t tid,
+                        const std::string& name) {
+    out += "  {\"ph\":\"M\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    append_escaped(out, name);
+    out += "\"}},\n";
+}
+
+}  // namespace
+
+std::string trace_jsonl(const Collector& collector) {
+    std::string out;
+    const std::string coordinator_label = "coordinator";
+    for (std::size_t run = 0; run < collector.runs(); ++run) {
+        for (std::size_t cell = 0; cell < collector.cells(); ++cell) {
+            for (std::size_t k = 0; k < collector.campaigns(); ++k) {
+                const CampaignSink& sink = collector.slot(run, cell, k);
+                for (const TraceRecord& record : sink.records()) {
+                    append_record_line(out, run, static_cast<std::int64_t>(cell),
+                                       collector.label(k), record);
+                }
+            }
+        }
+        // City-level records use the device field as the cell index.
+        for (const TraceRecord& record : collector.city_slot(run).records()) {
+            append_record_line(out, run,
+                               record.device == kNoDevice
+                                   ? -1
+                                   : static_cast<std::int64_t>(record.device),
+                               coordinator_label, record);
+        }
+    }
+    return out;
+}
+
+stats::Table metrics_table(const Collector& collector) {
+    stats::Table table({"campaign", "metric", "window_start_ms", "value"});
+    const std::int64_t bucket_ms = collector.config().bucket_ms;
+    for (std::size_t k = 0; k < collector.campaigns(); ++k) {
+        std::array<std::uint64_t, kEventKindCount> counters{};
+        std::vector<std::vector<std::uint64_t>> series(kEventKindCount);
+        for (std::size_t run = 0; run < collector.runs(); ++run) {
+            for (std::size_t cell = 0; cell < collector.cells(); ++cell) {
+                const CampaignSink& sink = collector.slot(run, cell, k);
+                for (std::size_t e = 0; e < kEventKindCount; ++e) {
+                    counters[e] += sink.counters()[e];
+                    const auto kind = static_cast<EventKind>(e);
+                    if (!CampaignSink::bucketed(kind)) continue;
+                    const std::vector<std::uint64_t>& buckets = sink.series(kind);
+                    if (series[e].size() < buckets.size()) {
+                        series[e].resize(buckets.size(), 0);
+                    }
+                    for (std::size_t i = 0; i < buckets.size(); ++i) {
+                        series[e][i] += buckets[i];
+                    }
+                }
+            }
+        }
+        for (std::size_t e = 0; e < kEventKindCount; ++e) {
+            const auto kind = static_cast<EventKind>(e);
+            table.add_row({collector.label(k), to_string(kind), "-",
+                           std::to_string(counters[e])});
+        }
+        for (std::size_t e = 0; e < kEventKindCount; ++e) {
+            const auto kind = static_cast<EventKind>(e);
+            for (std::size_t i = 0; i < series[e].size(); ++i) {
+                if (series[e][i] == 0) continue;
+                table.add_row(
+                    {collector.label(k), to_string(kind),
+                     std::to_string(static_cast<std::int64_t>(i) * bucket_ms),
+                     std::to_string(series[e][i])});
+            }
+        }
+    }
+    return table;
+}
+
+std::string timeline_json(const Collector& collector,
+                          const multicell::CoordinationAggregates* coordination) {
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    constexpr std::int64_t kBackhaulTid = 0;
+    for (std::size_t run = 0; run < collector.runs(); ++run) {
+        out += "  {\"ph\":\"M\",\"pid\":";
+        out += std::to_string(run);
+        out += ",\"name\":\"process_name\",\"args\":{\"name\":\"run ";
+        out += std::to_string(run);
+        out += "\"}},\n";
+
+        const multicell::RunTimeline* timeline = nullptr;
+        if (coordination != nullptr && run < coordination->timelines.size()) {
+            timeline = &coordination->timelines[run];
+        }
+
+        for (std::size_t cell = 0; cell < collector.cells(); ++cell) {
+            const auto tid = static_cast<std::int64_t>(cell) + 1;
+            append_thread_name(out, run, tid, "cell " + std::to_string(cell));
+            std::int64_t start_ms = 0;
+            if (timeline != nullptr && cell < timeline->cells.size()) {
+                start_ms = timeline->cells[cell].start_ms;
+            }
+            for (std::size_t k = 0; k < collector.campaigns(); ++k) {
+                const CampaignSink& sink = collector.slot(run, cell, k);
+                for (const TraceRecord& record : sink.records()) {
+                    if (record.kind == EventKind::campaign_span) {
+                        append_slice(out, run, tid, collector.label(k), start_ms,
+                                     record.b, record.a);
+                    } else if (record.kind == EventKind::stratum_span) {
+                        append_slice(out, run, tid,
+                                     collector.label(k) + " stratum " +
+                                         std::to_string(record.stratum),
+                                     start_ms, record.b, record.a);
+                    }
+                }
+            }
+        }
+
+        const CampaignSink& city = collector.city_slot(run);
+        if (!city.records().empty()) {
+            append_thread_name(out, run, kBackhaulTid, "backhaul feed");
+            for (const TraceRecord& record : city.records()) {
+                if (record.kind != EventKind::backhaul_chunk) continue;
+                append_slice(out, run, kBackhaulTid,
+                             "feed cell " +
+                                 std::to_string(static_cast<std::int64_t>(
+                                     record.device)),
+                             record.at_ms, record.a, record.b);
+            }
+        }
+    }
+    // Closing sentinel keeps the array valid after the trailing commas above.
+    out += "  {\"ph\":\"M\",\"pid\":0,\"name\":\"trace_end\",\"args\":{}}\n]}\n";
+    return out;
+}
+
+}  // namespace nbmg::telemetry

@@ -1,0 +1,51 @@
+#include "telemetry/profiler.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace nbmg::telemetry {
+
+std::int64_t PhaseProfiler::now_us() {
+    // nbmg-lint: allow(wall-clock) self-profiler TU: the one audited clock read in the library; bench shells only, never feeds a deterministic artifact
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+}
+
+void PhaseProfiler::begin(std::string name) {
+    if (!enabled_) return;
+    if (open_) end();
+    phases_.push_back(Phase{std::move(name), 0});
+    open_ = true;
+    started_us_ = now_us();
+}
+
+void PhaseProfiler::end() {
+    if (!enabled_ || !open_) return;
+    phases_.back().wall_us = now_us() - started_us_;
+    open_ = false;
+}
+
+std::string PhaseProfiler::report() const {
+    if (phases_.empty()) return {};
+    std::string out;
+    std::int64_t total_us = 0;
+    for (const Phase& phase : phases_) {
+        out += "[profile] ";
+        out += phase.name;
+        out += ": ";
+        out += std::to_string(phase.wall_us / 1000);
+        out += ".";
+        const std::int64_t frac = (phase.wall_us % 1000) / 100;
+        out += std::to_string(frac);
+        out += " ms\n";
+        total_us += phase.wall_us;
+    }
+    out += "[profile] total: ";
+    out += std::to_string(total_us / 1000);
+    out += ".";
+    out += std::to_string((total_us % 1000) / 100);
+    out += " ms\n";
+    return out;
+}
+
+}  // namespace nbmg::telemetry

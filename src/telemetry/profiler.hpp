@@ -1,0 +1,65 @@
+// Opt-in wall-clock self-profiler for bench shells.
+//
+// This is the ONE place in the library that may read a wall clock: the
+// determinism lint (ci/lint_determinism.py, `telemetry` category) rejects
+// clock reads everywhere else under src/telemetry/ and keeps the general
+// wall-clock rule for the rest of the library.  Nothing in the simulation
+// or campaign layers may depend on these numbers — they exist to tell a
+// human which phase of a bench shell burned the time, and they are
+// intentionally NOT part of any deterministic artifact (traces, metrics,
+// tables all come from sim-time).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nbmg::telemetry {
+
+/// Accumulates named wall-clock phases.  Usage in a bench shell:
+///
+///   telemetry::PhaseProfiler profiler(enabled);
+///   profiler.begin("plan");
+///   ... work ...
+///   profiler.end();              // closes "plan"
+///   fputs(profiler.report().c_str(), stderr);
+///
+/// Disabled profilers never touch the clock, so the default-off path adds
+/// one branch per phase boundary.
+class PhaseProfiler {
+public:
+    explicit PhaseProfiler(bool enabled = false) : enabled_(enabled) {}
+
+    [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+    /// Opens a phase; an open phase is closed first (phases never nest —
+    /// bench shells are linear pipelines).
+    void begin(std::string name);
+
+    /// Closes the open phase, accumulating its wall-clock duration.
+    void end();
+
+    struct Phase {
+        std::string name;
+        std::int64_t wall_us = 0;
+    };
+
+    /// Closed phases in begin() order.
+    [[nodiscard]] const std::vector<Phase>& phases() const noexcept {
+        return phases_;
+    }
+
+    /// Human-readable per-phase report ("phase  12.345 ms" lines), with a
+    /// total line.  Empty when disabled or no phase closed.
+    [[nodiscard]] std::string report() const;
+
+private:
+    [[nodiscard]] static std::int64_t now_us();
+
+    bool enabled_ = false;
+    bool open_ = false;
+    std::int64_t started_us_ = 0;
+    std::vector<Phase> phases_;
+};
+
+}  // namespace nbmg::telemetry

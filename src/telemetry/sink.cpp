@@ -1,0 +1,60 @@
+#include "telemetry/sink.hpp"
+
+namespace nbmg::telemetry {
+
+namespace {
+const std::vector<std::uint64_t> kEmptySeries;
+}  // namespace
+
+bool CampaignSink::bucketed(EventKind kind) noexcept {
+    return kind == EventKind::rach_attempt || kind == EventKind::rach_collision ||
+           kind == EventKind::page_delivered;
+}
+
+const std::vector<std::uint64_t>& CampaignSink::series(EventKind kind) const {
+    switch (kind) {
+        case EventKind::rach_attempt: return rach_attempt_buckets_;
+        case EventKind::rach_collision: return rach_collision_buckets_;
+        case EventKind::page_delivered: return page_delivered_buckets_;
+        default: return kEmptySeries;
+    }
+}
+
+void CampaignSink::bump_bucket(std::vector<std::uint64_t>& buckets,
+                               std::int64_t at_ms) {
+    const std::int64_t clamped = at_ms < 0 ? 0 : at_ms;
+    const auto index = static_cast<std::size_t>(clamped / config_.bucket_ms);
+    if (buckets.size() <= index) buckets.resize(index + 1, 0);
+    ++buckets[index];
+}
+
+void CampaignSink::count(EventKind kind, std::int64_t at_ms) {
+    ++counters_[static_cast<std::size_t>(kind)];
+    switch (kind) {
+        case EventKind::rach_attempt: bump_bucket(rach_attempt_buckets_, at_ms); break;
+        case EventKind::rach_collision:
+            bump_bucket(rach_collision_buckets_, at_ms);
+            break;
+        case EventKind::page_delivered:
+            bump_bucket(page_delivered_buckets_, at_ms);
+            break;
+        default: break;
+    }
+}
+
+void CampaignSink::absorb(const CampaignSink& child) {
+    records_.insert(records_.end(), child.records_.begin(), child.records_.end());
+    for (std::size_t k = 0; k < kEventKindCount; ++k) {
+        counters_[k] += child.counters_[k];
+    }
+    const auto add_buckets = [](std::vector<std::uint64_t>& into,
+                                const std::vector<std::uint64_t>& from) {
+        if (into.size() < from.size()) into.resize(from.size(), 0);
+        for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+    };
+    add_buckets(rach_attempt_buckets_, child.rach_attempt_buckets_);
+    add_buckets(rach_collision_buckets_, child.rach_collision_buckets_);
+    add_buckets(page_delivered_buckets_, child.page_delivered_buckets_);
+}
+
+}  // namespace nbmg::telemetry

@@ -1,0 +1,13 @@
+// Fixture: NBMG_TELEMETRY_EMIT payloads the telemetry rule must catch.
+// Expected findings: [telemetry] on the marked call lines; the audited
+// call under allow(telemetry) stays clean.
+#include <cstdint>
+
+void fixture_emit(int* sink, long value) {
+    NBMG_TELEMETRY_EMIT(sink, kRachAttempt, 0,
+                        reinterpret_cast<std::intptr_t>(&value), 0);
+    NBMG_TELEMETRY_EMIT(sink, kRachAttempt, 0, 1, &value);
+    // nbmg-lint: allow(telemetry) fixture: audited — the uintptr_t holds a stable index, not an address
+    NBMG_TELEMETRY_EMIT(sink, kRachAttempt, 0,
+                        static_cast<std::uintptr_t>(7), 0);
+}

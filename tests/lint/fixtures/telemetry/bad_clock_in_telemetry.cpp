@@ -1,0 +1,9 @@
+// Fixture: a host clock inside telemetry/ but outside the self-profiler
+// TU.  Expected: an un-excusable [telemetry] finding — the allow
+// pragma below must NOT silence it and is reported stale on top.
+#include <chrono>
+
+long fixture_telemetry_clock() {
+    // nbmg-lint: allow(wall-clock) fixture: must NOT excuse this
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

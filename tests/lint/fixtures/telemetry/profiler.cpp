@@ -1,0 +1,9 @@
+// Fixture: the self-profiler TU — the one audited clock read in the
+// library; the allow(wall-clock) pragma excuses it exactly as in
+// src/telemetry/profiler.cpp.  Expected: clean, exit 0.
+#include <chrono>
+
+long fixture_profiler_now_us() {
+    // nbmg-lint: allow(wall-clock) fixture: self-profiler TU, bench shells only
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -108,6 +108,32 @@ TEST(LintDeterminismTest, MalformedAndStalePragmasRejected) {
     expect_finding(run, "bad_pragma.cpp", 12, "pragma");  // stale
 }
 
+TEST(LintDeterminismTest, TelemetryPointerPayloadsCaught) {
+    const LintRun run = run_lint(fixture("bad_telemetry_emit.cpp"));
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    expect_finding(run, "bad_telemetry_emit.cpp", 7, "telemetry");  // reinterpret_cast
+    expect_finding(run, "bad_telemetry_emit.cpp", 9, "telemetry");  // &-payload
+    // The audited call under allow(telemetry) must NOT be flagged.
+    EXPECT_EQ(run.output.find("bad_telemetry_emit.cpp:11:"), std::string::npos)
+        << run.output;
+}
+
+TEST(LintDeterminismTest, HostClockInTelemetryDirIsUnexcusable) {
+    // The clock rule for telemetry/ bypasses the pragma machinery entirely:
+    // the allow(wall-clock) in the fixture is ignored AND reported stale.
+    const LintRun run = run_lint(fixture("telemetry/bad_clock_in_telemetry.cpp"));
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    expect_finding(run, "bad_clock_in_telemetry.cpp", 8, "telemetry");
+    expect_finding(run, "bad_clock_in_telemetry.cpp", 7, "pragma");
+}
+
+TEST(LintDeterminismTest, ProfilerTuClockStaysExcusable) {
+    // telemetry/profiler.cpp is the one TU where a pragma'd steady_clock
+    // read is legitimate (opt-in wall-clock self-profiling, bench shells).
+    const LintRun run = run_lint(fixture("telemetry/profiler.cpp"));
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 TEST(LintDeterminismTest, CleanFixturePasses) {
     const LintRun run = run_lint(fixture("clean.cpp"));
     EXPECT_EQ(run.exit_code, 0) << run.output;

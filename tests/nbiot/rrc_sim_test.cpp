@@ -2,10 +2,13 @@
 // configuration validators.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "core/mechanism.hpp"
 #include "nbiot/cell.hpp"
 #include "nbiot/rrc.hpp"
 #include "sim/simulation.hpp"
+#include "telemetry/sink.hpp"
 
 namespace nbmg {
 namespace {
@@ -44,24 +47,37 @@ TEST(RrcTest, DefaultTimingModelValid) {
     EXPECT_FALSE(bad.valid());
 }
 
-TEST(SimulationTest, TraceSinkReceivesEvents) {
+TEST(SimulationTest, TelemetrySinkReceivesTypedEvents) {
     sim::Simulation simulation{1};
-    std::vector<std::string> messages;
-    simulation.set_trace_sink([&](const sim::TraceEvent& e) {
-        messages.push_back(std::string{e.source} + ":" + e.message);
+    telemetry::CampaignSink sink{
+        telemetry::TelemetryConfig{.trace = true, .metrics = true}};
+    simulation.set_telemetry(&sink);
+    ASSERT_EQ(simulation.telemetry(), &sink);
+    simulation.queue().schedule_at(sim::SimTime{5}, [&] {
+        NBMG_TELEMETRY_EMIT(simulation.telemetry(),
+                            telemetry::EventKind::rach_attempt, 5,
+                            /*device=*/7, /*a=*/1, /*b=*/0);
     });
-    EXPECT_TRUE(simulation.tracing());
-    simulation.queue().schedule_at(sim::SimTime{5},
-                                   [&] { simulation.trace("ue", "woke"); });
     simulation.queue().run_all();
-    ASSERT_EQ(messages.size(), 1u);
-    EXPECT_EQ(messages.front(), "ue:woke");
+    ASSERT_EQ(sink.records().size(), 1u);
+    EXPECT_EQ(sink.records().front().kind, telemetry::EventKind::rach_attempt);
+    EXPECT_EQ(sink.records().front().at_ms, 5);
+    EXPECT_EQ(sink.records().front().device, 7u);
+    EXPECT_EQ(sink.counter(telemetry::EventKind::rach_attempt), 1u);
 }
 
-TEST(SimulationTest, TraceWithoutSinkIsNoop) {
+TEST(SimulationTest, TelemetryDefaultsOffAndEmitIsNoop) {
     sim::Simulation simulation{1};
-    EXPECT_FALSE(simulation.tracing());
-    simulation.trace("x", "dropped");  // must not crash
+    EXPECT_EQ(simulation.telemetry(), nullptr);
+    // Null sink: the macro must not crash and must not evaluate arguments.
+    bool evaluated = false;
+    const auto payload = [&] {
+        evaluated = true;
+        return std::int64_t{1};
+    };
+    NBMG_TELEMETRY_EMIT(simulation.telemetry(), telemetry::EventKind::rach_attempt,
+                        0, 0, payload(), 0);
+    EXPECT_FALSE(evaluated);
 }
 
 TEST(SimulationTest, StreamsDerivedFromRootSeed) {

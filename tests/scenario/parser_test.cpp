@@ -220,6 +220,60 @@ TEST(ScenarioParserTest, CoordinatorKeysValidatedAsAGroup) {
                        {"test.scenario:3", "out of range"});
 }
 
+TEST(ScenarioParserTest, ParsesTelemetryKeysInAnyOrder) {
+    const ScenarioSpec full = parse_scenario_text(
+        "trace_out = out/trace.jsonl\n"
+        "devices = 10\n"
+        "telemetry = full\n"
+        "telemetry.bucket_ms = 500\n"
+        "metrics_out = out/metrics.csv\n"
+        "timeline_out = out/timeline.json\n",
+        "telemetry.scenario");
+    EXPECT_TRUE(full.telemetry.trace);
+    EXPECT_TRUE(full.telemetry.metrics);
+    EXPECT_EQ(full.telemetry.bucket_ms, 500);
+    EXPECT_EQ(full.telemetry.trace_out, "out/trace.jsonl");
+    EXPECT_EQ(full.telemetry.metrics_out, "out/metrics.csv");
+    EXPECT_EQ(full.telemetry.timeline_out, "out/timeline.json");
+
+    const ScenarioSpec trace_only =
+        parse_scenario_text("telemetry = trace\n", "t.scenario");
+    EXPECT_TRUE(trace_only.telemetry.trace);
+    EXPECT_FALSE(trace_only.telemetry.metrics);
+    EXPECT_EQ(trace_only.telemetry.bucket_ms, 60'000);  // default kept
+
+    const ScenarioSpec off =
+        parse_scenario_text("telemetry = off\n", "off.scenario");
+    EXPECT_FALSE(off.telemetry.enabled());
+}
+
+TEST(ScenarioParserTest, TelemetryKeysValidatedAsAGroup) {
+    // Unknown mode spelling, at its line.
+    expect_parse_error("devices = 10\ntelemetry = everything\n",
+                       {"test.scenario:2",
+                        "expected off | trace | metrics | full"});
+    // Output paths without the matching mode, at the path's line.
+    expect_parse_error("trace_out = x.jsonl\n",
+                       {"test.scenario:1",
+                        "'trace_out' requires telemetry = trace or full"});
+    expect_parse_error(
+        "telemetry = metrics\ntimeline_out = t.json\n",
+        {"test.scenario:2",
+         "'timeline_out' requires telemetry = trace or full"});
+    expect_parse_error(
+        "telemetry = trace\nmetrics_out = m.csv\n",
+        {"test.scenario:2",
+         "'metrics_out' requires telemetry = metrics or full"});
+    // Bucket width without any enabled mode, and out-of-domain widths.
+    expect_parse_error("telemetry.bucket_ms = 100\n",
+                       {"test.scenario:1", "requires an enabled telemetry"});
+    expect_parse_error("telemetry = full\ntelemetry.bucket_ms = 0\n",
+                       {"test.scenario:2", "must be >= 1"});
+    // Empty output paths.
+    expect_parse_error("telemetry = full\nmetrics_out =\n",
+                       {"test.scenario:2", "empty path"});
+}
+
 TEST(ScenarioParserTest, InvalidAssembledSpecRejectedWithSourceName) {
     // Parses line by line but fails whole-spec validation (empty mechanisms
     // cannot be expressed, so use a config contradiction instead).

@@ -64,6 +64,22 @@ public:
             nbiot::SimTime{1 + static_cast<std::int64_t>(index(40'000))};
         if (chance(0.5)) spec.with_strata(1 + index(core::kMaxStrata));
 
+        if (chance(0.4)) {
+            const bool trace = chance(0.6);
+            const bool metrics = chance(0.6);
+            spec.with_telemetry_modes(trace, metrics);
+            if ((trace || metrics) && chance(0.5)) {
+                spec.with_telemetry_bucket_ms(
+                    1 + static_cast<std::int64_t>(index(600'000)));
+            }
+            if (trace && chance(0.5)) {
+                spec.with_trace_out("out/t" + std::to_string(index(9)) +
+                                    ".jsonl");
+            }
+            if (trace && chance(0.5)) spec.with_timeline_out("out/tl.json");
+            if (metrics && chance(0.5)) spec.with_metrics_out("out/m.csv");
+        }
+
         if (chance(0.6)) {
             const std::size_t cells = 1 + index(64);
             if (chance(0.5)) {
@@ -155,6 +171,7 @@ void expect_specs_equal(const ScenarioSpec& parsed, const ScenarioSpec& spec) {
         }
         EXPECT_EQ(parsed.assignment, spec.assignment);
     }
+    EXPECT_EQ(parsed.telemetry, spec.telemetry);
     ASSERT_EQ(parsed.is_coordinated(), spec.is_coordinated());
     if (spec.is_coordinated()) {
         EXPECT_EQ(parsed.coordinator->policy, spec.coordinator->policy);

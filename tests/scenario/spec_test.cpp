@@ -166,6 +166,43 @@ TEST(ScenarioSpecTest, CoordinatorKeysSerializeAndReparse) {
     EXPECT_EQ(parsed.coordinator->backhaul_kbps, 0.125);
 }
 
+TEST(ScenarioSpecTest, TelemetryBuildersImplyTheirModes) {
+    ScenarioSpec spec = small_spec().with_trace_out("t.jsonl");
+    EXPECT_TRUE(spec.telemetry.trace);
+    EXPECT_FALSE(spec.telemetry.metrics);
+    EXPECT_NO_THROW(spec.validate());
+    spec.with_metrics_out("m.csv").with_timeline_out("tl.json");
+    EXPECT_TRUE(spec.telemetry.metrics);
+    EXPECT_TRUE(spec.telemetry.enabled());
+    EXPECT_NO_THROW(spec.validate());
+
+    // Paths hand-assembled without the matching mode are rejected.
+    ScenarioSpec orphan = small_spec();
+    orphan.telemetry.trace_out = "t.jsonl";
+    EXPECT_THROW(orphan.validate(), std::invalid_argument);
+    ScenarioSpec orphan_metrics = small_spec().with_telemetry_modes(true, false);
+    orphan_metrics.telemetry.metrics_out = "m.csv";
+    EXPECT_THROW(orphan_metrics.validate(), std::invalid_argument);
+
+    ScenarioSpec bad_bucket = small_spec().with_telemetry_bucket_ms(0);
+    EXPECT_THROW(bad_bucket.validate(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, TelemetryKeysSerializeAndReparse) {
+    const ScenarioSpec spec = small_spec()
+                                  .with_trace_out("out/t.jsonl")
+                                  .with_metrics_out("out/m.csv")
+                                  .with_timeline_out("out/tl.json")
+                                  .with_telemetry_bucket_ms(250);
+    const ScenarioSpec parsed =
+        parse_scenario_text(spec.to_file_text(), "telemetry");
+    EXPECT_EQ(parsed.telemetry, spec.telemetry);
+
+    // A disabled telemetry block serializes to nothing.
+    const std::string text = small_spec().to_file_text();
+    EXPECT_EQ(text.find("telemetry"), std::string::npos) << text;
+}
+
 TEST(ScenarioSpecTest, MismatchedSharedPopulationsRejected) {
     ScenarioSpec spec = small_spec();
     spec.with_populations(core::generate_comparison_populations(
