@@ -38,13 +38,26 @@ never grow:
                   (ASLR, allocator state), so a pointer smuggled into a
                   trace payload breaks byte-identical traces.  Rule (2)
                   is excusable with allow(telemetry) after human audit.
+  snapshot        three rules for src/snapshot/, whose persisted
+                  artifacts must read back on any build of any host.
+                  (1) reinterpret_cast — the raw-struct-dump idiom
+                  serializes padding, field order, and host endianness;
+                  a finding NO pragma can excuse.  Serialize
+                  field-by-field through the Writer/Reader primitives.
+                  (2) sizeof — sizing a write from a host struct layout
+                  instead of spelling the wire width.  (3) host-width
+                  integer types (size_t, uintptr_t, intptr_t,
+                  ptrdiff_t) — their width differs across platforms, so
+                  a snapshot written on one host would not parse on
+                  another.  Rules (2) and (3) are excusable with
+                  allow(snapshot) after human audit.
 
 Audited exceptions carry an inline pragma on the flagged line or the line
 directly above:
 
     // nbmg-lint: allow(<category>) <reason>
 
-The pragma is itself verified: the category must be one of the six
+The pragma is itself verified: the category must be one of those
 above, a non-empty reason is mandatory, and a pragma that no longer
 annotates a finding of its category is reported as stale (so allowlist
 entries cannot outlive the code they excused).
@@ -73,6 +86,7 @@ CATEGORIES = (
     "pointer-key",
     "uninit-pod",
     "telemetry",
+    "snapshot",
 )
 
 PRAGMA_RE = re.compile(
@@ -89,6 +103,13 @@ BENCH_DIR_RE = re.compile(r"(^|/)bench/")
 # the library (opt-in, bench shells only, never feeds an artifact).
 TELEMETRY_DIR_RE = re.compile(r"(^|/)telemetry/")
 PROFILER_HOME_RE = re.compile(r"(^|/)telemetry/profiler\.(cpp|hpp|h)$")
+# The snapshot layer, whose persisted bytes must be portable across builds
+# and platforms: struct dumps and host-width integer types are banned.
+SNAPSHOT_DIR_RE = re.compile(r"(^|/)snapshot/")
+SNAPSHOT_CAST_RE = re.compile(r"\breinterpret_cast\b")
+SNAPSHOT_SIZEOF_RE = re.compile(r"\bsizeof\b")
+SNAPSHOT_HOST_WIDTH_RE = re.compile(
+    r"\b(?:std::)?(?:size_t|uintptr_t|intptr_t|ptrdiff_t)\b")
 
 WALL_CLOCK_RE = re.compile(
     r"std::chrono::system_clock"
@@ -233,6 +254,7 @@ def scan_file(path: Path, rel: str) -> list[Finding]:
     in_bench = bool(BENCH_DIR_RE.search(rel))
     in_telemetry = bool(TELEMETRY_DIR_RE.search(rel))
     in_profiler_home = bool(PROFILER_HOME_RE.search(rel))
+    in_snapshot = bool(SNAPSHOT_DIR_RE.search(rel))
 
     def emit(no: int, category: str, message: str) -> None:
         findings.append(Finding(path, no, category, message))
@@ -308,6 +330,29 @@ def scan_file(path: Path, rel: str) -> list[Finding]:
                 emit(no, "pointer-key",
                      "pointer-keyed ordered container: iteration follows "
                      "allocation addresses, which vary run to run")
+        if in_snapshot:
+            if SNAPSHOT_CAST_RE.search(line):
+                # Deliberately bypasses allowed(): a reinterpret_cast in the
+                # serialization layer is the raw-struct-dump idiom (padding,
+                # field order, host endianness on the wire) — no pragma can
+                # make that portable.
+                emit(no, "snapshot",
+                     "reinterpret_cast in snapshot/: raw struct dumps "
+                     "serialize padding and host endianness — write "
+                     "field-by-field through the Writer/Reader primitives; "
+                     "no pragma can excuse this")
+            if SNAPSHOT_SIZEOF_RE.search(line):
+                if not allowed(no, "snapshot"):
+                    emit(no, "snapshot",
+                         "sizeof in snapshot/: sizes a write from a host "
+                         "struct layout — spell the wire width explicitly")
+            if SNAPSHOT_HOST_WIDTH_RE.search(line):
+                if not allowed(no, "snapshot"):
+                    emit(no, "snapshot",
+                         "host-width integer type in snapshot/: width "
+                         "differs across platforms, so the persisted bytes "
+                         "would not read back everywhere — use a fixed-width "
+                         "std::uintNN_t")
         if struct_depth > 0 and UNINIT_POD_RE.match(line):
             if not allowed(no, "uninit-pod"):
                 emit(no, "uninit-pod",

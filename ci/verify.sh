@@ -7,7 +7,10 @@
 #             trial build of the nbmg lib.
 #   Debug   — warnings-as-errors build of everything; fast tier-1 CTest
 #             subset (ctest -L tier1, which now includes the analysis
-#             and stress labels); scenario-file + coordinator smokes.
+#             and stress labels); scenario-file + coordinator smokes;
+#             kill-and-resume checkpoint smoke (stop a citywide run
+#             mid-flight, resume at a different --threads, byte-diff
+#             every artifact against the uninterrupted run).
 #   Release — same build with NBMG_ENABLE_LTO (so the option cannot
 #             rot); the full suite including the randomized property
 #             batteries; microbenchmark + multicell smokes.
@@ -64,6 +67,52 @@ run_scenario_smokes() {
     --trace-out "${build_dir}/telemetry_smoke.trace.jsonl" \
     --metrics-out "${build_dir}/telemetry_smoke.metrics.csv" \
     --timeline-out "${build_dir}/telemetry_smoke.timeline.json"
+
+  run_checkpoint_smoke "${build_dir}"
+}
+
+run_checkpoint_smoke() {
+  local build_dir="$1"
+  echo "=== ${build_dir}: kill-and-resume smoke (checkpoint -> stop -> resume) ==="
+  # A citywide run is checkpointed, killed mid-flight via the stop
+  # budget (exit 3 is the deliberate-stop code), then resumed at a
+  # different --threads.  Every artifact — stdout CSV, trace, metrics,
+  # timeline — must match the uninterrupted run byte for byte.
+  local ckpt_dir="${build_dir}/checkpoint_smoke"
+  rm -rf "${ckpt_dir}"
+  mkdir -p "${ckpt_dir}"
+  local common=(--scenario examples/scenarios/citywide_16cells.scenario
+                --devices 400 --cells 4 --runs 2 --telemetry full --csv)
+
+  "${build_dir}/examples/run_scenario" "${common[@]}" --threads 8 \
+    --trace-out "${ckpt_dir}/full.trace.jsonl" \
+    --metrics-out "${ckpt_dir}/full.metrics.csv" \
+    --timeline-out "${ckpt_dir}/full.timeline.json" \
+    > "${ckpt_dir}/full.csv"
+
+  set +e
+  "${build_dir}/examples/run_scenario" "${common[@]}" --threads 8 \
+    --checkpoint-out "${ckpt_dir}/snap.bin" --checkpoint-stop-after 3 \
+    > "${ckpt_dir}/interrupted.csv"
+  local status=$?
+  set -e
+  if [[ ${status} -ne 3 ]]; then
+    echo "error: interrupted run exited ${status}, expected checkpoint-stop code 3" >&2
+    exit 1
+  fi
+  [[ -f "${ckpt_dir}/snap.bin" ]]
+
+  "${build_dir}/examples/run_scenario" "${common[@]}" --threads 2 \
+    --resume "${ckpt_dir}/snap.bin" \
+    --trace-out "${ckpt_dir}/resumed.trace.jsonl" \
+    --metrics-out "${ckpt_dir}/resumed.metrics.csv" \
+    --timeline-out "${ckpt_dir}/resumed.timeline.json" \
+    > "${ckpt_dir}/resumed.csv"
+
+  cmp "${ckpt_dir}/full.csv" "${ckpt_dir}/resumed.csv"
+  cmp "${ckpt_dir}/full.trace.jsonl" "${ckpt_dir}/resumed.trace.jsonl"
+  cmp "${ckpt_dir}/full.metrics.csv" "${ckpt_dir}/resumed.metrics.csv"
+  cmp "${ckpt_dir}/full.timeline.json" "${ckpt_dir}/resumed.timeline.json"
 }
 
 run_sanitizer_leg() {

@@ -4,6 +4,8 @@
 
 #include "core/planners.hpp"
 #include "core/sweep.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/codec.hpp"
 #include "telemetry/collector.hpp"
 
 namespace nbmg::core {
@@ -27,6 +29,9 @@ namespace {
 struct RunContribution {
     MechanismStats unicast;
     std::vector<MechanismStats> mechanisms;
+    /// Simulated time this run covered; drives the checkpoint write
+    /// throttle, never serialized and never reduced.
+    std::int64_t horizon_ms = 0;
 };
 
 RunContribution comparison_run(const ComparisonSetup& setup, std::size_t run) {
@@ -68,6 +73,7 @@ RunContribution comparison_run(const ComparisonSetup& setup, std::size_t run) {
             : std::span<const nbiot::UeSpec>(generated);
     const nbiot::SimTime horizon =
         recommended_horizon(specs, setup.config, setup.payload_bytes);
+    contrib.horizon_ms = horizon.count();
     const std::uint64_t run_seed = sim::derive_seed(setup.base_seed, "run", run);
 
     sim::RandomStream unicast_rng = rng_factory.stream("plan-unicast", run);
@@ -117,6 +123,62 @@ RunContribution comparison_run(const ComparisonSetup& setup, std::size_t run) {
         out.mean_connected_seconds.add(mean_connected_ms(result) / 1000.0);
         out.mean_light_sleep_seconds.add(mean_light_sleep_ms(result) / 1000.0);
     }
+    return contrib;
+}
+
+/// Checkpoint slot blob of one run: the unicast + per-mechanism summaries
+/// plus — when a collector is attached — the sinks this run filled, so a
+/// resume restores both the aggregates and the telemetry artifacts.
+std::vector<std::uint8_t> encode_contribution(const ComparisonSetup& setup,
+                                              std::size_t run,
+                                              const RunContribution& contrib) {
+    snapshot::Writer w;
+    snapshot::put_mechanism_stats(w, contrib.unicast);
+    w.put_u64(contrib.mechanisms.size());
+    for (const MechanismStats& m : contrib.mechanisms) {
+        snapshot::put_mechanism_stats(w, m);
+    }
+    w.put_u8(setup.telemetry != nullptr ? 1 : 0);
+    if (setup.telemetry != nullptr) {
+        for (std::size_t c = 0; c < setup.mechanisms.size() + 1; ++c) {
+            snapshot::put_sink(w, *setup.telemetry->sink(run, 0, c));
+        }
+    }
+    return w.take();
+}
+
+/// Inverse of encode_contribution; also restores the run's collector
+/// sinks.  Runs inside the sweep worker that owns this run's slots, so
+/// the sink writes stay single-writer.
+RunContribution decode_contribution(const ComparisonSetup& setup, std::size_t run,
+                                    const std::vector<std::uint8_t>& blob) {
+    snapshot::Reader r(blob,
+                       "checkpoint slot (run " + std::to_string(run) + ")");
+    RunContribution contrib;
+    contrib.unicast = snapshot::take_mechanism_stats(r);
+    const std::uint64_t mechanism_count = r.take_u64();
+    if (mechanism_count != setup.mechanisms.size()) {
+        throw snapshot::SnapshotError(
+            "checkpoint slot (run " + std::to_string(run) + "): " +
+            std::to_string(mechanism_count) + " mechanisms in snapshot, setup has " +
+            std::to_string(setup.mechanisms.size()));
+    }
+    contrib.mechanisms.reserve(setup.mechanisms.size());
+    for (std::size_t m = 0; m < setup.mechanisms.size(); ++m) {
+        contrib.mechanisms.push_back(snapshot::take_mechanism_stats(r));
+    }
+    const bool had_telemetry = r.take_u8() != 0;
+    if (had_telemetry != (setup.telemetry != nullptr)) {
+        throw snapshot::SnapshotError(
+            "checkpoint slot (run " + std::to_string(run) +
+            "): telemetry attachment differs from the checkpointed run");
+    }
+    if (setup.telemetry != nullptr) {
+        for (std::size_t c = 0; c < setup.mechanisms.size() + 1; ++c) {
+            snapshot::restore_sink(r, *setup.telemetry->sink(run, 0, c));
+        }
+    }
+    r.expect_end();
     return contrib;
 }
 
@@ -175,8 +237,21 @@ ComparisonOutcome run_comparison(const ComparisonSetup& setup) {
     outcome.unicast.kind = MechanismKind::unicast;
 
     const std::vector<RunContribution> contributions = sweep_indexed(
-        setup.runs, setup.threads,
-        [&setup](std::size_t run) { return comparison_run(setup, run); });
+        setup.runs, setup.threads, [&setup](std::size_t run) {
+            snapshot::CheckpointContext* const checkpoint = setup.checkpoint;
+            if (checkpoint == nullptr) return comparison_run(setup, run);
+            if (const std::vector<std::uint8_t>* blob = checkpoint->restored(run)) {
+                return decode_contribution(setup, run, *blob);
+            }
+            // Once the stop budget fired, remaining tasks return a dummy:
+            // the pending CheckpointStop unwinds the sweep before any
+            // contribution is reduced.
+            if (checkpoint->stopping()) return RunContribution{};
+            RunContribution contrib = comparison_run(setup, run);
+            checkpoint->complete_slot(run, encode_contribution(setup, run, contrib),
+                                      contrib.horizon_ms);
+            return contrib;
+        });
 
     for (const RunContribution& contrib : contributions) {
         outcome.unicast.merge(contrib.unicast);

@@ -23,6 +23,10 @@ namespace nbmg::telemetry {
 class Collector;
 }  // namespace nbmg::telemetry
 
+namespace nbmg::snapshot {
+class CheckpointContext;
+}  // namespace nbmg::snapshot
+
 namespace nbmg::core {
 
 /// Per-run device populations generated once and shared across every
@@ -80,6 +84,14 @@ struct ComparisonSetup {
     /// Campaigns write disjoint pre-allocated slots, so attaching a
     /// collector changes no aggregate and no RNG draw.
     telemetry::Collector* telemetry = nullptr;
+    /// Optional checkpoint context (snapshot/checkpoint.hpp); not owned,
+    /// null = checkpointing disabled.  Runs listed as completed in the
+    /// context are restored from their snapshot blobs (including their
+    /// telemetry sinks) instead of re-executing; freshly computed runs are
+    /// recorded back.  Attaching a context changes no aggregate and no RNG
+    /// draw — every restored blob is the bit-exact outcome the run would
+    /// have produced.
+    snapshot::CheckpointContext* checkpoint = nullptr;
 };
 
 /// Aggregated results of one mechanism across runs.

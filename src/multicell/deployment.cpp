@@ -6,6 +6,8 @@
 #include "core/planners.hpp"
 #include "core/report.hpp"
 #include "core/sweep.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/codec.hpp"
 #include "telemetry/collector.hpp"
 
 namespace nbmg::multicell {
@@ -110,6 +112,90 @@ CellRunOutcome run_cell(const DeploymentSetup& setup,
             core::CampaignRunner(mech_config)
                 .run(plan, specs, setup.payload_bytes, horizon, run_seed));
     }
+    return out;
+}
+
+void put_totals(snapshot::Writer& w, const CellRunTotals& t) {
+    w.put_u64(t.devices);
+    w.put_u64(t.transmissions);
+    w.put_u64(t.recovery_transmissions);
+    w.put_u64(t.unreceived);
+    w.put_f64(t.light_sleep_ms);
+    w.put_f64(t.connected_ms);
+    w.put_i64(t.bytes_on_air);
+    w.put_u64(t.rach_attempts);
+    w.put_u64(t.rach_collisions);
+}
+
+CellRunTotals take_totals(snapshot::Reader& r) {
+    CellRunTotals t;
+    t.devices = r.take_u64();
+    t.transmissions = r.take_u64();
+    t.recovery_transmissions = r.take_u64();
+    t.unreceived = r.take_u64();
+    t.light_sleep_ms = r.take_f64();
+    t.connected_ms = r.take_f64();
+    t.bytes_on_air = r.take_i64();
+    t.rach_attempts = r.take_u64();
+    t.rach_collisions = r.take_u64();
+    return t;
+}
+
+/// Checkpoint slot blob of one (run, cell) task: the raw campaign totals
+/// plus — when a collector is attached — the sinks this task filled.
+std::vector<std::uint8_t> encode_cell_outcome(const DeploymentSetup& setup,
+                                              std::size_t run, std::size_t cell,
+                                              const CellRunOutcome& out) {
+    snapshot::Writer w;
+    w.put_u64(out.devices);
+    w.put_i64(out.horizon_ms);
+    put_totals(w, out.unicast);
+    w.put_u64(out.mechanisms.size());
+    for (const CellRunTotals& m : out.mechanisms) put_totals(w, m);
+    w.put_u8(setup.telemetry != nullptr ? 1 : 0);
+    if (setup.telemetry != nullptr) {
+        for (std::size_t c = 0; c < setup.mechanisms.size() + 1; ++c) {
+            snapshot::put_sink(w, *setup.telemetry->sink(run, cell, c));
+        }
+    }
+    return w.take();
+}
+
+/// Inverse of encode_cell_outcome; also restores the task's collector
+/// sinks.  Runs inside the sweep worker that owns this grid slot, so the
+/// sink writes stay single-writer.
+CellRunOutcome decode_cell_outcome(const DeploymentSetup& setup, std::size_t run,
+                                   std::size_t cell,
+                                   const std::vector<std::uint8_t>& blob) {
+    const std::string label = "checkpoint slot (run " + std::to_string(run) +
+                              ", cell " + std::to_string(cell) + ")";
+    snapshot::Reader r(blob, label);
+    CellRunOutcome out;
+    out.devices = r.take_u64();
+    out.horizon_ms = r.take_i64();
+    out.unicast = take_totals(r);
+    const std::uint64_t mechanism_count = r.take_u64();
+    if (mechanism_count != setup.mechanisms.size()) {
+        throw snapshot::SnapshotError(
+            label + ": " + std::to_string(mechanism_count) +
+            " mechanisms in snapshot, setup has " +
+            std::to_string(setup.mechanisms.size()));
+    }
+    out.mechanisms.reserve(setup.mechanisms.size());
+    for (std::size_t m = 0; m < setup.mechanisms.size(); ++m) {
+        out.mechanisms.push_back(take_totals(r));
+    }
+    const bool had_telemetry = r.take_u8() != 0;
+    if (had_telemetry != (setup.telemetry != nullptr)) {
+        throw snapshot::SnapshotError(
+            label + ": telemetry attachment differs from the checkpointed run");
+    }
+    if (setup.telemetry != nullptr) {
+        for (std::size_t c = 0; c < setup.mechanisms.size() + 1; ++c) {
+            snapshot::restore_sink(r, *setup.telemetry->sink(run, cell, c));
+        }
+    }
+    r.expect_end();
     return out;
 }
 
@@ -262,11 +348,28 @@ DeploymentResult run_deployment(const DeploymentSetup& setup) {
         setup.runs * cells, setup.threads, [&](std::size_t slot) {
             const std::size_t run = slot / cells;
             const std::size_t cell = slot % cells;
-            return run_cell(
+            snapshot::CheckpointContext* const checkpoint = setup.checkpoint;
+            if (checkpoint != nullptr) {
+                if (const std::vector<std::uint8_t>* blob =
+                        checkpoint->restored(slot)) {
+                    return decode_cell_outcome(setup, run, cell, *blob);
+                }
+                // Once the stop budget fired, remaining slots return a
+                // dummy: the pending CheckpointStop unwinds the sweep
+                // before any outcome is reduced.
+                if (checkpoint->stopping()) return CellRunOutcome{};
+            }
+            CellRunOutcome out = run_cell(
                 setup, shards[run].cell_specs[cell], cell_configs[cell],
                 cell_seed_root(setup.base_seed, cells,
                                static_cast<std::uint32_t>(cell)),
                 run, cell);
+            if (checkpoint != nullptr) {
+                checkpoint->complete_slot(
+                    slot, encode_cell_outcome(setup, run, cell, out),
+                    out.horizon_ms);
+            }
+            return out;
         });
 
     // Phase 3 — reduce in (run, cell) order on this thread.

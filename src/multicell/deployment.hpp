@@ -63,6 +63,13 @@ struct DeploymentSetup {
     /// pre-allocated sink, so attaching a collector changes no aggregate
     /// and no RNG draw.
     telemetry::Collector* telemetry = nullptr;
+    /// Optional checkpoint context (snapshot/checkpoint.hpp); not owned,
+    /// null = checkpointing disabled.  Grid slots (run * cells + cell)
+    /// listed as completed in the context restore from their snapshot
+    /// blobs — including the telemetry sinks they filled — instead of
+    /// re-executing; fresh slots are recorded back.  Attaching a context
+    /// changes no aggregate and no RNG draw.
+    snapshot::CheckpointContext* checkpoint = nullptr;
 };
 
 /// Fleet- or cell-level aggregates of one mechanism, plus deployment-only

@@ -299,6 +299,50 @@ void apply_spec_overrides(ScenarioSpec& spec, int argc, char** argv) {
         }
         spec.with_timeline_out(path);
     }
+    if (const char* path = flag_text(argc, argv, "--checkpoint-out");
+        path != nullptr) {
+        if (path[0] == '\0') {
+            flag_error("--checkpoint-out", path, "empty path", "FILE");
+        }
+        spec.with_checkpoint_out(path);
+    }
+    if (const char* every = flag_text(argc, argv, "--checkpoint-every-ms");
+        every != nullptr) {
+        // Mirror the file parser: an explicit throttle must be >= 1 ms of
+        // simulated time (0, the write-every-task default, is expressed by
+        // omitting the flag).
+        const std::uint64_t every_ms =
+            flag_u64(argc, argv, "--checkpoint-every-ms", 0, 1);
+        if (every_ms > static_cast<std::uint64_t>(
+                           std::numeric_limits<std::int64_t>::max())) {
+            flag_error("--checkpoint-every-ms", every, "value out of range");
+        }
+        spec.with_checkpoint_every_ms(static_cast<std::int64_t>(every_ms));
+    }
+    if (flag_text(argc, argv, "--checkpoint-stop-after") != nullptr) {
+        spec.with_checkpoint_stop_after(
+            flag_u64(argc, argv, "--checkpoint-stop-after", 0, 1));
+    }
+    if (const char* path = flag_text(argc, argv, "--resume"); path != nullptr) {
+        if (path[0] == '\0') flag_error("--resume", path, "empty path", "FILE");
+        spec.with_resume(path);
+    }
+    // Checked after all overrides so --checkpoint-every-ms may ride on a
+    // scenario file that already sets checkpoint.out.
+    if (spec.checkpoint.out.empty()) {
+        if (const char* every = flag_text(argc, argv, "--checkpoint-every-ms");
+            every != nullptr) {
+            flag_error("--checkpoint-every-ms", every,
+                       "requires a snapshot path (--checkpoint-out or a "
+                       "'checkpoint.out' key)");
+        }
+        if (const char* stop = flag_text(argc, argv, "--checkpoint-stop-after");
+            stop != nullptr) {
+            flag_error("--checkpoint-stop-after", stop,
+                       "requires a snapshot path (--checkpoint-out or a "
+                       "'checkpoint.out' key)");
+        }
+    }
 }
 
 }  // namespace nbmg::scenario

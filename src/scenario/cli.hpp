@@ -127,7 +127,8 @@ inline constexpr const char* kScenarioFlags[] = {
     "--seed",        "--threads", "--payload-kb", "--ti-ms",
     "--cells",       "--assignment", "--coordinator", "--stagger-ms",
     "--backhaul-kbps", "--strata",  "--telemetry",  "--trace-out",
-    "--metrics-out", "--timeline-out",
+    "--metrics-out", "--timeline-out", "--checkpoint-out",
+    "--checkpoint-every-ms", "--checkpoint-stop-after", "--resume",
 };
 
 [[nodiscard]] inline bool is_scenario_flag(const char* token) {
@@ -146,7 +147,9 @@ inline constexpr const char* kScenarioFlags[] = {
                  "--payload-kb N, --ti-ms N, --strata N, --cells N, "
                  "--assignment NAME, --coordinator NAME, --stagger-ms N, "
                  "--backhaul-kbps X, --telemetry MODE, --trace-out FILE, "
-                 "--metrics-out FILE, --timeline-out FILE\n");
+                 "--metrics-out FILE, --timeline-out FILE, "
+                 "--checkpoint-out FILE, --checkpoint-every-ms N, "
+                 "--checkpoint-stop-after N, --resume FILE\n");
     std::exit(2);
 }
 
@@ -270,7 +273,9 @@ void reject_unknown_flags(int argc, char** argv, const ShellFlags& shell);
 /// (requires the backhaul policy), and the telemetry set:
 /// --telemetry MODE (off | trace | metrics | full), --trace-out FILE /
 /// --metrics-out FILE / --timeline-out FILE (each engages its collection
-/// mode, mirroring the file keys).
+/// mode, mirroring the file keys), and the checkpoint set:
+/// --checkpoint-out FILE, --checkpoint-every-ms N / --checkpoint-stop-after N
+/// (each requires a snapshot path after all overrides apply), --resume FILE.
 void apply_spec_overrides(ScenarioSpec& spec, int argc, char** argv);
 
 }  // namespace nbmg::scenario

@@ -166,6 +166,17 @@ struct TelemetryFields {
     std::size_t timeline_out_line = 0;
 };
 
+/// Checkpoint fields, assembled after all lines are read so the snapshot
+/// path and its dependent sub-keys may appear in any order.
+struct CheckpointFields {
+    std::optional<std::string> out;
+    std::optional<std::int64_t> every_ms;
+    std::optional<std::uint64_t> stop_after;
+    std::optional<std::string> resume;
+    std::size_t every_ms_line = 0;
+    std::size_t stop_after_line = 0;
+};
+
 }  // namespace
 
 ScenarioSpec parse_scenario_text(std::string_view text,
@@ -175,6 +186,7 @@ ScenarioSpec parse_scenario_text(std::string_view text,
     MulticellFields multicell_fields;
     CoordinatorFields coordinator_fields;
     TelemetryFields telemetry_fields;
+    CheckpointFields checkpoint_fields;
     std::optional<double> batch_mean;
     // key -> line it was first set on, for duplicate diagnostics.  The
     // payload keys alias each other, so both map to the same slot.
@@ -409,6 +421,26 @@ ScenarioSpec parse_scenario_text(std::string_view text,
             }
             telemetry_fields.timeline_out = value;
             telemetry_fields.timeline_out_line = ctx.line;
+        } else if (key == "checkpoint.out") {
+            if (value.empty()) {
+                ctx.fail("bad value '' for key 'checkpoint.out': empty path");
+            }
+            checkpoint_fields.out = value;
+        } else if (key == "checkpoint.every_ms") {
+            // 0 (write after every task) is the default; an explicit
+            // throttle must be >= 1 ms of simulated time.
+            checkpoint_fields.every_ms = static_cast<std::int64_t>(
+                parse_bounded_u64(ctx, key, value,
+                                  std::numeric_limits<std::int64_t>::max()));
+            checkpoint_fields.every_ms_line = ctx.line;
+        } else if (key == "checkpoint.stop_after") {
+            checkpoint_fields.stop_after = parse_positive_u64(ctx, key, value);
+            checkpoint_fields.stop_after_line = ctx.line;
+        } else if (key == "checkpoint.resume") {
+            if (value.empty()) {
+                ctx.fail("bad value '' for key 'checkpoint.resume': empty path");
+            }
+            checkpoint_fields.resume = value;
         } else {
             ctx.fail("unknown key '" + key + "'");
         }
@@ -526,6 +558,29 @@ ScenarioSpec parse_scenario_text(std::string_view text,
         if (telemetry_fields.timeline_out) {
             spec.telemetry.timeline_out = *telemetry_fields.timeline_out;
         }
+    }
+
+    if (checkpoint_fields.every_ms && !checkpoint_fields.out) {
+        ctx.line = checkpoint_fields.every_ms_line;
+        ctx.fail(
+            "'checkpoint.every_ms' requires a snapshot path "
+            "('checkpoint.out')");
+    }
+    if (checkpoint_fields.stop_after && !checkpoint_fields.out) {
+        ctx.line = checkpoint_fields.stop_after_line;
+        ctx.fail(
+            "'checkpoint.stop_after' requires a snapshot path "
+            "('checkpoint.out')");
+    }
+    if (checkpoint_fields.out) spec.checkpoint.out = *checkpoint_fields.out;
+    if (checkpoint_fields.every_ms) {
+        spec.checkpoint.every_ms = *checkpoint_fields.every_ms;
+    }
+    if (checkpoint_fields.stop_after) {
+        spec.checkpoint.stop_after = *checkpoint_fields.stop_after;
+    }
+    if (checkpoint_fields.resume) {
+        spec.checkpoint.resume = *checkpoint_fields.resume;
     }
 
     try {

@@ -14,13 +14,15 @@
 // sc_ptm_mcch_period_ms, cells, topology (uniform | hotspot),
 // hotspot_exponent, assignment (uniform | hotspot | class-affinity),
 // telemetry (off | trace | metrics | full), telemetry.bucket_ms,
-// trace_out, metrics_out, timeline_out.
+// trace_out, metrics_out, timeline_out, checkpoint.out,
+// checkpoint.every_ms, checkpoint.stop_after, checkpoint.resume.
 // The multicell keys (topology, hotspot_exponent, assignment) require
 // `cells`; `cells` alone engages the multicell engine on a uniform grid.
 // The telemetry output keys require the matching collection mode:
 // trace_out/timeline_out need telemetry = trace or full, metrics_out
 // needs telemetry = metrics or full, telemetry.bucket_ms needs any
-// enabled mode.
+// enabled mode.  The checkpoint sub-keys checkpoint.every_ms and
+// checkpoint.stop_after require a snapshot path (checkpoint.out).
 #pragma once
 
 #include <stdexcept>

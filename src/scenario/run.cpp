@@ -12,6 +12,7 @@
 #include "core/report.hpp"
 #include "scenario/parser.hpp"
 #include "scenario/registry.hpp"
+#include "snapshot/checkpoint.hpp"
 #include "telemetry/collector.hpp"
 #include "telemetry/export.hpp"
 
@@ -34,6 +35,41 @@ void write_artifact(const std::string& path, const std::string& text) {
         throw ScenarioError("write to telemetry output file '" + path +
                             "' failed");
     }
+}
+
+/// Results-identity fingerprint of a spec: FNV-1a64 over the scenario file
+/// text of a normalized copy — the checkpoint block, the telemetry output
+/// paths, the thread count, and the informational name/description are
+/// cleared first.  Resuming across --threads or into different artifact
+/// paths is therefore allowed, while any results-affecting change (devices,
+/// seed, strata, mechanisms, topology, coordinator, telemetry modes, ...)
+/// changes the fingerprint and is rejected at load time.
+std::uint64_t spec_fingerprint(const ScenarioSpec& spec) {
+    ScenarioSpec normalized = spec;
+    normalized.name.clear();
+    normalized.description.clear();
+    normalized.threads = 0;
+    normalized.checkpoint = CheckpointSpec{};
+    normalized.telemetry.trace_out.clear();
+    normalized.telemetry.metrics_out.clear();
+    normalized.telemetry.timeline_out.clear();
+    std::string text;
+    try {
+        text = normalized.to_file_text();
+    } catch (const std::invalid_argument& error) {
+        // A custom topology / unregistered profile has no file form, so
+        // there is nothing stable to fingerprint (or to resume against).
+        throw ScenarioError(
+            std::string("checkpointing requires a file-expressible "
+                        "scenario: ") +
+            error.what());
+    }
+    std::uint64_t hash = 14695981039346656037ULL;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ULL;
+    }
+    return hash;
 }
 
 }  // namespace
@@ -127,9 +163,27 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
                           std::move(labels));
     }
 
+    // The checkpoint context (if any) is shared by every sweep worker; the
+    // engines consult it at (run, cell) task boundaries.
+    std::optional<snapshot::CheckpointContext> checkpoint;
+    if (spec.checkpoint.enabled()) {
+        snapshot::CheckpointHeader header;
+        header.fingerprint = spec_fingerprint(spec);
+        header.engine = spec.is_multicell() ? 1 : 0;
+        header.runs = spec.runs;
+        header.cells = spec.cell_count();
+        header.campaigns = spec.mechanisms.size() + 1;
+        checkpoint.emplace(header, spec.checkpoint.out,
+                           spec.checkpoint.every_ms, spec.checkpoint.stop_after);
+        if (!spec.checkpoint.resume.empty()) {
+            checkpoint->load(spec.checkpoint.resume);
+        }
+    }
+
     if (spec.is_multicell()) {
         multicell::DeploymentSetup setup = to_deployment_setup(spec);
         if (collector) setup.telemetry = &*collector;
+        if (checkpoint) setup.checkpoint = &*checkpoint;
         if (spec.coordinator) {
             multicell::CoordinatedResult coordinated =
                 multicell::run_coordinated(setup, *spec.coordinator);
@@ -141,8 +195,12 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     } else {
         core::ComparisonSetup setup = to_comparison_setup(spec);
         if (collector) setup.telemetry = &*collector;
+        if (checkpoint) setup.checkpoint = &*checkpoint;
         result.outcome = core::run_comparison(setup);
     }
+    // Leave a complete snapshot behind on normal completion, so a
+    // time-sharded driver may treat "finished" and "stopped" uniformly.
+    if (checkpoint) checkpoint->save_final();
 
     if (collector) {
         TelemetryReport report;
@@ -169,6 +227,14 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 ScenarioResult run_scenario_or_exit(const ScenarioSpec& spec) {
     try {
         return run_scenario(spec);
+    } catch (const snapshot::CheckpointStop& stop) {
+        // A deliberate mid-flight stop, not an error: report where the
+        // snapshot landed and exit 3 so drivers can tell "resume me" from
+        // usage failures (2) and success (0).
+        std::fprintf(stderr, "%s\n", stop.what());
+        std::exit(3);
+    } catch (const snapshot::SnapshotError& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
     } catch (const ScenarioError& error) {
         std::fprintf(stderr, "error: %s\n", error.what());
     } catch (const std::invalid_argument& error) {

@@ -153,6 +153,22 @@ ScenarioSpec& ScenarioSpec::with_telemetry_bucket_ms(std::int64_t value) {
     telemetry.bucket_ms = value;
     return *this;
 }
+ScenarioSpec& ScenarioSpec::with_checkpoint_out(std::string path) {
+    checkpoint.out = std::move(path);
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_checkpoint_every_ms(std::int64_t value) {
+    checkpoint.every_ms = value;
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_checkpoint_stop_after(std::uint64_t value) {
+    checkpoint.stop_after = value;
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_resume(std::string path) {
+    checkpoint.resume = std::move(path);
+    return *this;
+}
 ScenarioSpec& ScenarioSpec::single_cell() {
     topology.reset();
     coordinator.reset();
@@ -242,6 +258,17 @@ void ScenarioSpec::validate() const {
             "scenario '" + name +
             "': metrics_out needs metrics collection enabled "
             "(telemetry = metrics or full)");
+    }
+    if (checkpoint.every_ms < 0) {
+        throw std::invalid_argument("scenario '" + name +
+                                    "': checkpoint.every_ms must be >= 0");
+    }
+    if ((checkpoint.every_ms != 0 || checkpoint.stop_after != 0) &&
+        checkpoint.out.empty()) {
+        throw std::invalid_argument(
+            "scenario '" + name +
+            "': checkpoint.every_ms/checkpoint.stop_after need a snapshot "
+            "path (checkpoint.out)");
     }
     if (populations) {
         if (populations->profile_name != profile.name ||
@@ -359,6 +386,20 @@ std::string ScenarioSpec::to_file_text() const {
         }
         if (!telemetry.timeline_out.empty()) {
             out << "timeline_out = " << telemetry.timeline_out << "\n";
+        }
+    }
+    if (checkpoint.enabled()) {
+        if (!checkpoint.out.empty()) {
+            out << "checkpoint.out = " << checkpoint.out << "\n";
+        }
+        if (checkpoint.every_ms != 0) {
+            out << "checkpoint.every_ms = " << checkpoint.every_ms << "\n";
+        }
+        if (checkpoint.stop_after != 0) {
+            out << "checkpoint.stop_after = " << checkpoint.stop_after << "\n";
+        }
+        if (!checkpoint.resume.empty()) {
+            out << "checkpoint.resume = " << checkpoint.resume << "\n";
         }
     }
     if (topology) {

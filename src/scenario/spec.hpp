@@ -83,6 +83,36 @@ struct TelemetrySpec {
     bool operator==(const TelemetrySpec&) const = default;
 };
 
+/// Declarative checkpoint/resume request (snapshot/checkpoint.hpp).
+/// Checkpointing works at (run, cell) task granularity: the snapshot
+/// records the serialized outcome of every completed grid task, and a
+/// resumed run restores those outcomes and re-executes only the rest —
+/// bit-identical to the uninterrupted run at any --threads.  Attaching a
+/// checkpoint changes no aggregate and no RNG draw.
+struct CheckpointSpec {
+    /// Snapshot path ("" = never write snapshots).
+    std::string out;
+    /// Simulated-time write throttle: rewrite the snapshot once at least
+    /// this many simulated ms of tasks completed since the last write;
+    /// 0 = rewrite after every completed task.  Requires `out`.
+    std::int64_t every_ms = 0;
+    /// Stop with exit status 3 after this many freshly computed tasks
+    /// (restored tasks do not count); 0 = run to completion.  A
+    /// deterministic, wall-clock-free stop for tests and time-sharded
+    /// drivers.  Requires `out`.
+    std::uint64_t stop_after = 0;
+    /// Snapshot to resume from ("" = fresh run).  The snapshot must have
+    /// been taken by the same scenario (results-affecting keys match;
+    /// threads and output paths may differ) — anything else is rejected
+    /// with a diagnostic.
+    std::string resume;
+
+    [[nodiscard]] bool enabled() const noexcept {
+        return !out.empty() || !resume.empty();
+    }
+    bool operator==(const CheckpointSpec&) const = default;
+};
+
 /// The one declarative description every driver (bench shells, examples,
 /// tests, CI smokes) builds its workload from.
 struct ScenarioSpec {
@@ -118,6 +148,8 @@ struct ScenarioSpec {
     core::SharedPopulations populations;
     /// Telemetry request (disabled by default; see TelemetrySpec).
     TelemetrySpec telemetry;
+    /// Checkpoint/resume request (disabled by default; see CheckpointSpec).
+    CheckpointSpec checkpoint;
 
     ScenarioSpec();
 
@@ -171,6 +203,14 @@ struct ScenarioSpec {
     ScenarioSpec& with_timeline_out(std::string path);
     /// Bucket width of the metrics sim-time series (ms, >= 1).
     ScenarioSpec& with_telemetry_bucket_ms(std::int64_t value);
+    /// Requests snapshots at `path` (see CheckpointSpec::out).
+    ScenarioSpec& with_checkpoint_out(std::string path);
+    /// Simulated-ms snapshot write throttle (see CheckpointSpec::every_ms).
+    ScenarioSpec& with_checkpoint_every_ms(std::int64_t value);
+    /// Deterministic mid-flight stop budget (see CheckpointSpec::stop_after).
+    ScenarioSpec& with_checkpoint_stop_after(std::uint64_t value);
+    /// Resumes from the snapshot at `path` (see CheckpointSpec::resume).
+    ScenarioSpec& with_resume(std::string path);
     /// Clears the topology (and any coordinator riding on it): back to the
     /// single-cell comparison engine.
     ScenarioSpec& single_cell();

@@ -179,6 +179,31 @@ int EventQueue::find_best() {
     return src;
 }
 
+std::vector<EventQueue::PendingEvent> EventQueue::pending_events() const {
+    std::vector<PendingEvent> live;
+    live.reserve(pending_);
+    // Each live slot has exactly one matching entry across the heap and the
+    // run lanes (sequence numbers are globally unique and never reused), so
+    // collecting seq-matching entries visits every pending event once.
+    const auto collect = [&](const HeapEntry& e) {
+        const Slot& slot = slots_[e.slot];
+        if (slot.seq != e.seq) return;  // cancelled or reused: stale entry
+        live.push_back(PendingEvent{EventId{e.slot, slot.generation}, e.at, e.seq});
+    };
+    for (const HeapEntry& e : heap_.entries()) collect(e);
+    for (const Run& run : runs_) {
+        for (std::size_t i = run.cursor; i < run.entries.size(); ++i) {
+            collect(run.entries[i]);
+        }
+    }
+    std::sort(live.begin(), live.end(),
+              [](const PendingEvent& a, const PendingEvent& b) {
+                  return a.id.index < b.id.index;
+              });
+    assert(live.size() == pending_);
+    return live;
+}
+
 bool EventQueue::step() {
     const int src = find_best();
     if (src == kSourceNone) return false;

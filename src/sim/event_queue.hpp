@@ -124,6 +124,23 @@ public:
     /// Returns the number of events run.
     std::size_t run_all(std::size_t max_events = kDefaultEventBudget);
 
+    /// One live pending event as reported by pending_events().
+    struct PendingEvent {
+        EventId id;
+        SimTime at{0};
+        std::uint64_t seq = 0;  // global scheduling order (FIFO tie-break)
+
+        friend bool operator==(const PendingEvent&, const PendingEvent&) = default;
+    };
+
+    /// Snapshot of every live (non-cancelled) event in deterministic slab
+    /// order: ascending slot index, each live slot exactly once.  The order
+    /// depends only on the scheduling history, never on heap shape or lane
+    /// compaction, so two queues built by the same call sequence report
+    /// identical snapshots.  O(pending log pending) — introspection and
+    /// serialization only, not for the hot loop.
+    [[nodiscard]] std::vector<PendingEvent> pending_events() const;
+
     /// Number of pending (non-cancelled) events.
     [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
 
@@ -161,6 +178,11 @@ private:
     public:
         [[nodiscard]] bool empty() const noexcept { return v_.empty(); }
         [[nodiscard]] const HeapEntry& top() const noexcept { return v_.front(); }
+        /// Raw entry storage (heap order, may contain stale entries) for
+        /// pending_events()'s slab-order walk.
+        [[nodiscard]] const std::vector<HeapEntry>& entries() const noexcept {
+            return v_;
+        }
         void push(const HeapEntry& e);
         void pop();
 

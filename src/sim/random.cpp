@@ -1,6 +1,7 @@
 #include "sim/random.hpp"
 
 #include <numeric>
+#include <sstream>
 
 namespace nbmg::sim {
 namespace {
@@ -26,6 +27,22 @@ std::uint64_t derive_seed(std::uint64_t root, std::string_view label,
     }
     h ^= index + 0x9E3779B97F4A7C15ULL;
     return splitmix64(splitmix64(h));
+}
+
+std::string RandomStream::save_state() const {
+    std::ostringstream out;
+    out << engine_;
+    return out.str();
+}
+
+void RandomStream::load_state(const std::string& state) {
+    std::istringstream in(state);
+    std::mt19937_64 restored;
+    in >> restored;
+    if (in.fail()) {
+        throw std::invalid_argument("RandomStream::load_state: malformed state text");
+    }
+    engine_ = restored;
 }
 
 std::int64_t RandomStream::uniform_int(std::int64_t lo, std::int64_t hi) {

@@ -10,6 +10,7 @@
 #include <random>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -72,6 +73,16 @@ public:
     [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
 
     [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+    /// Serializes the engine state as the standardized mt19937_64 textual
+    /// token stream — decimal integers, portable across platforms and
+    /// standard libraries, unlike a raw struct dump.
+    [[nodiscard]] std::string save_state() const;
+
+    /// Restores a state previously produced by save_state(); the stream
+    /// then replays exactly the draws it would have produced from the
+    /// saved point.  Throws std::invalid_argument on malformed text.
+    void load_state(const std::string& state);
 
 private:
     std::mt19937_64 engine_;

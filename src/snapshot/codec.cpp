@@ -1,0 +1,126 @@
+#include "snapshot/codec.hpp"
+
+#include <array>
+#include <utility>
+
+#include "telemetry/events.hpp"
+
+namespace nbmg::snapshot {
+namespace {
+
+constexpr std::uint8_t kMechanismKindCount = 5;  // see core/mechanism.hpp
+
+void put_buckets(Writer& w, const telemetry::CampaignSink& sink,
+                 telemetry::EventKind kind) {
+    w.put_u64_vector(sink.series(kind));
+}
+
+}  // namespace
+
+void put_summary(Writer& w, const stats::Summary& summary) {
+    const stats::Summary::State state = summary.state();
+    w.put_u64(state.count);
+    w.put_f64(state.mean);
+    w.put_f64(state.m2);
+    w.put_f64(state.min);
+    w.put_f64(state.max);
+}
+
+stats::Summary take_summary(Reader& r) {
+    stats::Summary::State state;
+    state.count = r.take_u64();
+    state.mean = r.take_f64();
+    state.m2 = r.take_f64();
+    state.min = r.take_f64();
+    state.max = r.take_f64();
+    return stats::Summary::from_state(state);
+}
+
+void put_mechanism_stats(Writer& w, const core::MechanismStats& stats) {
+    w.put_u8(static_cast<std::uint8_t>(stats.kind));
+    put_summary(w, stats.light_sleep_increase);
+    put_summary(w, stats.connected_increase);
+    put_summary(w, stats.transmissions);
+    put_summary(w, stats.transmissions_per_device);
+    put_summary(w, stats.bytes_ratio);
+    put_summary(w, stats.recovery_transmissions);
+    put_summary(w, stats.unreceived_devices);
+    put_summary(w, stats.mean_connected_seconds);
+    put_summary(w, stats.mean_light_sleep_seconds);
+}
+
+core::MechanismStats take_mechanism_stats(Reader& r) {
+    const std::uint8_t kind = r.take_u8();
+    if (kind >= kMechanismKindCount) {
+        throw SnapshotError("snapshot slot: mechanism kind " +
+                            std::to_string(kind) + " out of range");
+    }
+    core::MechanismStats stats;
+    stats.kind = static_cast<core::MechanismKind>(kind);
+    stats.light_sleep_increase = take_summary(r);
+    stats.connected_increase = take_summary(r);
+    stats.transmissions = take_summary(r);
+    stats.transmissions_per_device = take_summary(r);
+    stats.bytes_ratio = take_summary(r);
+    stats.recovery_transmissions = take_summary(r);
+    stats.unreceived_devices = take_summary(r);
+    stats.mean_connected_seconds = take_summary(r);
+    stats.mean_light_sleep_seconds = take_summary(r);
+    return stats;
+}
+
+void put_sink(Writer& w, const telemetry::CampaignSink& sink) {
+    const std::vector<telemetry::TraceRecord>& records = sink.records();
+    w.put_u64(records.size());
+    for (const telemetry::TraceRecord& record : records) {
+        w.put_i64(record.at_ms);
+        w.put_i64(record.a);
+        w.put_i64(record.b);
+        w.put_u32(record.device);
+        w.put_u16(record.stratum);
+        w.put_u8(static_cast<std::uint8_t>(record.kind));
+    }
+    w.put_u64(telemetry::kEventKindCount);
+    for (const std::uint64_t counter : sink.counters()) w.put_u64(counter);
+    put_buckets(w, sink, telemetry::EventKind::rach_attempt);
+    put_buckets(w, sink, telemetry::EventKind::rach_collision);
+    put_buckets(w, sink, telemetry::EventKind::page_delivered);
+}
+
+void restore_sink(Reader& r, telemetry::CampaignSink& sink) {
+    const std::uint64_t record_count = r.take_u64();
+    std::vector<telemetry::TraceRecord> records;
+    records.reserve(record_count);
+    for (std::uint64_t i = 0; i < record_count; ++i) {
+        telemetry::TraceRecord record;
+        record.at_ms = r.take_i64();
+        record.a = r.take_i64();
+        record.b = r.take_i64();
+        record.device = r.take_u32();
+        record.stratum = r.take_u16();
+        const std::uint8_t kind = r.take_u8();
+        if (kind >= telemetry::kEventKindCount) {
+            throw SnapshotError("snapshot slot: trace event kind " +
+                                std::to_string(kind) + " out of range");
+        }
+        record.kind = static_cast<telemetry::EventKind>(kind);
+        records.push_back(record);
+    }
+    const std::uint64_t counter_count = r.take_u64();
+    if (counter_count != telemetry::kEventKindCount) {
+        throw SnapshotError("snapshot slot: counter table has " +
+                            std::to_string(counter_count) + " entries, expected " +
+                            std::to_string(telemetry::kEventKindCount));
+    }
+    std::array<std::uint64_t, telemetry::kEventKindCount> counters{};
+    for (std::uint64_t k = 0; k < telemetry::kEventKindCount; ++k) {
+        counters[k] = r.take_u64();
+    }
+    std::vector<std::uint64_t> rach_attempt = r.take_u64_vector();
+    std::vector<std::uint64_t> rach_collision = r.take_u64_vector();
+    std::vector<std::uint64_t> page_delivered = r.take_u64_vector();
+    sink.restore(std::move(records), counters, std::move(rach_attempt),
+                 std::move(rach_collision), std::move(page_delivered));
+}
+
+}  // namespace nbmg::snapshot

@@ -1,5 +1,7 @@
 #include "telemetry/sink.hpp"
 
+#include <utility>
+
 namespace nbmg::telemetry {
 
 namespace {
@@ -55,6 +57,18 @@ void CampaignSink::absorb(const CampaignSink& child) {
     add_buckets(rach_attempt_buckets_, child.rach_attempt_buckets_);
     add_buckets(rach_collision_buckets_, child.rach_collision_buckets_);
     add_buckets(page_delivered_buckets_, child.page_delivered_buckets_);
+}
+
+void CampaignSink::restore(std::vector<TraceRecord> records,
+                           const std::array<std::uint64_t, kEventKindCount>& counters,
+                           std::vector<std::uint64_t> rach_attempt_buckets,
+                           std::vector<std::uint64_t> rach_collision_buckets,
+                           std::vector<std::uint64_t> page_delivered_buckets) {
+    records_ = std::move(records);
+    counters_ = counters;
+    rach_attempt_buckets_ = std::move(rach_attempt_buckets);
+    rach_collision_buckets_ = std::move(rach_collision_buckets);
+    page_delivered_buckets_ = std::move(page_delivered_buckets);
 }
 
 }  // namespace nbmg::telemetry

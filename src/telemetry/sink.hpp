@@ -75,6 +75,16 @@ public:
     /// for a thread-count-independent result.
     void absorb(const CampaignSink& child);
 
+    /// Overwrites the recorded payload with a previously captured state —
+    /// the checkpoint/resume path.  Config and stratum are identity, not
+    /// payload: the caller re-creates the sink with the same config and
+    /// restore() fills in what it had recorded.
+    void restore(std::vector<TraceRecord> records,
+                 const std::array<std::uint64_t, kEventKindCount>& counters,
+                 std::vector<std::uint64_t> rach_attempt_buckets,
+                 std::vector<std::uint64_t> rach_collision_buckets,
+                 std::vector<std::uint64_t> page_delivered_buckets);
+
     [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
         return records_;
     }

@@ -301,6 +301,50 @@ TEST(BenchFlagDeathTest, CoordinatorOverridesValidated) {
                 ::testing::ExitedWithCode(2), "not a finite number");
 }
 
+TEST(BenchFlagTest, CheckpointOverridesApply) {
+    Args<8> args({"--checkpoint-out", "run.snapshot", "--checkpoint-every-ms",
+                  "5000", "--checkpoint-stop-after", "3", "--resume",
+                  "prev.snapshot"});
+    const scenario::ScenarioSpec spec =
+        spec_from_args(args.argc, args.argv(), "fig6a");
+    EXPECT_EQ(spec.checkpoint.out, "run.snapshot");
+    EXPECT_EQ(spec.checkpoint.every_ms, 5000);
+    EXPECT_EQ(spec.checkpoint.stop_after, 3u);
+    EXPECT_EQ(spec.checkpoint.resume, "prev.snapshot");
+}
+
+TEST(BenchFlagDeathTest, CheckpointOverridesValidated) {
+    // The sub-flags need a snapshot path from somewhere.
+    Args<2> bare_every({"--checkpoint-every-ms", "5000"});
+    EXPECT_EXIT((void)spec_from_args(bare_every.argc, bare_every.argv(),
+                                     "fig6a"),
+                ::testing::ExitedWithCode(2), "requires a snapshot path");
+    Args<2> bare_stop({"--checkpoint-stop-after", "3"});
+    EXPECT_EXIT((void)spec_from_args(bare_stop.argc, bare_stop.argv(),
+                                     "fig6a"),
+                ::testing::ExitedWithCode(2), "requires a snapshot path");
+    // Value domains: 0 (the default) is expressed by omitting the flag.
+    Args<4> zero_every({"--checkpoint-out", "s.bin", "--checkpoint-every-ms",
+                        "0"});
+    EXPECT_EXIT((void)spec_from_args(zero_every.argc, zero_every.argv(),
+                                     "fig6a"),
+                ::testing::ExitedWithCode(2), "must be >= 1");
+    Args<4> zero_stop({"--checkpoint-out", "s.bin", "--checkpoint-stop-after",
+                       "0"});
+    EXPECT_EXIT((void)spec_from_args(zero_stop.argc, zero_stop.argv(),
+                                     "fig6a"),
+                ::testing::ExitedWithCode(2), "must be >= 1");
+    // Empty paths.
+    Args<2> empty_out({"--checkpoint-out", ""});
+    EXPECT_EXIT((void)spec_from_args(empty_out.argc, empty_out.argv(),
+                                     "fig6a"),
+                ::testing::ExitedWithCode(2), "empty path");
+    Args<2> empty_resume({"--resume", ""});
+    EXPECT_EXIT((void)spec_from_args(empty_resume.argc, empty_resume.argv(),
+                                     "fig6a"),
+                ::testing::ExitedWithCode(2), "empty path");
+}
+
 TEST(BenchFlagDeathTest, MalformedAssignmentsRejected) {
     Args<2> unknown({"--assignment", "zipf"});
     EXPECT_EXIT((void)flag_assignment(unknown.argc, unknown.argv()),

@@ -24,3 +24,9 @@ inline int clean_sum(const std::map<int, int>& by_key) {
     for (const auto& [k, v] : by_key) total += k + v;
     return total;
 }
+
+// size_t and sizeof are only banned under snapshot/ — ordinary code may
+// use both freely.
+inline std::size_t clean_span(const std::vector<double>& samples) {
+    return samples.size() * sizeof(double);
+}

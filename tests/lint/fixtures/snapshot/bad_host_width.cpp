@@ -1,0 +1,11 @@
+// Fixture: host-width serialization inside snapshot/ — a size_t length
+// and a sizeof-derived write size.  Expected: a [snapshot] finding on
+// each (excusable in principle; good_allowed.cpp shows the audited form).
+#include <cstddef>
+#include <cstdint>
+
+unsigned long fixture_host_width(const std::uint64_t* block) {
+    std::size_t wire_len = 8;
+    wire_len += sizeof(*block);
+    return wire_len;
+}

@@ -1,0 +1,15 @@
+// Fixture: the raw-struct-dump idiom inside snapshot/ — a
+// reinterpret_cast of a struct to bytes.  Expected: an un-excusable
+// [snapshot] finding; the allow pragma below must NOT silence it and
+// is reported stale on top.
+#include <cstdint>
+
+struct FixtureDump {
+    std::uint64_t a = 0;
+    double b = 0.0;
+};
+
+const char* fixture_dump(const FixtureDump& dump) {
+    // nbmg-lint: allow(snapshot) fixture: must NOT excuse this
+    return reinterpret_cast<const char*>(&dump);
+}

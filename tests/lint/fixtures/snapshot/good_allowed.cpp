@@ -1,0 +1,12 @@
+// Fixture: audited snapshot/ exceptions — size_t and sizeof under
+// allow(snapshot) pragmas, line-above and same-line forms.  Expected:
+// clean, exit 0.
+#include <cstddef>
+#include <cstdint>
+
+unsigned long fixture_allowed_snapshot() {
+    // nbmg-lint: allow(snapshot) fixture: host-side scratch, never serialized
+    std::size_t scratch = 4;
+    scratch += sizeof(std::uint32_t);  // nbmg-lint: allow(snapshot) fixture: compile-time width check
+    return scratch;
+}

@@ -134,6 +134,27 @@ TEST(LintDeterminismTest, ProfilerTuClockStaysExcusable) {
     EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
+TEST(LintDeterminismTest, SnapshotStructDumpIsUnexcusable) {
+    // reinterpret_cast in snapshot/ bypasses the pragma machinery: the
+    // allow(snapshot) in the fixture is ignored AND reported stale.
+    const LintRun run = run_lint(fixture("snapshot/bad_struct_dump.cpp"));
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    expect_finding(run, "bad_struct_dump.cpp", 14, "snapshot");
+    expect_finding(run, "bad_struct_dump.cpp", 13, "pragma");
+}
+
+TEST(LintDeterminismTest, SnapshotHostWidthWritesCaught) {
+    const LintRun run = run_lint(fixture("snapshot/bad_host_width.cpp"));
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    expect_finding(run, "bad_host_width.cpp", 8, "snapshot");  // size_t
+    expect_finding(run, "bad_host_width.cpp", 9, "snapshot");  // sizeof
+}
+
+TEST(LintDeterminismTest, SnapshotPragmaFormsHonored) {
+    const LintRun run = run_lint(fixture("snapshot/good_allowed.cpp"));
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 TEST(LintDeterminismTest, CleanFixturePasses) {
     const LintRun run = run_lint(fixture("clean.cpp"));
     EXPECT_EQ(run.exit_code, 0) << run.output;

@@ -274,6 +274,66 @@ TEST(ScenarioParserTest, TelemetryKeysValidatedAsAGroup) {
                        {"test.scenario:2", "empty path"});
 }
 
+TEST(ScenarioParserTest, ParsesCheckpointKeysInAnyOrder) {
+    const ScenarioSpec spec = parse_scenario_text(
+        "checkpoint.every_ms = 5000\n"
+        "devices = 10\n"
+        "checkpoint.out = out/run.snapshot\n"
+        "checkpoint.stop_after = 3\n"
+        "checkpoint.resume = out/prev.snapshot\n",
+        "checkpoint.scenario");
+    EXPECT_EQ(spec.checkpoint.out, "out/run.snapshot");
+    EXPECT_EQ(spec.checkpoint.every_ms, 5000);
+    EXPECT_EQ(spec.checkpoint.stop_after, 3u);
+    EXPECT_EQ(spec.checkpoint.resume, "out/prev.snapshot");
+    EXPECT_TRUE(spec.checkpoint.enabled());
+
+    const ScenarioSpec resume_only = parse_scenario_text(
+        "checkpoint.resume = prev.snapshot\n", "resume.scenario");
+    EXPECT_TRUE(resume_only.checkpoint.out.empty());
+    EXPECT_EQ(resume_only.checkpoint.every_ms, 0);  // default kept
+    EXPECT_EQ(resume_only.checkpoint.resume, "prev.snapshot");
+}
+
+TEST(ScenarioParserTest, CheckpointRoundTripsThroughFileText) {
+    ScenarioSpec spec;
+    spec.with_checkpoint_out("out/run.snapshot")
+        .with_checkpoint_every_ms(120'000)
+        .with_checkpoint_stop_after(9)
+        .with_resume("out/prev.snapshot");
+    const ScenarioSpec reparsed =
+        parse_scenario_text(spec.to_file_text(), "roundtrip.scenario");
+    EXPECT_EQ(reparsed.checkpoint, spec.checkpoint);
+
+    // A checkpoint-off spec emits no checkpoint keys at all.
+    EXPECT_EQ(ScenarioSpec{}.to_file_text().find("checkpoint"),
+              std::string::npos);
+}
+
+TEST(ScenarioParserTest, CheckpointKeysValidatedAsAGroup) {
+    // The sub-keys need a snapshot path, reported at the sub-key's line.
+    expect_parse_error("devices = 10\ncheckpoint.every_ms = 100\n",
+                       {"test.scenario:2",
+                        "'checkpoint.every_ms' requires a snapshot path"});
+    expect_parse_error("checkpoint.stop_after = 2\ndevices = 10\n",
+                       {"test.scenario:1",
+                        "'checkpoint.stop_after' requires a snapshot path"});
+    // Value domains: an explicit throttle/budget must be >= 1 (0, the
+    // default, is expressed by omitting the key).
+    expect_parse_error("checkpoint.out = s.bin\ncheckpoint.every_ms = 0\n",
+                       {"test.scenario:2", "must be >= 1"});
+    expect_parse_error("checkpoint.out = s.bin\ncheckpoint.stop_after = 0\n",
+                       {"test.scenario:2", "must be >= 1"});
+    expect_parse_error(
+        "checkpoint.out = s.bin\n"
+        "checkpoint.every_ms = 9223372036854775808\n",
+        {"test.scenario:2", "out of range"});
+    // Empty paths.
+    expect_parse_error("checkpoint.out =\n", {"test.scenario:1", "empty path"});
+    expect_parse_error("checkpoint.resume =\n",
+                       {"test.scenario:1", "empty path"});
+}
+
 TEST(ScenarioParserTest, InvalidAssembledSpecRejectedWithSourceName) {
     // Parses line by line but fails whole-spec validation (empty mechanisms
     // cannot be expressed, so use a config contradiction instead).

@@ -187,6 +187,85 @@ TEST(EventQueueTest, ExecutedCounterCounts) {
     EXPECT_EQ(q.executed(), 7u);
 }
 
+TEST(EventQueueTest, PendingEventsListsLiveEventsInSlabOrder) {
+    EventQueue q;
+    const EventId a = q.schedule_at(SimTime{30}, [] {});
+    const EventId b = q.schedule_at(SimTime{10}, [] {});
+    const EventId c = q.schedule_at(SimTime{20}, [] {});
+    const auto pending = q.pending_events();
+    ASSERT_EQ(pending.size(), 3u);
+    // Slab order (ascending slot index) == scheduling order here, NOT time
+    // order: introspection must not depend on heap internals.
+    EXPECT_EQ(pending[0].id, a);
+    EXPECT_EQ(pending[0].at, SimTime{30});
+    EXPECT_EQ(pending[1].id, b);
+    EXPECT_EQ(pending[1].at, SimTime{10});
+    EXPECT_EQ(pending[2].id, c);
+    EXPECT_LT(pending[0].id.index, pending[1].id.index);
+    EXPECT_LT(pending[1].id.index, pending[2].id.index);
+}
+
+TEST(EventQueueTest, PendingEventsSkipsCancelledAndExecuted) {
+    EventQueue q;
+    const EventId a = q.schedule_at(SimTime{10}, [] {});
+    const EventId b = q.schedule_at(SimTime{20}, [] {});
+    q.schedule_at(SimTime{30}, [] {});
+    q.cancel(b);
+    q.step();  // executes a
+    const auto pending = q.pending_events();
+    ASSERT_EQ(pending.size(), 1u);
+    EXPECT_EQ(pending[0].at, SimTime{30});
+    EXPECT_NE(pending[0].id, a);
+    EXPECT_NE(pending[0].id, b);
+    EXPECT_EQ(pending.size(), q.pending());
+}
+
+TEST(EventQueueTest, PendingEventsCoversBatchLanes) {
+    EventQueue q;
+    q.schedule_at(SimTime{5}, [] {});
+    EventQueue::Batch batch;
+    batch.add(SimTime{15}, [] {});
+    batch.add(SimTime{25}, [] {});
+    q.schedule_batch(std::move(batch));
+    q.step();  // drain the heap-side event; lane events stay pending
+    const auto pending = q.pending_events();
+    ASSERT_EQ(pending.size(), 2u);
+    EXPECT_EQ(pending[0].at, SimTime{15});
+    EXPECT_EQ(pending[1].at, SimTime{25});
+    EXPECT_LT(pending[0].id.index, pending[1].id.index);
+}
+
+TEST(EventQueueTest, PendingEventsTraceIdenticalForIdenticalHistories) {
+    // Two queues driven by the same scripted scheduling history expose
+    // identical pending-event sequences at every observation point —
+    // the introspection order is a pure function of the history.
+    auto observe = [](std::uint64_t seed) {
+        EventQueue q;
+        RandomStream rng{seed};
+        std::vector<EventId> ids;
+        std::vector<std::vector<EventQueue::PendingEvent>> observations;
+        for (int round = 0; round < 20; ++round) {
+            for (int i = 0; i < 10; ++i) {
+                ids.push_back(
+                    q.schedule_at(SimTime{q.now().count() +
+                                          rng.uniform_int(0, 50)},
+                                  [] {}));
+            }
+            if (!ids.empty() && rng.bernoulli(0.5)) {
+                const auto pick = static_cast<std::size_t>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(ids.size()) - 1));
+                (void)q.cancel(ids[pick]);
+            }
+            (void)q.run_until(q.now() + SimTime{rng.uniform_int(0, 25)});
+            observations.push_back(q.pending_events());
+        }
+        return observations;
+    };
+    for (const std::uint64_t seed : {11u, 222u, 3333u}) {
+        EXPECT_EQ(observe(seed), observe(seed)) << "seed=" << seed;
+    }
+}
+
 TEST(EventQueueTest, ManyEventsStressOrdering) {
     EventQueue q;
     SimTime last{-1};
