@@ -8,7 +8,9 @@
 #   Debug   — warnings-as-errors build of everything; fast tier-1 CTest
 #             subset (ctest -L tier1, which now includes the analysis
 #             and stress labels); scenario-file + coordinator smokes;
-#             kill-and-resume checkpoint smoke (stop a citywide run
+#             failure-injection smoke (churn scenario, outage preset,
+#             lossy backhaul — the churn CSV is byte-diffed Debug vs
+#             Release); kill-and-resume checkpoint smoke (stop a citywide run
 #             mid-flight, resume at a different --threads, byte-diff
 #             every artifact against the uninterrupted run).
 #   Release — same build with NBMG_ENABLE_LTO (so the option cannot
@@ -67,6 +69,19 @@ run_scenario_smokes() {
     --trace-out "${build_dir}/telemetry_smoke.trace.jsonl" \
     --metrics-out "${build_dir}/telemetry_smoke.metrics.csv" \
     --timeline-out "${build_dir}/telemetry_smoke.timeline.json"
+
+  echo "=== ${build_dir}: failure-injection smoke (churn + outage + lossy backhaul) ==="
+  # The churn CSV is captured for the Debug-vs-Release byte-diff below:
+  # fault draws come only from the derived "faults" streams, so the
+  # faulted aggregates are pure functions of (spec, seed) too.
+  "${build_dir}/examples/run_scenario" \
+    --scenario examples/scenarios/churn.scenario \
+    --devices 100 --runs 2 --threads 2 --csv \
+    > "${build_dir}/churn_smoke.csv"
+  "${build_dir}/examples/run_scenario" --preset outage \
+    --devices 400 --runs 1 --threads 2 --csv > /dev/null
+  "${build_dir}/examples/run_scenario" --preset citywide-backhaul \
+    --devices 400 --runs 1 --threads 2 --backhaul-loss 0.2 --csv > /dev/null
 
   run_checkpoint_smoke "${build_dir}"
 }
@@ -184,6 +199,7 @@ for leg in "${legs[@]}"; do
     cmp build-debug/telemetry_smoke.trace.jsonl "${build_dir}/telemetry_smoke.trace.jsonl"
     cmp build-debug/telemetry_smoke.metrics.csv "${build_dir}/telemetry_smoke.metrics.csv"
     cmp build-debug/telemetry_smoke.timeline.json "${build_dir}/telemetry_smoke.timeline.json"
+    cmp build-debug/churn_smoke.csv "${build_dir}/churn_smoke.csv"
   fi
 
   if [[ "${config}" == "Release" ]]; then

@@ -57,6 +57,9 @@ public:
         expects_private_rx_.assign(devices.size(), 0);
         is_recovery_.assign(devices.size(), 0);
         tx_started_without_me_.assign(devices.size(), 0);
+        missed_by_fault_.assign(devices.size(), 0);
+        retry_event_.assign(devices.size(), std::nullopt);
+        seed_ = seed;
     }
 
     CampaignResult run();
@@ -66,6 +69,10 @@ private:
 
     void setup_devices();
     void schedule_plan_events();
+    void setup_churn();
+    void schedule_next_leave(std::size_t idx);
+    void attempt_leave(std::size_t idx);
+    void rejoin(std::size_t idx);
     void deliver_page(std::size_t idx, PageKind kind);
     void retry_page(std::size_t idx, PageKind kind);
     void handle_connected(std::size_t idx);
@@ -102,6 +109,21 @@ private:
     std::vector<std::uint8_t> expects_private_rx_;  // unicast-planned or recovery
     std::vector<std::uint8_t> is_recovery_;
     std::vector<std::uint8_t> tx_started_without_me_;
+    // Failure injection (src/faults).  Every churn draw comes from a
+    // per-device stream rooted at derive_seed(seed, "faults", device), so
+    // the campaign streams — and therefore every faults-off observable —
+    // are byte-identical whether or not this subsystem is compiled in.
+    std::uint64_t seed_ = 0;
+    std::vector<sim::RandomStream> fault_rng_;  // per device; churn only
+    std::vector<std::uint8_t> missed_by_fault_;
+    // Per-device pending retry/recovery page event: cancelled through the
+    // slab queue when the device departs, so a powered-off UE carries no
+    // stale paging events.
+    std::vector<std::optional<sim::EventId>> retry_event_;
+    std::size_t churn_leaves_ = 0;
+    std::size_t reattaches_ = 0;
+    std::size_t stranded_ = 0;
+    std::int64_t redelivery_bytes_ = 0;
     std::size_t aired_multicasts_ = 0;
     std::size_t aired_unicasts_ = 0;
     std::size_t recovery_transmissions_ = 0;
@@ -188,10 +210,90 @@ void Execution::schedule_plan_events() {
     }
 }
 
+void Execution::setup_churn() {
+    if (!config_.churn.enabled()) return;
+    fault_rng_.reserve(specs_.size());
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        fault_rng_.emplace_back(
+            sim::derive_seed(seed_, faults::kFaultStreamLabel, i));
+        schedule_next_leave(i);
+    }
+}
+
+void Execution::schedule_next_leave(std::size_t idx) {
+    const SimTime now = cell_.simulation().now();
+    // Exponential inter-departure gap, floored at 1 ms so the leave is
+    // strictly after `now` (the draw itself is in continuous time).
+    const double gap = fault_rng_[idx].exponential(config_.churn.mean_leave_gap_ms());
+    const SimTime leave_at = now + SimTime{static_cast<std::int64_t>(gap) + 1};
+    // A departure whose rejoin would land past the horizon is not acted
+    // out: the device would never come back inside the observation
+    // window, and a rejoin event past the horizon would charge re-attach
+    // energy outside the uptime ledger's denominator.
+    if (leave_at + SimTime{config_.churn.rejoin_ms} >= horizon_) return;
+    cell_.simulation().queue().schedule_at(leave_at,
+                                           [this, idx] { attempt_leave(idx); });
+}
+
+void Execution::attempt_leave(std::size_t idx) {
+    nbiot::Ue& ue = cell_.ue(DeviceId{static_cast<std::uint32_t>(idx)});
+    if (ue.state() != nbiot::UeState::idle) {
+        // Mid-procedure: the model only lets a device vanish from idle
+        // (a connected UE finishing its exchange first is both realistic
+        // and keeps the state machine single-owner).  Redraw.
+        schedule_next_leave(idx);
+        return;
+    }
+    const SimTime now = cell_.simulation().now();
+    ue.power_off();
+    // Departed UEs carry no pending paging events: cancel the retry chain
+    // through the slab queue (the plan's own batch events fire as misses,
+    // which is exactly a dark device's observable).
+    if (retry_event_[idx]) {
+        cell_.simulation().queue().cancel(*retry_event_[idx]);
+        retry_event_[idx].reset();
+    }
+    ++churn_leaves_;
+    NBMG_TELEMETRY_EMIT(sink_, telemetry::EventKind::device_leave, now.count(),
+                        static_cast<std::uint32_t>(idx), config_.churn.rejoin_ms,
+                        ue.payload_received() ? 1 : 0);
+    cell_.simulation().queue().schedule_at(
+        now + SimTime{config_.churn.rejoin_ms}, [this, idx] { rejoin(idx); });
+}
+
+void Execution::rejoin(std::size_t idx) {
+    nbiot::Ue& ue = cell_.ue(DeviceId{static_cast<std::uint32_t>(idx)});
+    const SimTime now = cell_.simulation().now();
+    ue.power_on();
+    ++reattaches_;
+    const bool needs_payload = !ue.payload_received();
+    NBMG_TELEMETRY_EMIT(sink_, telemetry::EventKind::device_rejoin, now.count(),
+                        static_cast<std::uint32_t>(idx), config_.churn.rejoin_ms,
+                        needs_payload && tx_started_without_me_[idx] ? 1 : 0);
+    if (needs_payload) {
+        // Whatever the device missed while off — its plan page, its
+        // window, or the transmission itself — a fresh normal page is the
+        // universal way back in: pre-transmission it re-enters the planned
+        // flow (retry_page's own guards apply), post-transmission it is
+        // the recovery path.  Either way the incompleteness is now
+        // fault-attributable.
+        missed_by_fault_[idx] = 1;
+        page_attempts_left_[idx] = config_.max_page_attempts;
+        retry_page(idx, PageKind::normal);
+    }
+    schedule_next_leave(idx);
+}
+
 void Execution::deliver_page(std::size_t idx, PageKind kind) {
     nbiot::Ue& ue = cell_.ue(DeviceId{static_cast<std::uint32_t>(idx)});
     const DeviceSchedule& schedule = plan_.schedules[idx];
     const SimTime now = cell_.simulation().now();
+
+    // Churn only: a rejoin-recovery chain can overlap a straggling plan
+    // page, so a device that already holds the payload is never paged
+    // again (without churn no such overlap exists, and skipping here would
+    // shift the miss stream — hence the gate).
+    if (config_.churn.enabled() && ue.payload_received()) return;
 
     // The page only lands if the device is idle, is actually listening at
     // this instant (this is one of its POs under its *current* cycle), and
@@ -258,12 +360,19 @@ void Execution::retry_page(std::size_t idx, PageKind kind) {
         const DeviceSchedule& schedule = plan_.schedules[idx];
         if (schedule.page_at && next >= *schedule.page_at) return;
     }
+    // Churn only: an unbounded recovery chain must give up at the horizon
+    // — a device that is off-air when monitoring ends stays unreached, it
+    // does not drag the event loop past the observation window.
+    if (config_.churn.enabled() && next >= horizon_) return;
     ++retry_pages_;
     NBMG_TELEMETRY_EMIT(sink_, telemetry::EventKind::page_retry, next.count(),
                         static_cast<std::uint32_t>(idx),
                         static_cast<std::int64_t>(kind), 0);
-    cell_.simulation().queue().schedule_at(next,
-                                           [this, idx, kind] { deliver_page(idx, kind); });
+    retry_event_[idx] = cell_.simulation().queue().schedule_at(
+        next, [this, idx, kind] {
+            retry_event_[idx].reset();
+            deliver_page(idx, kind);
+        });
 }
 
 void Execution::handle_connected(std::size_t idx) {
@@ -305,6 +414,13 @@ void Execution::start_private_delivery(std::size_t idx) {
         ++recovery_transmissions_;
         NBMG_TELEMETRY_EMIT(sink_, telemetry::EventKind::tx_recovery, now.count(),
                             static_cast<std::uint32_t>(idx), 0, 0);
+        if (missed_by_fault_[idx]) {
+            // The device missed the shared bearer because it was off-air:
+            // this dedicated copy is fault overhead, not mechanism cost.
+            redelivery_bytes_ += payload_bytes_;
+            NBMG_TELEMETRY_EMIT(sink_, telemetry::EventKind::redelivery, now.count(),
+                                static_cast<std::uint32_t>(idx), payload_bytes_, 0);
+        }
     } else {
         ++aired_unicasts_;
         NBMG_TELEMETRY_EMIT(sink_, telemetry::EventKind::tx_unicast, now.count(),
@@ -339,9 +455,11 @@ void Execution::start_transmission(std::size_t tx_idx) {
             ue.begin_reception(data_end, tail());
         } else {
             // Missed its transmission: recover with a dedicated delivery
-            // once it finally connects (re-page it if it is idle).
+            // once it finally connects (re-page it if it is idle).  An
+            // off-air device is not paged — its rejoin starts the
+            // recovery chain instead.
             tx_started_without_me_[dev.value] = 1;
-            if (ue.state() == nbiot::UeState::idle) {
+            if (ue.state() == nbiot::UeState::idle && ue.powered()) {
                 page_attempts_left_[dev.value] = config_.max_page_attempts;
                 retry_page(dev.value, PageKind::normal);
             }
@@ -370,8 +488,32 @@ void Execution::count_initial_paging() {
 CampaignResult Execution::run() {
     setup_devices();
     schedule_plan_events();
+    setup_churn();
     count_initial_paging();
-    cell_.simulation().queue().run_all();
+
+    const SimTime outage_at{config_.outage_at_ms};
+    if (config_.outage_at_ms >= 1 && outage_at < horizon_) {
+        // The cell goes dark at `outage_at`: every event up to and
+        // including that instant runs, then the loop stops cold.  The
+        // analytic PO sentinels never fire, so each device's ledger is
+        // closed explicitly at the outage instant; devices without their
+        // payload are stranded (the deployment layer re-assigns them to
+        // surviving neighbor cells).
+        cell_.simulation().queue().run_until(outage_at);
+        std::size_t complete = 0;
+        for (std::size_t i = 0; i < specs_.size(); ++i) {
+            nbiot::Ue& ue = cell_.ue(DeviceId{static_cast<std::uint32_t>(i)});
+            ue.halt_monitoring();
+            complete += ue.payload_received() ? 1 : 0;
+        }
+        stranded_ = specs_.size() - complete;
+        NBMG_TELEMETRY_EMIT(sink_, telemetry::EventKind::cell_outage,
+                            outage_at.count(), telemetry::kNoDevice,
+                            static_cast<std::int64_t>(stranded_),
+                            static_cast<std::int64_t>(complete));
+    } else {
+        cell_.simulation().queue().run_all();
+    }
 
     CampaignResult result;
     result.kind = plan_.kind;
@@ -385,6 +527,9 @@ CampaignResult Execution::run() {
     result.rach_attempts = cell_.rach().total_attempts();
     result.rach_collisions = cell_.rach().total_collisions();
     result.rach_failures = cell_.rach().total_failures();
+    result.stranded = stranded_;
+    result.redelivery_bytes = redelivery_bytes_;
+    result.churn_leaves = churn_leaves_;
 
     result.devices.reserve(specs_.size());
     std::size_t restores = 0;
@@ -420,6 +565,10 @@ CampaignResult Execution::run() {
              (sz.rach_exchange + sz.rrc_setup_exchange + sz.rrc_release);
     bytes += static_cast<std::int64_t>(reconfigurations_ + restores) *
              sz.rrc_reconfiguration;
+    // Churn: every rejoin is one full re-attach exchange on the air
+    // interface (RA + RRC setup + immediate release).
+    bytes += static_cast<std::int64_t>(reattaches_) *
+             (sz.rach_exchange + sz.rrc_setup_exchange + sz.rrc_release);
     result.bytes_on_air = bytes;
     return result;
 }
@@ -577,6 +726,9 @@ CampaignResult run_stratified(const CampaignConfig& config, std::size_t strata,
         merged.rach_attempts += r.rach_attempts;
         merged.rach_collisions += r.rach_collisions;
         merged.rach_failures += r.rach_failures;
+        merged.stranded += r.stranded;
+        merged.redelivery_bytes += r.redelivery_bytes;
+        merged.churn_leaves += r.churn_leaves;
         for (std::size_t j = 0; j < subs[i].members.size(); ++j) {
             const std::size_t g = subs[i].members[j];
             DeviceOutcome outcome = r.devices[j];

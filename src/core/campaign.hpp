@@ -41,6 +41,13 @@ struct CampaignResult {
     std::uint64_t rach_attempts = 0;
     std::uint64_t rach_collisions = 0;
     std::uint64_t rach_failures = 0;
+    /// Failure-injection tallies (zero on faults-off runs): devices left
+    /// incomplete by a cell outage, payload bytes re-sent because a fault
+    /// (churn departure) made a device miss its delivery, and churn
+    /// departure/rejoin counts.
+    std::size_t stranded = 0;
+    std::int64_t redelivery_bytes = 0;
+    std::size_t churn_leaves = 0;
     std::vector<DeviceOutcome> devices;
 
     [[nodiscard]] std::size_t total_transmissions() const noexcept {

@@ -20,6 +20,9 @@ void MechanismStats::merge(const MechanismStats& other) noexcept {
     unreceived_devices.merge(other.unreceived_devices);
     mean_connected_seconds.merge(other.mean_connected_seconds);
     mean_light_sleep_seconds.merge(other.mean_light_sleep_seconds);
+    completion_p99_ms.merge(other.completion_p99_ms);
+    redelivery_bytes.merge(other.redelivery_bytes);
+    stranded_devices.merge(other.stranded_devices);
 }
 
 namespace {
@@ -96,6 +99,10 @@ RunContribution comparison_run(const ComparisonSetup& setup, std::size_t run) {
     contrib.unicast.mean_connected_seconds.add(mean_connected_ms(reference) / 1000.0);
     contrib.unicast.mean_light_sleep_seconds.add(mean_light_sleep_ms(reference) /
                                                  1000.0);
+    contrib.unicast.completion_p99_ms.add(completion_p99_ms(reference));
+    contrib.unicast.redelivery_bytes.add(
+        static_cast<double>(reference.redelivery_bytes));
+    contrib.unicast.stranded_devices.add(static_cast<double>(reference.stranded));
 
     for (std::size_t m = 0; m < setup.mechanisms.size(); ++m) {
         const auto mechanism = make_mechanism(setup.mechanisms[m]);
@@ -122,6 +129,9 @@ RunContribution comparison_run(const ComparisonSetup& setup, std::size_t run) {
             result.devices.size() - result.received_count()));
         out.mean_connected_seconds.add(mean_connected_ms(result) / 1000.0);
         out.mean_light_sleep_seconds.add(mean_light_sleep_ms(result) / 1000.0);
+        out.completion_p99_ms.add(completion_p99_ms(result));
+        out.redelivery_bytes.add(static_cast<double>(result.redelivery_bytes));
+        out.stranded_devices.add(static_cast<double>(result.stranded));
     }
     return contrib;
 }

@@ -106,6 +106,9 @@ struct MechanismStats {
     stats::Summary unreceived_devices;         // devices left without payload
     stats::Summary mean_connected_seconds;     // absolute per-device mean
     stats::Summary mean_light_sleep_seconds;   // absolute per-device mean
+    stats::Summary completion_p99_ms;          // fleet completion tail per run
+    stats::Summary redelivery_bytes;           // fault re-delivery overhead
+    stats::Summary stranded_devices;           // incomplete at cell outage
 
     /// Field-wise stats::Summary::merge; `other.kind` must match.
     void merge(const MechanismStats& other) noexcept;

@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "faults/spec.hpp"
 #include "nbiot/cell.hpp"
 #include "nbiot/drx.hpp"
 #include "nbiot/paging.hpp"
@@ -93,6 +94,17 @@ struct CampaignConfig {
     double background_ra_per_second = 0.0;
     /// SC-PTM baseline: SC-MCCH monitoring period.
     nbiot::SimTime sc_ptm_mcch_period{10'240};
+    /// Failure injection: device churn (leave/rejoin point processes).
+    /// Disabled by default; when enabled, every fault draw comes from a
+    /// dedicated derive_seed(seed, "faults", device) stream so the
+    /// campaign streams — and therefore faults-off results — are
+    /// untouched at any --threads/--strata.
+    faults::ChurnSpec churn{};
+    /// Failure injection: this cell goes dark at the given simulated time
+    /// (-1 = no outage).  The event loop stops draining at that instant;
+    /// devices that have not completed are reported as stranded.  Set per
+    /// cell by the deployment layer from faults.cell_down.
+    std::int64_t outage_at_ms = -1;
     /// Intra-cell parallelism *model* knob: the cell's devices are
     /// partitioned into this many paging-frame strata, each running as an
     /// independent sub-cell (own paging/NPRACH partition, 1/K of the
@@ -114,6 +126,7 @@ struct CampaignConfig {
                timing.valid() && paging.valid() && rach.valid() && radio.valid() &&
                page_miss_prob >= 0.0 && page_miss_prob < 1.0 && max_page_attempts >= 1 &&
                background_ra_per_second >= 0.0 && sc_ptm_mcch_period.count() > 0 &&
+               churn.valid() && (outage_at_ms == -1 || outage_at_ms >= 1) &&
                strata >= 1 && strata <= kMaxStrata;
     }
 };

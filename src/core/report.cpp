@@ -1,7 +1,10 @@
 #include "core/report.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 
@@ -32,6 +35,26 @@ double mean_light_sleep_ms(const CampaignResult& result) noexcept {
 double mean_connected_ms(const CampaignResult& result) noexcept {
     if (result.devices.empty()) return 0.0;
     return total_connected_ms(result) / static_cast<double>(result.devices.size());
+}
+
+double completion_p99_ms(const CampaignResult& result) {
+    if (result.devices.empty()) return 0.0;
+    std::vector<std::int64_t> completion;
+    completion.reserve(result.devices.size());
+    for (const auto& d : result.devices) {
+        const bool complete = d.received && d.released_at.has_value();
+        completion.push_back(complete ? d.released_at->count()
+                                      : result.observation_horizon.count());
+    }
+    // Nearest-rank p99: the smallest value with at least 99% of devices
+    // at or below it.
+    const std::size_t rank =
+        (completion.size() * 99 + 99) / 100;  // ceil(0.99 n), 1-based
+    const std::size_t index = std::min(rank, completion.size()) - 1;
+    std::nth_element(completion.begin(),
+                     completion.begin() + static_cast<std::ptrdiff_t>(index),
+                     completion.end());
+    return static_cast<double>(completion[index]);
 }
 
 RelativeUptime relative_uptime(const CampaignResult& mechanism,
@@ -104,13 +127,17 @@ stats::Table mechanism_summary_table(
     std::span<const MechanismStats* const> mechanisms) {
     stats::Table table({"mechanism", "transmissions", "tx/device",
                         "light-sleep vs unicast", "connected vs unicast",
-                        "bytes vs unicast", "recovery tx", "unreceived"});
+                        "bytes vs unicast", "recovery tx", "unreceived",
+                        "p99 completion (s)", "redelivered (KB)", "stranded"});
     table.add_row({std::string{to_string(unicast.kind)},
                    stats::Table::cell(unicast.transmissions.mean(), 1),
                    stats::Table::cell(unicast.transmissions_per_device.mean(), 3),
                    "-", "-", "-",
                    stats::Table::cell(unicast.recovery_transmissions.mean(), 1),
-                   stats::Table::cell(unicast.unreceived_devices.mean(), 1)});
+                   stats::Table::cell(unicast.unreceived_devices.mean(), 1),
+                   stats::Table::cell(unicast.completion_p99_ms.mean() / 1000.0, 1),
+                   stats::Table::cell(unicast.redelivery_bytes.mean() / 1024.0, 1),
+                   stats::Table::cell(unicast.stranded_devices.mean(), 1)});
     for (const MechanismStats* mech : mechanisms) {
         table.add_row(
             {std::string{to_string(mech->kind)},
@@ -120,7 +147,10 @@ stats::Table mechanism_summary_table(
              stats::Table::cell_percent(mech->connected_increase.mean(), 2),
              stats::Table::cell(mech->bytes_ratio.mean(), 3),
              stats::Table::cell(mech->recovery_transmissions.mean(), 1),
-             stats::Table::cell(mech->unreceived_devices.mean(), 1)});
+             stats::Table::cell(mech->unreceived_devices.mean(), 1),
+             stats::Table::cell(mech->completion_p99_ms.mean() / 1000.0, 1),
+             stats::Table::cell(mech->redelivery_bytes.mean() / 1024.0, 1),
+             stats::Table::cell(mech->stranded_devices.mean(), 1)});
     }
     return table;
 }

@@ -23,6 +23,14 @@ struct MechanismStats;  // core/experiment.hpp
 [[nodiscard]] double mean_light_sleep_ms(const CampaignResult& result) noexcept;
 [[nodiscard]] double mean_connected_ms(const CampaignResult& result) noexcept;
 
+/// Fleet completion tail: the 99th-percentile device completion time
+/// (nearest-rank over the population).  A device's completion is its
+/// release instant after receiving the payload; a device the campaign
+/// never served (stranded, off-air, unreached) counts at the observation
+/// horizon, so faults push the tail instead of silently dropping out of
+/// it.  Returns 0 for an empty population.
+[[nodiscard]] double completion_p99_ms(const CampaignResult& result);
+
 /// The paper's headline metric (Fig. 6): relative uptime increase of a
 /// mechanism over the unicast reference, computed on the same population,
 /// seed, and observation horizon.

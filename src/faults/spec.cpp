@@ -1,0 +1,41 @@
+#include "faults/spec.hpp"
+
+#include <limits>
+
+#include "scenario/parse_util.hpp"
+
+namespace nbmg::faults {
+
+std::optional<OutageSpec> parse_cell_down(std::string_view text) {
+    const std::size_t at = text.find('@');
+    if (at == std::string_view::npos || at == 0 || at + 1 >= text.size()) {
+        return std::nullopt;
+    }
+    const std::string cell_text(text.substr(0, at));
+    const std::string time_text(text.substr(at + 1));
+    std::uint64_t cell = 0;
+    std::uint64_t time_ms = 0;
+    if (scenario::parse_strict_u64(cell_text.c_str(), cell) !=
+        scenario::U64ParseError::none) {
+        return std::nullopt;
+    }
+    if (scenario::parse_strict_u64(time_text.c_str(), time_ms) !=
+        scenario::U64ParseError::none) {
+        return std::nullopt;
+    }
+    if (time_ms < 1 ||
+        time_ms > static_cast<std::uint64_t>(
+                      std::numeric_limits<std::int64_t>::max())) {
+        return std::nullopt;
+    }
+    OutageSpec outage;
+    outage.cell = static_cast<std::size_t>(cell);
+    outage.at_ms = static_cast<std::int64_t>(time_ms);
+    return outage;
+}
+
+std::string format_cell_down(const OutageSpec& outage) {
+    return std::to_string(outage.cell) + "@" + std::to_string(outage.at_ms);
+}
+
+}  // namespace nbmg::faults

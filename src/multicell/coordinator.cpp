@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "faults/spec.hpp"
+#include "sim/random.hpp"
 #include "telemetry/collector.hpp"
 
 namespace nbmg::multicell {
@@ -53,6 +55,21 @@ std::size_t peak_overlap(std::vector<std::int64_t> starts,
     return peak;
 }
 
+/// Feed chunk size under loss_prob > 0.  64 KiB keeps the retransmission
+/// granularity fine enough that a lost tail chunk never re-sends the whole
+/// image, while the chunk count stays small (a 100 KiB image is 2 chunks).
+constexpr std::int64_t kFeedChunkBytes = 64 * 1024;
+
+/// Overflow-checked accumulation onto the city feed clock.
+std::int64_t feed_add(std::int64_t clock, std::int64_t ms) {
+    if (ms > std::numeric_limits<std::int64_t>::max() - clock) {
+        throw std::invalid_argument(
+            "schedule_run: backhaul delivery schedule overflows the city "
+            "clock (budget too small for this payload)");
+    }
+    return clock + ms;
+}
+
 }  // namespace
 
 std::optional<StartPolicy> parse_start_policy(std::string_view text) noexcept {
@@ -65,12 +82,13 @@ std::optional<StartPolicy> parse_start_policy(std::string_view text) noexcept {
 bool CoordinatorSpec::valid() const noexcept {
     switch (policy) {
         case StartPolicy::simultaneous:
-            return stagger_ms == 0 && backhaul_kbps == 0.0;
+            return stagger_ms == 0 && backhaul_kbps == 0.0 && loss_prob == 0.0;
         case StartPolicy::fixed_stagger:
-            return stagger_ms >= 0 && backhaul_kbps == 0.0;
+            return stagger_ms >= 0 && backhaul_kbps == 0.0 && loss_prob == 0.0;
         case StartPolicy::backhaul_budgeted:
             return stagger_ms == 0 && std::isfinite(backhaul_kbps) &&
-                   backhaul_kbps > 0.0;
+                   backhaul_kbps > 0.0 && std::isfinite(loss_prob) &&
+                   loss_prob >= 0.0 && loss_prob < 1.0;
     }
     return false;
 }
@@ -78,7 +96,8 @@ bool CoordinatorSpec::valid() const noexcept {
 RunTimeline schedule_run(const CoordinatorSpec& coordinator,
                          std::span<const CellRunSpan> spans,
                          std::int64_t payload_bytes,
-                         telemetry::CampaignSink* sink) {
+                         telemetry::CampaignSink* sink,
+                         std::uint64_t loss_seed) {
     if (!coordinator.valid()) {
         throw std::invalid_argument(
             "schedule_run: invalid coordinator spec (policy-scoped knobs: "
@@ -131,18 +150,68 @@ RunTimeline schedule_run(const CoordinatorSpec& coordinator,
                           }
                           return a < b;
                       });
-            const std::int64_t per_cell = delivery_ms(
-                payload_bytes, coordinator.backhaul_kbps, order.size());
+            if (coordinator.loss_prob == 0.0) {
+                // Lossless whole-image feed: the original serial schedule,
+                // bit-identical to pre-fault-injection versions.
+                const std::int64_t per_cell = delivery_ms(
+                    payload_bytes, coordinator.backhaul_kbps, order.size());
+                std::int64_t feed_clock = 0;
+                for (const std::size_t c : order) {
+                    // The image occupies [feed_clock, feed_clock + per_cell)
+                    // on the feed; the cell starts when delivery completes.
+                    NBMG_TELEMETRY_EMIT(
+                        sink, telemetry::EventKind::backhaul_chunk, feed_clock,
+                        static_cast<std::uint32_t>(c), per_cell,
+                        static_cast<std::int64_t>(spans[c].devices));
+                    feed_clock += per_cell;
+                    timeline.cells[c].start_ms = feed_clock;
+                }
+                timeline.backhaul_busy_ms = feed_clock;
+                break;
+            }
+            // Lossy pipelined feed: the image streams in 64 KiB chunks, each
+            // chunk retransmitted until it lands (per-chunk Bernoulli loss
+            // from the dedicated fault stream), and the cell's campaign
+            // starts as soon as the FIRST chunk lands — paging rolls while
+            // the image tail is still on the wire.  The feed itself stays
+            // serial: all of cell A's chunks (including retransmissions)
+            // precede cell B's.
+            sim::RandomStream loss_rng{loss_seed};
+            const std::int64_t chunks =
+                payload_bytes > 0
+                    ? (payload_bytes + kFeedChunkBytes - 1) / kFeedChunkBytes
+                    : 0;
             std::int64_t feed_clock = 0;
             for (const std::size_t c : order) {
-                // The chunk occupies [feed_clock, feed_clock + per_cell) on
-                // the feed; the cell starts when its delivery completes.
-                NBMG_TELEMETRY_EMIT(sink, telemetry::EventKind::backhaul_chunk,
-                                    feed_clock, static_cast<std::uint32_t>(c),
-                                    per_cell,
-                                    static_cast<std::int64_t>(spans[c].devices));
-                feed_clock += per_cell;
-                timeline.cells[c].start_ms = feed_clock;
+                const std::int64_t cell_feed_start = feed_clock;
+                std::int64_t redelivered = 0;
+                for (std::int64_t k = 0; k < chunks; ++k) {
+                    const std::int64_t bytes = std::min<std::int64_t>(
+                        kFeedChunkBytes, payload_bytes - k * kFeedChunkBytes);
+                    const std::int64_t base =
+                        delivery_ms(bytes, coordinator.backhaul_kbps, 1);
+                    // Draw per-attempt losses until the chunk lands; every
+                    // failed attempt re-occupies the feed and re-sends the
+                    // chunk's bytes.
+                    while (loss_rng.bernoulli(coordinator.loss_prob)) {
+                        feed_clock = feed_add(feed_clock, base);
+                        redelivered += bytes;
+                    }
+                    feed_clock = feed_add(feed_clock, base);
+                    if (k == 0) timeline.cells[c].start_ms = feed_clock;
+                }
+                if (chunks == 0) timeline.cells[c].start_ms = feed_clock;
+                NBMG_TELEMETRY_EMIT(
+                    sink, telemetry::EventKind::backhaul_chunk, cell_feed_start,
+                    static_cast<std::uint32_t>(c), feed_clock - cell_feed_start,
+                    static_cast<std::int64_t>(spans[c].devices));
+                if (redelivered > 0) {
+                    NBMG_TELEMETRY_EMIT(
+                        sink, telemetry::EventKind::redelivery, cell_feed_start,
+                        static_cast<std::uint32_t>(c), redelivered,
+                        std::int64_t{2});
+                }
+                timeline.redelivered_bytes += redelivered;
             }
             timeline.backhaul_busy_ms = feed_clock;
             break;
@@ -189,7 +258,8 @@ RunTimeline schedule_run(const CoordinatorSpec& coordinator,
 CoordinationAggregates coordinate_deployment(const DeploymentResult& deployment,
                                              const CoordinatorSpec& coordinator,
                                              std::int64_t payload_bytes,
-                                             telemetry::Collector* telemetry) {
+                                             telemetry::Collector* telemetry,
+                                             std::uint64_t base_seed) {
     const std::size_t cells = deployment.cell_count();
     if (cells == 0 || deployment.spans.empty() ||
         deployment.spans.size() % cells != 0) {
@@ -208,7 +278,8 @@ CoordinationAggregates coordinate_deployment(const DeploymentResult& deployment,
             std::span<const CellRunSpan>(deployment.spans.data() + run * cells,
                                          cells),
             payload_bytes,
-            telemetry != nullptr ? telemetry->city_sink(run) : nullptr);
+            telemetry != nullptr ? telemetry->city_sink(run) : nullptr,
+            sim::derive_seed(base_seed, faults::kFaultStreamLabel, run));
         aggregates.completion_ms.add(static_cast<double>(timeline.completion_ms));
         aggregates.peak_concurrent_cells.add(
             static_cast<double>(timeline.peak_concurrent_cells));
@@ -217,6 +288,8 @@ CoordinationAggregates coordinate_deployment(const DeploymentResult& deployment,
         aggregates.backhaul_busy_ms.add(
             static_cast<double>(timeline.backhaul_busy_ms));
         aggregates.backhaul_utilization.add(timeline.backhaul_utilization);
+        aggregates.redelivered_bytes.add(
+            static_cast<double>(timeline.redelivered_bytes));
         aggregates.timelines.push_back(std::move(timeline));
     }
     return aggregates;
@@ -233,7 +306,8 @@ CoordinatedResult run_coordinated(const DeploymentSetup& setup,
     result.deployment = run_deployment(setup);
     result.coordination = coordinate_deployment(result.deployment, coordinator,
                                                 setup.payload_bytes,
-                                                setup.telemetry);
+                                                setup.telemetry,
+                                                setup.base_seed);
     return result;
 }
 

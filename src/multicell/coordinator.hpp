@@ -72,6 +72,13 @@ struct CoordinatorSpec {
     std::int64_t stagger_ms = 0;
     /// backhaul_budgeted: central feed budget in KB/s (> 0, finite).
     double backhaul_kbps = 0.0;
+    /// backhaul_budgeted: per-chunk packet-loss probability on the feed
+    /// (in [0, 1)).  0 keeps the lossless whole-image delivery
+    /// bit-identical to earlier versions; > 0 switches the feed to 64 KiB
+    /// chunks with deterministic seeded retransmissions and pipelined
+    /// starts — a cell begins paging when its first chunk lands, while
+    /// the image tail is still streaming.
+    double loss_prob = 0.0;
 
     [[nodiscard]] bool valid() const noexcept;
 };
@@ -101,9 +108,13 @@ struct RunTimeline {
     /// Last start minus first start among active cells.
     std::int64_t start_spread_ms = 0;
     /// Total busy time of the central feed (backhaul policy; 0 otherwise).
+    /// Includes the retransmission time of lost chunks under loss_prob > 0.
     std::int64_t backhaul_busy_ms = 0;
     /// backhaul_busy_ms / completion_ms (0 when the feed is unused).
     double backhaul_utilization = 0.0;
+    /// Bytes re-sent over the feed due to chunk loss (backhaul policy with
+    /// loss_prob > 0; 0 otherwise).
+    std::int64_t redelivered_bytes = 0;
 };
 
 /// Fleet time-axis aggregates across runs (one sample per run each).
@@ -115,6 +126,7 @@ struct CoordinationAggregates {
     stats::Summary start_spread_ms;
     stats::Summary backhaul_busy_ms;
     stats::Summary backhaul_utilization;
+    stats::Summary redelivered_bytes;
 };
 
 struct CoordinatedResult {
@@ -129,10 +141,14 @@ struct CoordinatedResult {
 /// per-cell image size the backhaul policy must deliver.  `sink` (not
 /// owned, may be null) receives one backhaul_chunk event per admitted cell
 /// under the backhaul policy — purely observational, never read back.
+/// `loss_seed` roots the lossy feed's retransmission draws (only consumed
+/// when loss_prob > 0); callers derive it per run from the fault stream
+/// label so campaign RNG is never perturbed.
 [[nodiscard]] RunTimeline schedule_run(const CoordinatorSpec& coordinator,
                                        std::span<const CellRunSpan> spans,
                                        std::int64_t payload_bytes,
-                                       telemetry::CampaignSink* sink = nullptr);
+                                       telemetry::CampaignSink* sink = nullptr,
+                                       std::uint64_t loss_seed = 0);
 
 /// Runs the deployment and coordinates every run's cells on the shared
 /// wall-clock.  Throws std::invalid_argument on an invalid coordinator
@@ -144,9 +160,11 @@ struct CoordinatedResult {
 /// the run count is spans.size() / cell_count).  run_coordinated is this
 /// composed with run_deployment.  `telemetry` (not owned, may be null)
 /// routes each run's backhaul feed events to the collector's per-run city
-/// sink (telemetry::Collector::city_sink).
+/// sink (telemetry::Collector::city_sink).  `base_seed` roots the lossy
+/// feed's per-run retransmission streams (ignored when loss_prob == 0).
 [[nodiscard]] CoordinationAggregates coordinate_deployment(
     const DeploymentResult& deployment, const CoordinatorSpec& coordinator,
-    std::int64_t payload_bytes, telemetry::Collector* telemetry = nullptr);
+    std::int64_t payload_bytes, telemetry::Collector* telemetry = nullptr,
+    std::uint64_t base_seed = 0);
 
 }  // namespace nbmg::multicell

@@ -1,5 +1,6 @@
 #include "multicell/deployment.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -28,6 +29,9 @@ struct CellRunTotals {
     std::int64_t bytes_on_air = 0;
     std::uint64_t rach_attempts = 0;
     std::uint64_t rach_collisions = 0;
+    std::size_t stranded = 0;
+    std::int64_t redelivery_bytes = 0;
+    double completion_p99_ms = 0.0;
 
     void accumulate(const CellRunTotals& other) noexcept {
         devices += other.devices;
@@ -39,6 +43,12 @@ struct CellRunTotals {
         bytes_on_air += other.bytes_on_air;
         rach_attempts += other.rach_attempts;
         rach_collisions += other.rach_collisions;
+        stranded += other.stranded;
+        redelivery_bytes += other.redelivery_bytes;
+        // Cells run independent campaigns on a shared wall clock, so the
+        // fleet's completion tail is bounded by the slowest cell's tail —
+        // a max, not a sum.
+        completion_p99_ms = std::max(completion_p99_ms, other.completion_p99_ms);
     }
 };
 
@@ -53,7 +63,90 @@ CellRunTotals totals_from(const core::CampaignResult& result) {
     t.bytes_on_air = result.bytes_on_air;
     t.rach_attempts = result.rach_attempts;
     t.rach_collisions = result.rach_collisions;
+    t.stranded = result.stranded;
+    t.redelivery_bytes = result.redelivery_bytes;
+    t.completion_p99_ms = core::completion_p99_ms(result);
     return t;
+}
+
+/// Nearest-rank p99 over completion instants (the same rank rule as
+/// core::completion_p99_ms, reused on the recovery-adjusted list).
+double p99_of(std::vector<std::int64_t>& completion) {
+    if (completion.empty()) return 0.0;
+    const std::size_t rank = (completion.size() * 99 + 99) / 100;
+    const std::size_t index = std::min(rank, completion.size()) - 1;
+    std::nth_element(completion.begin(),
+                     completion.begin() + static_cast<std::ptrdiff_t>(index),
+                     completion.end());
+    return static_cast<double>(completion[index]);
+}
+
+/// Self-healing pass of the down cell: every device its stopped campaign
+/// left without the payload is deterministically re-assigned to a
+/// surviving cell (the existing assignment machinery over the reduced
+/// topology; class_affinity re-hashes uniformly because the fleet's class
+/// indices do not survive the shard) and served by an analytic serialized
+/// unicast re-delivery there — one re-attach exchange plus the payload
+/// airtime per adopted device, queued per neighbor from the outage
+/// instant.  Adjusts the totals in place: re-delivered devices stop
+/// counting as unreceived, their bytes and completion instants join the
+/// tallies, and `stranded` keeps the outage's raw hit count.
+void apply_outage_recovery(CellRunTotals& t, const DeploymentSetup& setup,
+                           const core::CampaignConfig& config,
+                           const core::CampaignResult& result,
+                           telemetry::CampaignSink* sink) {
+    std::vector<nbiot::UeSpec> stranded_specs;
+    for (const core::DeviceOutcome& d : result.devices) {
+        if (!d.received) stranded_specs.push_back(d.spec);
+    }
+    if (stranded_specs.empty()) return;
+
+    CellTopology survivors;
+    for (const CellSite& site : setup.topology.cells) {
+        if (site.id == setup.cell_down->cell) continue;
+        CellSite s = site;
+        s.id = static_cast<std::uint32_t>(survivors.cells.size());
+        survivors.cells.push_back(s);
+    }
+    if (survivors.cells.empty()) return;  // nobody left to heal into
+
+    const AssignmentPolicy policy =
+        setup.assignment == AssignmentPolicy::class_affinity
+            ? AssignmentPolicy::uniform_hash
+            : setup.assignment;
+    const DeviceAssignment assignment =
+        assign_devices(survivors, stranded_specs, {}, policy, setup.base_seed);
+
+    std::vector<std::int64_t> completion;
+    completion.reserve(result.devices.size());
+    for (const core::DeviceOutcome& d : result.devices) {
+        if (d.received && d.released_at) completion.push_back(d.released_at->count());
+    }
+
+    const nbiot::RadioModel radio(config.radio);
+    const std::int64_t reattach_ms = config.rach.attempt_active_time().count() +
+                                     config.timing.rrc_setup.count() +
+                                     config.timing.rrc_release.count();
+    const std::int64_t reattach_bytes = config.sizes.rach_exchange +
+                                        config.sizes.rrc_setup_exchange +
+                                        config.sizes.rrc_release;
+    std::vector<std::int64_t> feed_clock(survivors.cells.size(),
+                                         setup.cell_down->at_ms);
+    for (std::size_t i = 0; i < stranded_specs.size(); ++i) {
+        const std::uint32_t target = assignment.cell_of_device[i];
+        feed_clock[target] +=
+            reattach_ms +
+            radio.downlink_airtime(result.payload_bytes, stranded_specs[i].ce_level)
+                .count();
+        completion.push_back(feed_clock[target]);
+        t.redelivery_bytes += result.payload_bytes;
+        t.bytes_on_air += result.payload_bytes + reattach_bytes;
+        NBMG_TELEMETRY_EMIT(sink, telemetry::EventKind::redelivery,
+                            feed_clock[target], stranded_specs[i].device.value,
+                            result.payload_bytes, 1);
+    }
+    t.unreceived -= stranded_specs.size();
+    t.completion_p99_ms = p99_of(completion);
 }
 
 /// One (run, cell) contribution: the unicast reference plus every
@@ -95,22 +188,40 @@ CellRunOutcome run_cell(const DeploymentSetup& setup,
     out.horizon_ms = horizon.count();
     const std::uint64_t run_seed = sim::derive_seed(cell_root, "run", run);
 
+    // The down cell's campaigns stop at the outage and hand their
+    // incomplete devices to the surviving cells.
+    const bool outage_here =
+        setup.cell_down && config.outage_at_ms >= 1 &&
+        setup.cell_down->cell == cell && setup.cell_down->at_ms < out.horizon_ms;
+
     sim::RandomStream unicast_rng = rng_factory.stream("plan-unicast", run);
     const core::CampaignConfig unicast_config = campaign_config(0);
     const core::MulticastPlan unicast_plan =
         unicast.plan(specs, unicast_config, unicast_rng);
-    out.unicast = totals_from(core::CampaignRunner(unicast_config)
-                                  .run(unicast_plan, specs, setup.payload_bytes,
-                                       horizon, run_seed));
+    {
+        const core::CampaignResult result =
+            core::CampaignRunner(unicast_config)
+                .run(unicast_plan, specs, setup.payload_bytes, horizon, run_seed);
+        out.unicast = totals_from(result);
+        if (outage_here) {
+            apply_outage_recovery(out.unicast, setup, unicast_config, result,
+                                  unicast_config.telemetry);
+        }
+    }
 
     for (std::size_t m = 0; m < setup.mechanisms.size(); ++m) {
         const auto mechanism = core::make_mechanism(setup.mechanisms[m]);
         sim::RandomStream plan_rng = rng_factory.stream(mechanism->name(), run);
         const core::CampaignConfig mech_config = campaign_config(m + 1);
         const core::MulticastPlan plan = mechanism->plan(specs, mech_config, plan_rng);
-        out.mechanisms[m] = totals_from(
+        const core::CampaignResult result =
             core::CampaignRunner(mech_config)
-                .run(plan, specs, setup.payload_bytes, horizon, run_seed));
+                .run(plan, specs, setup.payload_bytes, horizon, run_seed);
+        out.mechanisms[m] = totals_from(result);
+        if (outage_here) {
+            apply_outage_recovery(out.mechanisms[m], setup, mech_config, result,
+                                  mech_config.telemetry);
+        }
     }
     return out;
 }
@@ -125,6 +236,9 @@ void put_totals(snapshot::Writer& w, const CellRunTotals& t) {
     w.put_i64(t.bytes_on_air);
     w.put_u64(t.rach_attempts);
     w.put_u64(t.rach_collisions);
+    w.put_u64(t.stranded);
+    w.put_i64(t.redelivery_bytes);
+    w.put_f64(t.completion_p99_ms);
 }
 
 CellRunTotals take_totals(snapshot::Reader& r) {
@@ -138,6 +252,9 @@ CellRunTotals take_totals(snapshot::Reader& r) {
     t.bytes_on_air = r.take_i64();
     t.rach_attempts = r.take_u64();
     t.rach_collisions = r.take_u64();
+    t.stranded = r.take_u64();
+    t.redelivery_bytes = r.take_i64();
+    t.completion_p99_ms = r.take_f64();
     return t;
 }
 
@@ -211,6 +328,9 @@ void add_unicast_samples(DeploymentMechanismStats& out, const CellRunTotals& u) 
     s.unreceived_devices.add(static_cast<double>(u.unreceived));
     s.mean_connected_seconds.add(u.connected_ms / n / 1000.0);
     s.mean_light_sleep_seconds.add(u.light_sleep_ms / n / 1000.0);
+    s.completion_p99_ms.add(u.completion_p99_ms);
+    s.redelivery_bytes.add(static_cast<double>(u.redelivery_bytes));
+    s.stranded_devices.add(static_cast<double>(u.stranded));
     out.bytes_on_air.add(static_cast<double>(u.bytes_on_air));
 }
 
@@ -235,6 +355,9 @@ void add_mechanism_samples(DeploymentMechanismStats& out, const CellRunTotals& m
     s.unreceived_devices.add(static_cast<double>(m.unreceived));
     s.mean_connected_seconds.add(m.connected_ms / n / 1000.0);
     s.mean_light_sleep_seconds.add(m.light_sleep_ms / n / 1000.0);
+    s.completion_p99_ms.add(m.completion_p99_ms);
+    s.redelivery_bytes.add(static_cast<double>(m.redelivery_bytes));
+    s.stranded_devices.add(static_cast<double>(m.stranded));
     out.bytes_on_air.add(static_cast<double>(m.bytes_on_air));
 }
 
@@ -308,6 +431,15 @@ DeploymentResult run_deployment(const DeploymentSetup& setup) {
         if (override_records > 0) {
             cell_configs[c].paging.max_page_records = override_records;
         }
+    }
+    if (setup.cell_down) {
+        if (!setup.cell_down->valid() || setup.cell_down->cell >= cells) {
+            throw std::invalid_argument(
+                "run_deployment: faults.cell_down names cell " +
+                std::to_string(setup.cell_down->cell) + " of " +
+                std::to_string(cells) + " (or a non-positive outage time)");
+        }
+        cell_configs[setup.cell_down->cell].outage_at_ms = setup.cell_down->at_ms;
     }
 
     // Phase 1 — shard every run's fleet into per-cell spec slices (local

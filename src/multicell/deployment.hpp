@@ -18,9 +18,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "faults/spec.hpp"
 #include "multicell/assignment.hpp"
 #include "multicell/topology.hpp"
 #include "stats/histogram.hpp"
@@ -50,6 +52,13 @@ struct DeploymentSetup {
         core::MechanismKind::dr_si};
     CellTopology topology = CellTopology::uniform(1);
     AssignmentPolicy assignment = AssignmentPolicy::uniform_hash;
+    /// Failure injection: this cell goes dark at the given simulated time
+    /// in every run.  Its campaigns stop cold at that instant; devices
+    /// still incomplete are stranded and — when surviving cells exist —
+    /// deterministically re-assigned to them through the assignment
+    /// machinery, each receiving an analytic serialized unicast
+    /// re-delivery (counted in redelivery_bytes and the completion tail).
+    std::optional<faults::OutageSpec> cell_down;
     /// Optional precomputed fleet populations (see
     /// generate_comparison_populations); reused across every cell and — by
     /// sharing the handle — across cell-count sweep points.  Must match

@@ -56,8 +56,56 @@ SimTime Ue::next_po_at_or_after(SimTime t) const {
 }
 
 bool Ue::listening_at(SimTime t) const {
-    if (state_ != UeState::idle) return false;
+    if (!powered_ || state_ != UeState::idle) return false;
     return paging_->is_po(t, imsi_, cycle_);
+}
+
+void Ue::halt_monitoring() {
+    if (materialized_) {
+        if (po_event_) {
+            sim_->queue().cancel(*po_event_);
+            po_event_.reset();
+        }
+        materialized_ = false;
+    } else {
+        settle_pos(sim_->now() + SimTime{1});
+    }
+    // Freeze the analytic ledger: the horizon sentinel (and any later
+    // settle) must not charge occasions past this instant.  power_on
+    // re-opens the window at the rejoin instant.
+    analytic_from_ = monitor_until_;
+}
+
+void Ue::power_off() {
+    require_state(UeState::idle, "power_off");
+    if (!powered_) {
+        throw std::logic_error("Ue::power_off: device " +
+                               std::to_string(device_.value) + " is already off");
+    }
+    halt_monitoring();
+    powered_ = false;
+}
+
+void Ue::power_on() {
+    if (powered_) {
+        throw std::logic_error("Ue::power_on: device " +
+                               std::to_string(device_.value) + " is already on");
+    }
+    powered_ = true;
+    state_ = UeState::idle;
+    // Any DA-SC adjustment is lost with the stored context: the device
+    // re-enters the ladder at its original cycle.
+    cycle_ = original_cycle_;
+    // Analytic re-attach cost: one clean (collision-free) random-access
+    // exchange plus the RRC setup and immediate release.  Charged directly
+    // rather than through RachChannel so the shared channel's contention
+    // RNG sequence is identical whether or not churn is enabled.
+    accounting_->energy[device_.value].add(PowerState::rach,
+                                           rach_->config().attempt_active_time());
+    accounting_->energy[device_.value].add(
+        PowerState::connected_signaling, timing_->rrc_setup + timing_->rrc_release);
+    // Resume closed-form PO monitoring from the rejoin instant.
+    analytic_from_ = sim_->now() + SimTime{1};
 }
 
 void Ue::schedule_next_po() {
@@ -190,7 +238,10 @@ void Ue::page_mltc(SimTime wake_at) {
            timing_->paging_decode + timing_->mltc_extension_extra);
     // The device does not connect now: it sets T322 and goes back to sleep.
     sim_->queue().schedule_at(wake_at, [this] {
-        if (state_ != UeState::idle) return;  // already serving another procedure
+        // Skip when already serving another procedure — or off-air (churn):
+        // a departed device loses its T322 context with the rest of its
+        // stored configuration.
+        if (!powered_ || state_ != UeState::idle) return;
         start_connection(sim_->now() + timing_->page_to_rach,
                          EstablishmentCause::multicast_reception, [this] {
                              state_ = UeState::connected_waiting;

@@ -131,6 +131,33 @@ public:
     /// broadcast bearer without ever connecting (no RACH, no RRC).
     void receive_idle_broadcast(SimTime data_end);
 
+    /// --- failure injection: churn (src/faults) ---
+
+    /// Powers the device off from idle: PO accounting is settled through
+    /// the current instant and then frozen (no occasions are charged while
+    /// off-air), any materialized occasion event is cancelled, and the
+    /// device stops listening — pages delivered while off are misses.
+    void power_off();
+
+    /// Rejoins the network after power_off: the device re-attaches (one
+    /// clean RACH exchange plus RRC setup/release signaling, charged
+    /// analytically so the shared channel's contention streams are
+    /// untouched), loses any DA-SC adjustment — it re-enters the ladder at
+    /// its original cycle — and resumes closed-form PO monitoring from
+    /// `now`.
+    void power_on();
+
+    /// --- failure injection: cell outage (src/faults) ---
+
+    /// Ends PO monitoring at the current instant, from any state:
+    /// occasions up to now are settled into the fleet counters, nothing
+    /// later is charged.  Used when the serving cell goes dark mid-run —
+    /// the event loop stops draining, so the analytic horizon sentinel
+    /// never fires and the ledger must be closed explicitly.
+    void halt_monitoring();
+
+    [[nodiscard]] bool powered() const noexcept { return powered_; }
+
     /// Charges uptime for protocol features outside the UE state machine
     /// (e.g. SC-MCCH monitoring in the SC-PTM baseline).
     void charge(PowerState state, SimTime duration) {
@@ -203,6 +230,7 @@ private:
     std::unique_ptr<Hooks> own_hooks_;
 
     UeState state_ = UeState::idle;
+    bool powered_ = true;
     SimTime monitor_until_{0};
     std::optional<sim::EventId> po_event_;
     SimTime next_po_time_{0};   // fire time of po_event_, when set

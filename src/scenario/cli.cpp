@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "faults/spec.hpp"
 #include "scenario/parser.hpp"
 #include "scenario/registry.hpp"
 
@@ -342,6 +343,88 @@ void apply_spec_overrides(ScenarioSpec& spec, int argc, char** argv) {
                        "requires a snapshot path (--checkpoint-out or a "
                        "'checkpoint.out' key)");
         }
+    }
+    if (const char* rate = flag_text(argc, argv, "--churn-leave-rate");
+        rate != nullptr) {
+        double parsed = 0.0;
+        switch (parse_strict_double(rate, parsed)) {
+            case DoubleParseError::none: break;
+            case DoubleParseError::empty:
+                flag_error("--churn-leave-rate", rate, "empty value",
+                           "X where X is a finite number >= 0");
+            case DoubleParseError::not_number:
+                flag_error("--churn-leave-rate", rate, "not a number",
+                           "X where X is a finite number >= 0");
+            case DoubleParseError::not_finite:
+                flag_error("--churn-leave-rate", rate, "not a finite number",
+                           "X where X is a finite number >= 0");
+        }
+        if (parsed < 0.0) {
+            flag_error("--churn-leave-rate", rate, "value must be >= 0",
+                       "X where X is a finite number >= 0");
+        }
+        spec.config.churn.leave_rate = parsed;
+    }
+    if (const char* rejoin = flag_text(argc, argv, "--churn-rejoin-ms");
+        rejoin != nullptr) {
+        // Mirror the file parser: a rejoin time without churn is a dead
+        // knob, not a silent no-op.
+        if (!spec.config.churn.enabled()) {
+            flag_error("--churn-rejoin-ms", rejoin,
+                       "requires churn (--churn-leave-rate or a "
+                       "'churn.leave_rate' key)");
+        }
+        const std::uint64_t rejoin_ms =
+            flag_u64(argc, argv, "--churn-rejoin-ms", 0, 1);
+        if (rejoin_ms > static_cast<std::uint64_t>(
+                            std::numeric_limits<std::int64_t>::max())) {
+            flag_error("--churn-rejoin-ms", rejoin, "value out of range");
+        }
+        spec.config.churn.rejoin_ms = static_cast<std::int64_t>(rejoin_ms);
+    }
+    if (const char* down = flag_text(argc, argv, "--cell-down");
+        down != nullptr) {
+        if (!spec.is_multicell()) {
+            flag_error("--cell-down", down,
+                       "requires a multicell scenario (--cells or a 'cells' "
+                       "key)",
+                       "CELL@T_MS (e.g. 3@600000)");
+        }
+        const auto parsed = faults::parse_cell_down(down);
+        if (!parsed) {
+            flag_error("--cell-down", down, "malformed outage spec",
+                       "CELL@T_MS (e.g. 3@600000, T >= 1)");
+        }
+        spec.cell_down = *parsed;
+    }
+    if (const char* loss = flag_text(argc, argv, "--backhaul-loss");
+        loss != nullptr) {
+        if (!spec.coordinator ||
+            spec.coordinator->policy !=
+                multicell::StartPolicy::backhaul_budgeted) {
+            flag_error("--backhaul-loss", loss,
+                       "requires the backhaul policy (--coordinator backhaul "
+                       "or a backhaul scenario)",
+                       "X where X is in [0, 1)");
+        }
+        double parsed = 0.0;
+        switch (parse_strict_double(loss, parsed)) {
+            case DoubleParseError::none: break;
+            case DoubleParseError::empty:
+                flag_error("--backhaul-loss", loss, "empty value",
+                           "X where X is in [0, 1)");
+            case DoubleParseError::not_number:
+                flag_error("--backhaul-loss", loss, "not a number",
+                           "X where X is in [0, 1)");
+            case DoubleParseError::not_finite:
+                flag_error("--backhaul-loss", loss, "not a finite number",
+                           "X where X is in [0, 1)");
+        }
+        if (parsed < 0.0 || parsed >= 1.0) {
+            flag_error("--backhaul-loss", loss, "value must be in [0, 1)",
+                       "X where X is in [0, 1)");
+        }
+        spec.coordinator->loss_prob = parsed;
     }
 }
 

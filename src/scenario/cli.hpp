@@ -129,6 +129,8 @@ inline constexpr const char* kScenarioFlags[] = {
     "--backhaul-kbps", "--strata",  "--telemetry",  "--trace-out",
     "--metrics-out", "--timeline-out", "--checkpoint-out",
     "--checkpoint-every-ms", "--checkpoint-stop-after", "--resume",
+    "--churn-leave-rate", "--churn-rejoin-ms", "--cell-down",
+    "--backhaul-loss",
 };
 
 [[nodiscard]] inline bool is_scenario_flag(const char* token) {
@@ -149,7 +151,9 @@ inline constexpr const char* kScenarioFlags[] = {
                  "--backhaul-kbps X, --telemetry MODE, --trace-out FILE, "
                  "--metrics-out FILE, --timeline-out FILE, "
                  "--checkpoint-out FILE, --checkpoint-every-ms N, "
-                 "--checkpoint-stop-after N, --resume FILE\n");
+                 "--checkpoint-stop-after N, --resume FILE, "
+                 "--churn-leave-rate X, --churn-rejoin-ms N, "
+                 "--cell-down CELL@T_MS, --backhaul-loss X\n");
     std::exit(2);
 }
 
@@ -275,7 +279,11 @@ void reject_unknown_flags(int argc, char** argv, const ShellFlags& shell);
 /// --metrics-out FILE / --timeline-out FILE (each engages its collection
 /// mode, mirroring the file keys), and the checkpoint set:
 /// --checkpoint-out FILE, --checkpoint-every-ms N / --checkpoint-stop-after N
-/// (each requires a snapshot path after all overrides apply), --resume FILE.
+/// (each requires a snapshot path after all overrides apply), --resume FILE,
+/// and the failure-injection set: --churn-leave-rate X (departures per
+/// device-hour) / --churn-rejoin-ms N (off-air time, required when churn is
+/// enabled), --cell-down CELL@T_MS (requires a multicell scenario),
+/// --backhaul-loss X (requires the backhaul policy).
 void apply_spec_overrides(ScenarioSpec& spec, int argc, char** argv);
 
 }  // namespace nbmg::scenario

@@ -58,6 +58,12 @@ enum class DoubleParseError : std::uint8_t {
     if (std::isspace(static_cast<unsigned char>(*text)) != 0) {
         return DoubleParseError::not_number;  // strtod would skip it
     }
+    // strtod accepts C99 hex-float tokens ('0x10' = 16.0, '0x1p3' = 8.0),
+    // which the decimal-only grammar of parse_strict_u64 rejects; an 'x'
+    // anywhere in the token means it is not a plain decimal number.
+    for (const char* c = text; *c != '\0'; ++c) {
+        if (*c == 'x' || *c == 'X') return DoubleParseError::not_number;
+    }
     errno = 0;
     char* end = nullptr;
     const double parsed = std::strtod(text, &end);

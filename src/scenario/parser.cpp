@@ -9,6 +9,7 @@
 #include <map>
 #include <sstream>
 
+#include "faults/spec.hpp"
 #include "scenario/parse_util.hpp"
 #include "scenario/registry.hpp"
 
@@ -177,6 +178,18 @@ struct CheckpointFields {
     std::size_t stop_after_line = 0;
 };
 
+/// Failure-injection fields, assembled after all lines are read so churn
+/// keys, the outage key and their dependencies may appear in any order.
+struct FaultFields {
+    std::optional<double> churn_leave_rate;
+    std::optional<std::int64_t> churn_rejoin_ms;
+    std::optional<faults::OutageSpec> cell_down;
+    std::optional<double> backhaul_loss;
+    std::size_t rejoin_line = 0;
+    std::size_t cell_down_line = 0;
+    std::size_t backhaul_loss_line = 0;
+};
+
 }  // namespace
 
 ScenarioSpec parse_scenario_text(std::string_view text,
@@ -187,6 +200,7 @@ ScenarioSpec parse_scenario_text(std::string_view text,
     CoordinatorFields coordinator_fields;
     TelemetryFields telemetry_fields;
     CheckpointFields checkpoint_fields;
+    FaultFields fault_fields;
     std::optional<double> batch_mean;
     // key -> line it was first set on, for duplicate diagnostics.  The
     // payload keys alias each other, so both map to the same slot.
@@ -441,6 +455,35 @@ ScenarioSpec parse_scenario_text(std::string_view text,
                 ctx.fail("bad value '' for key 'checkpoint.resume': empty path");
             }
             checkpoint_fields.resume = value;
+        } else if (key == "churn.leave_rate") {
+            const double parsed = parse_double(ctx, key, value);
+            if (parsed < 0.0) {
+                ctx.fail("bad value '" + value +
+                         "' for key 'churn.leave_rate': must be >= 0");
+            }
+            fault_fields.churn_leave_rate = parsed;
+        } else if (key == "churn.rejoin_ms") {
+            fault_fields.churn_rejoin_ms = static_cast<std::int64_t>(
+                parse_bounded_u64(ctx, key, value,
+                                  std::numeric_limits<std::int64_t>::max()));
+            fault_fields.rejoin_line = ctx.line;
+        } else if (key == "faults.cell_down") {
+            const auto parsed = faults::parse_cell_down(value);
+            if (!parsed) {
+                ctx.fail("bad value '" + value +
+                         "' for key 'faults.cell_down': expected CELL@T_MS "
+                         "(e.g. 3@600000, T >= 1)");
+            }
+            fault_fields.cell_down = *parsed;
+            fault_fields.cell_down_line = ctx.line;
+        } else if (key == "faults.backhaul_loss") {
+            const double parsed = parse_double(ctx, key, value);
+            if (parsed < 0.0 || parsed >= 1.0) {
+                ctx.fail("bad value '" + value +
+                         "' for key 'faults.backhaul_loss': must be in [0, 1)");
+            }
+            fault_fields.backhaul_loss = parsed;
+            fault_fields.backhaul_loss_line = ctx.line;
         } else {
             ctx.fail("unknown key '" + key + "'");
         }
@@ -519,6 +562,33 @@ ScenarioSpec parse_scenario_text(std::string_view text,
                 break;
         }
         spec.coordinator = coordinator;
+    }
+
+    if (fault_fields.churn_rejoin_ms && !fault_fields.churn_leave_rate) {
+        ctx.line = fault_fields.rejoin_line;
+        ctx.fail("'churn.rejoin_ms' requires 'churn.leave_rate'");
+    }
+    if (fault_fields.churn_leave_rate) {
+        spec.config.churn.leave_rate = *fault_fields.churn_leave_rate;
+        if (fault_fields.churn_rejoin_ms) {
+            spec.config.churn.rejoin_ms = *fault_fields.churn_rejoin_ms;
+        }
+    }
+    if (fault_fields.cell_down) {
+        if (!multicell_fields.cells) {
+            ctx.line = fault_fields.cell_down_line;
+            ctx.fail("'faults.cell_down' requires a multicell grid ('cells')");
+        }
+        spec.cell_down = *fault_fields.cell_down;
+    }
+    if (fault_fields.backhaul_loss) {
+        if (!spec.coordinator ||
+            spec.coordinator->policy !=
+                multicell::StartPolicy::backhaul_budgeted) {
+            ctx.line = fault_fields.backhaul_loss_line;
+            ctx.fail("'faults.backhaul_loss' requires coordinator = backhaul");
+        }
+        spec.coordinator->loss_prob = *fault_fields.backhaul_loss;
     }
 
     {

@@ -143,6 +143,27 @@ void register_builtin_presets(Registry& registry) {
             .with_mechanisms({MechanismKind::dr_si}));
 
     registry.register_preset(
+        "churn",
+        "single-cell campaign under device churn (leave/rejoin point "
+        "processes)",
+        ScenarioSpec{}
+            .with_name("churn")
+            .with_devices(300)
+            .with_runs(5)
+            .with_churn(2.0, 120'000));
+
+    registry.register_preset(
+        "outage",
+        "4-cell rollout with cell 1 dying mid-campaign; stranded devices "
+        "self-heal onto the survivors",
+        ScenarioSpec{}
+            .with_name("outage")
+            .with_devices(2'000)
+            .with_runs(3)
+            .with_cells(4)
+            .with_cell_down(faults::OutageSpec{1, 60'000}));
+
+    registry.register_preset(
         "multicell-scaling",
         "fixed fleet sharded over up to 64 cells (scaling sweep base)",
         ScenarioSpec{}

@@ -130,6 +130,7 @@ stats::Table ScenarioResult::coordination_table() const {
     row("peak concurrent cells", agg.peak_concurrent_cells, 1.0, 0);
     row("backhaul busy (s)", agg.backhaul_busy_ms, 1e-3, 1);
     row("backhaul utilization", agg.backhaul_utilization, 1.0, 3);
+    row("redelivered (KB)", agg.redelivered_bytes, 1.0 / 1024.0, 1);
     return table;
 }
 

@@ -121,8 +121,28 @@ ScenarioSpec& ScenarioSpec::with_backhaul_kbps(double value) {
     coordinator = spec;
     return *this;
 }
+ScenarioSpec& ScenarioSpec::with_backhaul_loss(double value) {
+    if (!coordinator ||
+        coordinator->policy != multicell::StartPolicy::backhaul_budgeted) {
+        throw std::invalid_argument(
+            "scenario '" + name +
+            "': backhaul loss needs a backhaul coordinator (call "
+            "with_backhaul_kbps first)");
+    }
+    coordinator->loss_prob = value;
+    return *this;
+}
 ScenarioSpec& ScenarioSpec::without_coordinator() {
     coordinator.reset();
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_churn(double leave_rate, std::int64_t rejoin_ms) {
+    config.churn.leave_rate = leave_rate;
+    config.churn.rejoin_ms = rejoin_ms;
+    return *this;
+}
+ScenarioSpec& ScenarioSpec::with_cell_down(faults::OutageSpec value) {
+    cell_down = value;
     return *this;
 }
 ScenarioSpec& ScenarioSpec::with_telemetry(TelemetrySpec value) {
@@ -205,6 +225,12 @@ void ScenarioSpec::validate() const {
         throw std::invalid_argument("scenario '" + name + "': strata must be in [1, " +
                                     std::to_string(core::kMaxStrata) + "]");
     }
+    if (!config.churn.valid()) {
+        throw std::invalid_argument(
+            "scenario '" + name +
+            "': invalid churn (leave_rate must be finite and >= 0; enabled "
+            "churn needs rejoin_ms >= 1)");
+    }
     if (!config.valid()) {
         throw std::invalid_argument("scenario '" + name +
                                     "': invalid campaign config");
@@ -239,7 +265,26 @@ void ScenarioSpec::validate() const {
             throw std::invalid_argument(
                 "scenario '" + name +
                 "': invalid coordinator (policy-scoped knobs: stagger_ms >= 0 "
-                "needs fixed-stagger, finite backhaul_kbps > 0 needs backhaul)");
+                "needs fixed-stagger, finite backhaul_kbps > 0 and loss_prob "
+                "in [0, 1) need backhaul)");
+        }
+    }
+    if (cell_down) {
+        if (!topology) {
+            throw std::invalid_argument(
+                "scenario '" + name +
+                "': faults.cell_down requires a multicell topology (cells)");
+        }
+        if (!cell_down->valid()) {
+            throw std::invalid_argument(
+                "scenario '" + name + "': faults.cell_down time must be >= 1 ms");
+        }
+        if (cell_down->cell >= topology->cells) {
+            throw std::invalid_argument(
+                "scenario '" + name +
+                "': faults.cell_down names cell " +
+                std::to_string(cell_down->cell) + " but the topology has " +
+                std::to_string(topology->cells) + " cells");
         }
     }
     if (telemetry.bucket_ms < 1) {
@@ -310,6 +355,15 @@ std::string ScenarioSpec::to_file_text() const {
             "': custom cell topologies (per-cell weights/capacity overrides) "
             "cannot be expressed in a scenario file");
     }
+    if (config.outage_at_ms != -1) {
+        // The per-campaign outage instant is engine plumbing run_deployment
+        // derives from cell_down; refusing keeps the serializer from
+        // silently dropping a programmatic override.
+        throw std::invalid_argument(
+            "scenario '" + name +
+            "': config.outage_at_ms is engine plumbing; describe outages with "
+            "cell_down (faults.cell_down) instead");
+    }
     if (coordinator && !topology) {
         // Invalid anyway (validate rejects it); refusing here keeps the
         // serializer from silently dropping the coordinator keys.
@@ -369,6 +423,10 @@ std::string ScenarioSpec::to_file_text() const {
     out << "max_page_records = " << config.paging.max_page_records << "\n";
     out << "sc_ptm_mcch_period_ms = " << config.sc_ptm_mcch_period.count() << "\n";
     if (config.strata != 1) out << "strata = " << config.strata << "\n";
+    if (config.churn.enabled()) {
+        out << "churn.leave_rate = " << config.churn.leave_rate << "\n";
+        out << "churn.rejoin_ms = " << config.churn.rejoin_ms << "\n";
+    }
     if (telemetry.enabled()) {
         out << "telemetry = "
             << (telemetry.trace && telemetry.metrics
@@ -419,7 +477,15 @@ std::string ScenarioSpec::to_file_text() const {
             if (coordinator->policy == multicell::StartPolicy::backhaul_budgeted) {
                 out << "coordinator.backhaul_kbps = " << coordinator->backhaul_kbps
                     << "\n";
+                if (coordinator->loss_prob != 0.0) {
+                    out << "faults.backhaul_loss = " << coordinator->loss_prob
+                        << "\n";
+                }
             }
+        }
+        if (cell_down) {
+            out << "faults.cell_down = " << faults::format_cell_down(*cell_down)
+                << "\n";
         }
     }
     return out.str();
@@ -454,6 +520,7 @@ ScenarioSpec from_setup(const multicell::DeploymentSetup& setup) {
     spec.mechanisms = setup.mechanisms;
     spec.populations = setup.populations;
     spec.assignment = setup.assignment;
+    spec.cell_down = setup.cell_down;
 
     TopologySpec topo;
     topo.cells = setup.topology.cell_count();
@@ -505,6 +572,7 @@ multicell::DeploymentSetup to_deployment_setup(const ScenarioSpec& spec) {
     setup.assignment = spec.assignment;
     setup.topology = spec.topology ? spec.topology->realize()
                                    : multicell::CellTopology::uniform(1);
+    setup.cell_down = spec.cell_down;
     return setup;
 }
 

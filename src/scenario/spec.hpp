@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "faults/spec.hpp"
 #include "multicell/coordinator.hpp"
 #include "multicell/deployment.hpp"
 
@@ -142,6 +143,12 @@ struct ScenarioSpec {
     /// policy plus fleet time-axis aggregates.  The campaign aggregates
     /// stay bit-identical to the coordinator-absent path for every policy.
     std::optional<multicell::CoordinatorSpec> coordinator;
+    /// Engaged (requires a topology; cell < cells) => that cell goes dark
+    /// at the given simulated time in every run; stranded devices are
+    /// deterministically re-assigned to the surviving cells (see
+    /// multicell::DeploymentSetup::cell_down).  Churn and backhaul loss
+    /// live on `config.churn` and `coordinator->loss_prob` respectively.
+    std::optional<faults::OutageSpec> cell_down;
     /// Optional precomputed per-run populations (see
     /// core::generate_comparison_populations); shared across sweep points
     /// by the shells.  Never serialized.
@@ -187,8 +194,18 @@ struct ScenarioSpec {
     ScenarioSpec& with_stagger_ms(std::int64_t value);
     /// Coordinator with a finite central-feed budget (policy backhaul).
     ScenarioSpec& with_backhaul_kbps(double value);
+    /// Per-chunk packet-loss probability on the backhaul feed (in [0, 1)).
+    /// Throws std::invalid_argument unless a backhaul coordinator is
+    /// already engaged (call with_backhaul_kbps first).
+    ScenarioSpec& with_backhaul_loss(double value);
     /// Clears the coordinator: back to uncoordinated run_deployment.
     ScenarioSpec& without_coordinator();
+    /// Device churn: seeded leave/rejoin point processes per device
+    /// (faults::ChurnSpec; leave_rate in departures per device-hour,
+    /// rejoin_ms of off-air time).  leave_rate = 0 disables churn.
+    ScenarioSpec& with_churn(double leave_rate, std::int64_t rejoin_ms);
+    /// Mid-campaign cell outage (requires a multicell topology).
+    ScenarioSpec& with_cell_down(faults::OutageSpec value);
     /// Replaces the whole telemetry request.
     ScenarioSpec& with_telemetry(TelemetrySpec value);
     /// Enables trace and/or metrics collection without output files (the

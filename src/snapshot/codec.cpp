@@ -47,6 +47,9 @@ void put_mechanism_stats(Writer& w, const core::MechanismStats& stats) {
     put_summary(w, stats.unreceived_devices);
     put_summary(w, stats.mean_connected_seconds);
     put_summary(w, stats.mean_light_sleep_seconds);
+    put_summary(w, stats.completion_p99_ms);
+    put_summary(w, stats.redelivery_bytes);
+    put_summary(w, stats.stranded_devices);
 }
 
 core::MechanismStats take_mechanism_stats(Reader& r) {
@@ -66,6 +69,9 @@ core::MechanismStats take_mechanism_stats(Reader& r) {
     stats.unreceived_devices = take_summary(r);
     stats.mean_connected_seconds = take_summary(r);
     stats.mean_light_sleep_seconds = take_summary(r);
+    stats.completion_p99_ms = take_summary(r);
+    stats.redelivery_bytes = take_summary(r);
+    stats.stranded_devices = take_summary(r);
     return stats;
 }
 

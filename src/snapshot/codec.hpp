@@ -19,7 +19,7 @@ namespace nbmg::snapshot {
 void put_summary(Writer& w, const stats::Summary& summary);
 [[nodiscard]] stats::Summary take_summary(Reader& r);
 
-/// Mechanism kind (u8) plus its nine summaries in declaration order.
+/// Mechanism kind (u8) plus its twelve summaries in declaration order.
 void put_mechanism_stats(Writer& w, const core::MechanismStats& stats);
 [[nodiscard]] core::MechanismStats take_mechanism_stats(Reader& r);
 

@@ -32,7 +32,10 @@ public:
     explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
 };
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+// 2: MechanismStats grew the fault-injection summaries (completion p99,
+//    re-delivery bytes, stranded devices) and multicell CellRunTotals grew
+//    their per-cell counterparts.
+inline constexpr std::uint32_t kFormatVersion = 2;
 inline constexpr std::string_view kMagic = "NBMGSNAP";  // exactly 8 bytes
 
 /// One length-framed section of a snapshot file.

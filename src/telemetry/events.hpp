@@ -35,9 +35,13 @@ enum class EventKind : std::uint8_t {
     backhaul_chunk,     // a = feed busy duration (ms), b = devices in the cell
     stratum_span,       // a = member devices, b = campaign horizon (ms)
     campaign_span,      // a = total devices, b = campaign horizon (ms)
+    device_leave,       // a = rejoin delay (ms), b = device had received payload
+    device_rejoin,      // a = off-air duration (ms), b = recovery page queued
+    cell_outage,        // a = stranded devices, b = devices already complete
+    redelivery,         // a = re-delivered bytes, b = 0 churn / 1 outage / 2 backhaul
 };
 
-inline constexpr std::size_t kEventKindCount = 17;
+inline constexpr std::size_t kEventKindCount = 21;
 
 [[nodiscard]] constexpr const char* to_string(EventKind kind) noexcept {
     switch (kind) {
@@ -58,6 +62,10 @@ inline constexpr std::size_t kEventKindCount = 17;
         case EventKind::backhaul_chunk: return "backhaul_chunk";
         case EventKind::stratum_span: return "stratum_span";
         case EventKind::campaign_span: return "campaign_span";
+        case EventKind::device_leave: return "device_leave";
+        case EventKind::device_rejoin: return "device_rejoin";
+        case EventKind::cell_outage: return "cell_outage";
+        case EventKind::redelivery: return "redelivery";
     }
     return "?";
 }

@@ -360,5 +360,35 @@ TEST(BenchFlagDeathTest, MalformedAssignmentsRejected) {
                 ::testing::ExitedWithCode(2), "missing value");
 }
 
+TEST(BenchFlagDeathTest, HexFloatTokensRejectedAtFlagEntryPoints) {
+    // strtod happily parses C99 hex-float tokens ('0x10' = 16.0,
+    // '0X1p-3' = 0.125); the strict grammar must reject them at every
+    // double-valued flag, not run a different experiment.
+    Args<4> hex({"--preset", "fig6a", "--churn-leave-rate", "0x10"});
+    EXPECT_EXIT((void)spec_from_args(hex.argc, hex.argv(), "fig6a"),
+                ::testing::ExitedWithCode(2), "not a number");
+    Args<4> hexp({"--preset", "fig6a", "--churn-leave-rate", "0X1p-3"});
+    EXPECT_EXIT((void)spec_from_args(hexp.argc, hexp.argv(), "fig6a"),
+                ::testing::ExitedWithCode(2), "not a number");
+    Args<4> trailing({"--preset", "fig6a", "--churn-leave-rate", "1x"});
+    EXPECT_EXIT((void)spec_from_args(trailing.argc, trailing.argv(), "fig6a"),
+                ::testing::ExitedWithCode(2), "not a number");
+    Args<8> kbps({"--preset", "fig6a", "--cells", "2", "--coordinator",
+                  "backhaul", "--backhaul-kbps", "0x10"});
+    EXPECT_EXIT((void)spec_from_args(kbps.argc, kbps.argv(), "fig6a"),
+                ::testing::ExitedWithCode(2), "not a number");
+    Args<10> loss({"--preset", "fig6a", "--cells", "2", "--coordinator",
+                   "backhaul", "--backhaul-kbps", "256", "--backhaul-loss",
+                   "0x1p-3"});
+    EXPECT_EXIT((void)spec_from_args(loss.argc, loss.argv(), "fig6a"),
+                ::testing::ExitedWithCode(2), "not a number");
+}
+
+TEST(BenchFlagDeathTest, HexTokensRejectedAtPositionalEntryPoint) {
+    Args<1> hex({"0x10"});
+    EXPECT_EXIT((void)positional_value(hex.argc, hex.argv(), 0, 1),
+                ::testing::ExitedWithCode(2), "not a decimal integer");
+}
+
 }  // namespace
 }  // namespace nbmg::bench

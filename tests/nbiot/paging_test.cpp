@@ -170,9 +170,24 @@ TEST_P(PagingPropertyTest, DoublingNestsPoSets) {
     const PagingSchedule paging;
     const auto [index, imsi_value] = GetParam();
     const DrxCycle cycle = DrxCycle::from_index(index);
-    if (!cycle.has_longer()) GTEST_SKIP() << "top of ladder";
-    const DrxCycle doubled = cycle.longer();
     const Imsi imsi{imsi_value};
+    if (!cycle.has_longer()) {
+        // Ladder top: no doubled cycle exists, so assert the boundary from
+        // the other side — the top cycle's POs nest inside every shorter
+        // cycle's PO set.
+        ASSERT_EQ(cycle.index(), DrxCycle::kLadderSize - 1);
+        const auto top_pos = paging.pos_in_range(
+            SimTime{0}, SimTime{2 * cycle.period_ms()}, imsi, cycle);
+        ASSERT_FALSE(top_pos.empty());
+        for (const DrxCycle other : drx_ladder()) {
+            for (const SimTime po : top_pos) {
+                EXPECT_TRUE(paging.is_po(po, imsi, other))
+                    << "top-of-ladder PO must be a PO of every shorter cycle";
+            }
+        }
+        return;
+    }
+    const DrxCycle doubled = cycle.longer();
     const auto pos = paging.pos_in_range(SimTime{0}, SimTime{4 * doubled.period_ms()},
                                          imsi, doubled);
     ASSERT_FALSE(pos.empty());
@@ -186,8 +201,20 @@ TEST_P(PagingPropertyTest, ShorteningOnlyAddsOccasions) {
     const PagingSchedule paging;
     const auto [index, imsi_value] = GetParam();
     const DrxCycle cycle = DrxCycle::from_index(index);
-    if (!cycle.has_shorter()) GTEST_SKIP() << "bottom of ladder";
     const Imsi imsi{imsi_value};
+    if (!cycle.has_shorter()) {
+        // Ladder bottom: there is no shorter cycle to compare against, so
+        // assert the boundary itself — 320 ms is the densest PO pattern any
+        // cycle can produce, which is the same monotonicity property read
+        // from the other side.
+        ASSERT_EQ(cycle.index(), 0);
+        const SimTime to{2 * drx_ladder().back().period_ms()};
+        for (const DrxCycle other : drx_ladder()) {
+            EXPECT_GE(paging.po_count_in_range(SimTime{0}, to, imsi, cycle),
+                      paging.po_count_in_range(SimTime{0}, to, imsi, other));
+        }
+        return;
+    }
     const SimTime to{2 * cycle.period_ms()};
     EXPECT_GE(paging.po_count_in_range(SimTime{0}, to, imsi, cycle.shorter()),
               paging.po_count_in_range(SimTime{0}, to, imsi, cycle));
@@ -195,11 +222,66 @@ TEST_P(PagingPropertyTest, ShorteningOnlyAddsOccasions) {
 
 INSTANTIATE_TEST_SUITE_P(
     CycleImsiGrid, PagingPropertyTest,
-    ::testing::Combine(::testing::Values(0, 3, 6, 9, 12, 14),
+    ::testing::Combine(::testing::Values(0, 3, 6, 9, 12, 14, 15),
                        ::testing::Values(std::uint64_t{1}, std::uint64_t{1023},
                                          std::uint64_t{1'048'575},
                                          std::uint64_t{314'159'265'358ULL},
                                          std::uint64_t{100'000'000'000'007ULL})));
+
+// Directed ladder-boundary tests: the clamp predicates and step
+// constructors at indices 0 and kLadderSize-1 are asserted here, not
+// skipped (formerly two GTEST_SKIP holes in the property sweep above).
+TEST(LadderEdgeTest, BottomOfLadderClamps) {
+    const DrxCycle bottom = DrxCycle::from_index(0);
+    EXPECT_FALSE(bottom.has_shorter());
+    EXPECT_TRUE(bottom.has_longer());
+    EXPECT_EQ(bottom, drx_ladder().front());
+    EXPECT_EQ(bottom.period_ms(), 320);
+    // Stepping up from the bottom and back down is the identity.
+    EXPECT_EQ(bottom.longer().shorter(), bottom);
+    EXPECT_EQ(bottom.longer().index(), 1);
+}
+
+TEST(LadderEdgeTest, TopOfLadderClamps) {
+    const DrxCycle top = DrxCycle::from_index(DrxCycle::kLadderSize - 1);
+    EXPECT_FALSE(top.has_longer());
+    EXPECT_TRUE(top.has_shorter());
+    EXPECT_EQ(top, drx_ladder().back());
+    EXPECT_EQ(top.period_ms(), 320LL << (DrxCycle::kLadderSize - 1));
+    EXPECT_EQ(top.shorter().longer(), top);
+    EXPECT_EQ(top.shorter().index(), DrxCycle::kLadderSize - 2);
+}
+
+TEST(LadderEdgeTest, OnlyEndpointsLackNeighbors) {
+    for (const DrxCycle cycle : drx_ladder()) {
+        EXPECT_EQ(cycle.has_shorter(), cycle.index() > 0);
+        EXPECT_EQ(cycle.has_longer(), cycle.index() < DrxCycle::kLadderSize - 1);
+        if (cycle.has_shorter()) {
+            EXPECT_EQ(cycle.shorter().period_ms() * 2, cycle.period_ms());
+        }
+        if (cycle.has_longer()) {
+            EXPECT_EQ(cycle.longer().period_ms(), cycle.period_ms() * 2);
+        }
+    }
+}
+
+TEST(LadderEdgeTest, EdgeNestingHoldsAtBothEnds) {
+    // The DA-SC nesting invariant asserted directly at the endpoints: every
+    // top-of-ladder PO is a PO of the bottom cycle, and a window of one
+    // top-cycle period holds exactly period-ratio bottom-cycle POs.
+    const PagingSchedule paging;
+    const DrxCycle bottom = drx_ladder().front();
+    const DrxCycle top = drx_ladder().back();
+    const Imsi imsi{9'876'543'210ULL};
+    const SimTime window{2 * top.period_ms()};
+    const auto top_pos = paging.pos_in_range(SimTime{0}, window, imsi, top);
+    ASSERT_EQ(top_pos.size(), 2u);
+    for (const SimTime po : top_pos) {
+        EXPECT_TRUE(paging.is_po(po, imsi, bottom));
+    }
+    EXPECT_EQ(paging.po_count_in_range(SimTime{0}, window, imsi, bottom),
+              2 * (top.period_ms() / bottom.period_ms()));
+}
 
 TEST(PagingScheduleNbVariantTest, HalfTBunchesPagingFrames) {
     PagingConfig config;

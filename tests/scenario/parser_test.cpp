@@ -348,5 +348,60 @@ TEST(ScenarioParserTest, MissingFileThrows) {
                  ScenarioError);
 }
 
+TEST(ScenarioParserTest, ParsesFaultKeysInAnyOrder) {
+    const ScenarioSpec spec = parse_scenario_text(
+        "churn.rejoin_ms = 120000\n"
+        "cells = 4\n"
+        "faults.cell_down = 3@600000\n"
+        "coordinator = backhaul\n"
+        "coordinator.backhaul_kbps = 256\n"
+        "faults.backhaul_loss = 0.1\n"
+        "churn.leave_rate = 2\n",
+        "faulted.scenario");
+    EXPECT_EQ(spec.config.churn.leave_rate, 2.0);
+    EXPECT_EQ(spec.config.churn.rejoin_ms, 120'000);
+    ASSERT_TRUE(spec.cell_down.has_value());
+    EXPECT_EQ(spec.cell_down->cell, 3u);
+    EXPECT_EQ(spec.cell_down->at_ms, 600'000);
+    ASSERT_TRUE(spec.is_coordinated());
+    EXPECT_EQ(spec.coordinator->loss_prob, 0.1);
+    EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(ScenarioParserTest, FaultKeysValidatedAsAGroup) {
+    expect_parse_error("churn.rejoin_ms = 1000\n",
+                       {"'churn.rejoin_ms' requires 'churn.leave_rate'"});
+    expect_parse_error("churn.leave_rate = -2\n",
+                       {"test.scenario:1", "must be >= 0"});
+    expect_parse_error("churn.leave_rate = 2\nchurn.rejoin_ms = 0\n",
+                       {"test.scenario:2", "must be >= 1"});
+    expect_parse_error("devices = 10\nfaults.cell_down = 0@5\n",
+                       {"requires a multicell grid"});
+    expect_parse_error("cells = 4\nfaults.cell_down = 3@\n",
+                       {"test.scenario:2", "expected CELL@T_MS"});
+    expect_parse_error("cells = 4\nfaults.backhaul_loss = 0.1\n",
+                       {"requires coordinator = backhaul"});
+    expect_parse_error(
+        "cells = 4\ncoordinator = backhaul\n"
+        "coordinator.backhaul_kbps = 256\nfaults.backhaul_loss = 1\n",
+        {"test.scenario:4", "must be in [0, 1)"});
+}
+
+TEST(ScenarioParserTest, HexFloatTokensRejectedInFiles) {
+    // strtod accepts C99 hex-float tokens ('0x10' = 16.0, '0X1p-3' =
+    // 0.125); the strict grammar must reject them at every numeric key.
+    expect_parse_error("page_miss_prob = 0x1p-3\n",
+                       {"test.scenario:1", "not a finite number"});
+    expect_parse_error("page_miss_prob = 0X10\n",
+                       {"test.scenario:1", "not a finite number"});
+    expect_parse_error("churn.leave_rate = 0x10\n",
+                       {"test.scenario:1", "not a finite number"});
+    expect_parse_error("batch_mean = 1x\n",
+                       {"test.scenario:1", "not a finite number"});
+    expect_parse_error("devices = 0x10\n",
+                       {"test.scenario:1",
+                        "not a non-negative decimal integer"});
+}
+
 }  // namespace
 }  // namespace nbmg::scenario

@@ -134,13 +134,15 @@ TEST(SnapshotContainerTest, DecodeRejectsBadMagic) {
 TEST(SnapshotContainerTest, DecodeRejectsFutureVersionWithDiagnostic) {
     // The version is the u32 directly after the 8-byte magic.
     std::vector<std::uint8_t> bytes = encode_snapshot(sample_sections());
-    bytes[8] = 2;
+    bytes[8] = static_cast<std::uint8_t>(kFormatVersion + 1);
     try {
         (void)decode_snapshot(bytes, "future");
         FAIL() << "expected SnapshotError";
     } catch (const SnapshotError& error) {
         const std::string what = error.what();
-        EXPECT_NE(what.find("version 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("version " + std::to_string(kFormatVersion + 1)),
+                  std::string::npos)
+            << what;
         EXPECT_NE(what.find("re-run"), std::string::npos) << what;
     }
 }

@@ -36,6 +36,9 @@ inline void expect_campaign_results_equal(const core::CampaignResult& a,
     EXPECT_EQ(a.rach_attempts, b.rach_attempts);
     EXPECT_EQ(a.rach_collisions, b.rach_collisions);
     EXPECT_EQ(a.rach_failures, b.rach_failures);
+    EXPECT_EQ(a.stranded, b.stranded);
+    EXPECT_EQ(a.redelivery_bytes, b.redelivery_bytes);
+    EXPECT_EQ(a.churn_leaves, b.churn_leaves);
     ASSERT_EQ(a.devices.size(), b.devices.size());
     for (std::size_t i = 0; i < a.devices.size(); ++i) {
         const core::DeviceOutcome& da = a.devices[i];

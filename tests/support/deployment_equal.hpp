@@ -28,6 +28,9 @@ inline void expect_mechanism_stats_equal(const core::MechanismStats& a,
     EXPECT_TRUE(a.unreceived_devices == b.unreceived_devices);
     EXPECT_TRUE(a.mean_connected_seconds == b.mean_connected_seconds);
     EXPECT_TRUE(a.mean_light_sleep_seconds == b.mean_light_sleep_seconds);
+    EXPECT_TRUE(a.completion_p99_ms == b.completion_p99_ms);
+    EXPECT_TRUE(a.redelivery_bytes == b.redelivery_bytes);
+    EXPECT_TRUE(a.stranded_devices == b.stranded_devices);
 }
 
 inline void expect_deployment_mechanism_equal(
